@@ -1,0 +1,45 @@
+"""Shared helpers for the figure/table reproduction benches.
+
+Every bench simulates a *scaled-down* version of the paper's runtime (the
+paper uses 1-hour runs repeated five times, plus two 24-hour runs; a pure
+Python simulator reproduces the same dynamics in minutes).  Scale factors:
+
+* each bench documents its base duration,
+* ``REPRO_DURATION_SCALE`` (float, default 1.0) multiplies all of them, so
+  ``REPRO_DURATION_SCALE=4 pytest benchmarks/`` runs closer to paper scale.
+
+Benches use ``benchmark.pedantic(..., rounds=1)``: a run *is* the
+measurement; repeating a deterministic simulation would only burn time.
+"""
+
+import os
+
+import pytest
+
+
+def duration_scale() -> float:
+    """The global duration multiplier from the environment."""
+    return float(os.environ.get("REPRO_DURATION_SCALE", "1.0"))
+
+
+def scaled(seconds: float, minimum: float = 30.0) -> float:
+    """Apply the global scale with a floor that keeps statistics meaningful."""
+    return max(seconds * duration_scale(), minimum)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def banner(title: str, paper_ref: str) -> None:
+    """Print the bench header (figure/table id + scaling note)."""
+    print()
+    print("=" * 74)
+    print(f"{title}   [{paper_ref}]  (duration scale x{duration_scale():g})")
+    print("=" * 74)

@@ -1,0 +1,84 @@
+"""Ablation: the controller's overlap arbitration policy (§6.1's choices).
+
+The Bluetooth standard does not say what a controller should do when two
+connection events overlap.  The paper names the two outcomes: skip one
+connection entirely (starvation -> supervision timeout -> random connection
+loss) or alternate (halved link capacity).  This bench runs the same
+guaranteed-shading micro-topology under both policies and shows the fork in
+behaviour.
+"""
+
+import random
+
+from repro.ble.config import BleConfig, ConnParams, SchedulerPolicy
+from repro.ble.conn import Connection
+from repro.ble.controller import BleController
+from repro.exp.report import format_table
+from repro.phy.medium import BleMedium, InterferenceModel
+from repro.sim import DriftingClock, Simulator
+from repro.sim.units import MSEC, SEC
+
+from conftest import banner, scaled
+
+
+def run_policy(policy: SchedulerPolicy, duration_s: float):
+    sim = Simulator()
+    medium = BleMedium(sim, random.Random(5), InterferenceModel(base_ber=0.0))
+    nodes = [
+        BleController(
+            sim, medium, addr=i, clock=DriftingClock(sim, ppm=ppm),
+            config=BleConfig(scheduler_policy=policy), rng=random.Random(40 + i),
+        )
+        for i, ppm in ((0, -30.0), (1, 0.0), (2, 30.0))
+    ]
+    params = ConnParams(interval_ns=75 * MSEC)
+    conn_a = Connection(sim, nodes[0], nodes[1], params, 0xA1, anchor0_true=MSEC)
+    conn_b = Connection(
+        sim, nodes[2], nodes[1], params, 0xB2, anchor0_true=int(3.5 * MSEC)
+    )
+    deaths = []
+    conn_a.on_closed = lambda c, r: deaths.append((sim.now, "A", r))
+    conn_b.on_closed = lambda c, r: deaths.append((sim.now, "B", r))
+    sim.run(until=int(duration_s * SEC))
+    skips = sum(
+        ep.stats.events_skipped_policy + ep.stats.events_skipped_radio
+        for conn in (conn_a, conn_b)
+        for ep in (conn.coord, conn.sub)
+    )
+    active = sum(
+        conn.coord.stats.events_active for conn in (conn_a, conn_b)
+    )
+    return deaths, skips, active
+
+
+def test_abl_scheduler_policy(run_once):
+    banner("Ablation: overlap arbitration policy", "paper §6.1, design choice")
+    duration = scaled(150, minimum=120)
+    outcomes = run_once(
+        lambda: {
+            policy: run_policy(policy, duration)
+            for policy in (SchedulerPolicy.EARLIEST_WINS, SchedulerPolicy.ALTERNATE)
+        }
+    )
+    rows = []
+    for policy, (deaths, skips, active) in outcomes.items():
+        rows.append(
+            [
+                policy.value,
+                len(deaths),
+                f"{deaths[0][0] / SEC:.0f}s" if deaths else "-",
+                skips,
+                active,
+            ]
+        )
+    print(format_table(
+        ["policy", "connection losses", "first loss", "skipped events", "active events"],
+        rows,
+        title="(the standard's unspecified choice forks the failure mode)",
+    ))
+
+    starve_deaths, _, _ = outcomes[SchedulerPolicy.EARLIEST_WINS]
+    alt_deaths, alt_skips, _ = outcomes[SchedulerPolicy.ALTERNATE]
+    assert starve_deaths, "EARLIEST_WINS must lose a connection to shading"
+    assert not alt_deaths, "ALTERNATE must keep both connections alive"
+    assert alt_skips > 0, "ALTERNATE pays with skipped (alternated) events"

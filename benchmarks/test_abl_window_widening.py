@@ -1,0 +1,67 @@
+"""Ablation: window widening (§6.1's drift-compensation mechanism).
+
+The standard makes subordinates widen their receive window with the
+accumulated clock uncertainty, which keeps a *single* connection alive
+despite drift (and, per the paper, is also what lets co-located connections
+collide for longer).  This bench removes the widening: with realistic
+drift, even an isolated, perfectly healthy connection desynchronizes and
+dies.
+"""
+
+import random
+
+from repro.ble.config import BleConfig, ConnParams
+from repro.ble.conn import Connection, DisconnectReason
+from repro.ble.controller import BleController
+from repro.exp.report import format_table
+from repro.phy.medium import BleMedium, InterferenceModel
+from repro.sim import DriftingClock, Simulator
+from repro.sim.units import MSEC, SEC, USEC
+
+from conftest import banner, scaled
+
+
+def run_variant(declared_sca_ppm: float, base_ns: int, duration_s: float):
+    sim = Simulator()
+    medium = BleMedium(sim, random.Random(9), InterferenceModel(base_ber=0.0))
+    config = BleConfig(
+        declared_sca_ppm=declared_sca_ppm, window_widening_base_ns=base_ns
+    )
+    nodes = [
+        BleController(
+            sim, medium, addr=i, clock=DriftingClock(sim, ppm=ppm),
+            config=config, rng=random.Random(60 + i),
+        )
+        for i, ppm in ((0, 150.0), (1, -150.0))  # legal but pessimal clocks
+    ]
+    conn = Connection(
+        sim, nodes[0], nodes[1], ConnParams(interval_ns=75 * MSEC),
+        access_address=0x3D3D3D3D, anchor0_true=MSEC,
+    )
+    deaths = []
+    conn.on_closed = lambda c, r: deaths.append(sim.now)
+    sim.run(until=int(duration_s * SEC))
+    return deaths, conn.sub.stats.events_missed_window, conn.sub.stats.events_active
+
+
+def test_abl_window_widening(run_once):
+    banner("Ablation: window widening off", "BT 5.2 Vol 6 B §4.5.7 / paper §6.1")
+    duration = scaled(120, minimum=60)
+    honest, dishonest = run_once(
+        lambda: (
+            run_variant(50.0, 32 * USEC, duration),
+            run_variant(0.0, 8 * USEC, duration),
+        )
+    )
+    print(format_table(
+        ["variant", "connection lost", "missed windows", "active events"],
+        [
+            ["standard widening", "no" if not honest[0] else "yes", honest[1], honest[2]],
+            ["widening disabled", "yes" if dishonest[0] else "no", dishonest[1], dishonest[2]],
+        ],
+        title="(300 ppm relative drift, a single otherwise-idle connection)",
+    ))
+    assert not honest[0], "with widening the connection must survive drift"
+    assert honest[1] == 0
+    assert dishonest[0], "without widening drift must desynchronize the link"
+    assert dishonest[1] > 0

@@ -1,0 +1,119 @@
+"""Extension bench: the LE 2M PHY.
+
+The paper is pinned to LE 1M because the nrf52dk boards cannot do better
+(§4.2), and its related work (§7) cites measurements of up to ~1300 kbit/s
+for current BLE with the data length extension and 2M mode.  The simulated
+radios have no such constraint: this bench runs the single-link saturation
+measurement and the moderate-load tree on both PHYs.
+
+Expected shape: ~2x the air rate does *not* double goodput (T_IFS stays
+150 us regardless of PHY), landing 2M goodput in the paper-cited ~1.3 Mbit/s
+region; multi-hop RTT improves only marginally, because latency is dominated
+by the connection interval, not air time -- exactly the paper's point about
+interval-quantized delays.
+"""
+
+import random
+
+from repro.ble.config import BleConfig, ConnParams
+from repro.ble.conn import Connection
+from repro.ble.controller import BleController
+from repro.exp import ExperimentConfig, ExperimentRunner
+from repro.exp.metrics import percentile
+from repro.exp.report import format_table
+from repro.l2cap import L2capCoc
+from repro.phy.frames import BlePhyMode
+from repro.phy.medium import BleMedium, InterferenceModel
+from repro.sim import DriftingClock, Simulator
+from repro.sim.units import MSEC, SEC
+
+from conftest import banner, scaled
+
+
+def saturated_goodput_kbps(phy: BlePhyMode, duration_s: float) -> float:
+    sim = Simulator()
+    medium = BleMedium(sim, random.Random(1), InterferenceModel(base_ber=0.0))
+    config = BleConfig(phy=phy, buffer_pool_bytes=40000)
+    nodes = [
+        BleController(sim, medium, addr=i, clock=DriftingClock(sim),
+                      config=config, rng=random.Random(i))
+        for i in range(2)
+    ]
+    conn = Connection(
+        sim, nodes[0], nodes[1], ConnParams(interval_ns=75 * MSEC),
+        access_address=0x2B2B2B2B, anchor0_true=MSEC,
+    )
+    coc = L2capCoc(conn)
+    received = [0]
+    coc.set_rx_handler(nodes[1], lambda sdu: received.__setitem__(0, received[0] + len(sdu)))
+    end = coc.end_of(nodes[0])
+
+    def refill(tag=None):
+        while len(end.tx_sdus) < 6:
+            coc.send(nodes[0], bytes(1000))
+
+    end.on_sdu_sent = refill
+    refill()
+    sim.run(until=int(duration_s * SEC))
+    return received[0] * 8 / duration_s / 1000
+
+
+class _PhyRunner(ExperimentRunner):
+    def __init__(self, config, phy: BlePhyMode):
+        super().__init__(config)
+        self.phy = phy
+
+    def _build_ble(self):
+        net = super()._build_ble()
+        for node in net.nodes:
+            node.controller.config.phy = self.phy
+        return net
+
+
+def run_all(duration_s: float):
+    out = {}
+    for phy in (BlePhyMode.LE_1M, BlePhyMode.LE_2M):
+        goodput = saturated_goodput_kbps(phy, max(duration_s / 10, 10))
+        tree = _PhyRunner(
+            ExperimentConfig(name=f"phy-{phy.value}", duration_s=duration_s, seed=14),
+            phy,
+        ).run()
+        out[phy] = (goodput, tree)
+    return out
+
+
+def test_ext_2m_phy(run_once):
+    banner("Extension: LE 2M PHY", "paper §4.2 constraint / §7 citation [10]")
+    duration = scaled(240)
+    results = run_once(run_all, duration)
+
+    rows = []
+    for phy, (goodput, tree) in results.items():
+        rtts = tree.rtts_s()
+        rows.append(
+            [
+                phy.value,
+                f"{goodput:.0f}",
+                f"{tree.coap_pdr():.4f}",
+                f"{percentile(rtts, 0.5) * 1000:.0f}",
+            ]
+        )
+    print(format_table(
+        ["PHY", "single-link goodput [kbit/s]", "tree CoAP PDR", "tree RTT p50 [ms]"],
+        rows,
+        title="(paper-cited ceiling for 2M + DLE: ~1300 kbit/s)",
+    ))
+
+    g1, tree1 = results[BlePhyMode.LE_1M]
+    g2, tree2 = results[BlePhyMode.LE_2M]
+    assert g2 > 1.5 * g1, "2M must lift single-link goodput substantially"
+    assert g2 < 2.0 * g1, "...but T_IFS overhead keeps it below 2x"
+    assert 1000 <= g2 <= 1600, f"2M goodput {g2:.0f} off the cited ~1300 kbit/s"
+    # the interval, not the PHY, dominates multi-hop latency: halving the
+    # air time moves the median RTT by far less than one connection
+    # interval in either direction (anchor phases shift run-to-run)
+    p50_1m = percentile(tree1.rtts_s(), 0.5)
+    p50_2m = percentile(tree2.rtts_s(), 0.5)
+    assert abs(p50_2m - p50_1m) < 0.075, (
+        "PHY choice must not move multi-hop RTT by a whole interval"
+    )

@@ -1,0 +1,80 @@
+"""Extension bench: dynamic topology formation and healing (paper §9).
+
+The paper's future work asks for BLE topology management coupled with IP
+routing.  This bench measures the repository's dynconn + RPL-lite answer on
+the paper's fleet size:
+
+* formation time from zero configuration to a fully joined 15-node DODAG,
+* CoAP delivery over the self-formed routes (vs. the statically configured
+  tree of Fig. 7),
+* healing time after a mid-tree router loses its uplink.
+"""
+
+from repro.ble.conn import DisconnectReason, Role
+from repro.exp.report import format_table
+from repro.sim.units import SEC
+from repro.testbed.dynamic import DynamicBleNetwork
+from repro.testbed.traffic import Consumer, Producer
+
+from conftest import banner, scaled
+
+
+def run_scenario(traffic_s: float, seed: int = 4):
+    net = DynamicBleNetwork(15, seed=seed)
+    net.start()
+    # formation time
+    while not net.fully_joined() and net.sim.now < 300 * SEC:
+        net.run(net.sim.now + 1 * SEC)
+    formation_s = net.sim.now / SEC
+    assert net.fully_joined(), "the mesh never formed"
+
+    # the paper's workload over self-formed routes
+    Consumer(net.nodes[0])
+    producers = [Producer(n, net.nodes[0].mesh_local) for n in net.nodes[1:]]
+    for producer in producers:
+        producer.start()
+    net.run(net.sim.now + int(traffic_s * SEC))
+    for producer in producers:
+        producer.stop()
+    net.run(net.sim.now + 5 * SEC)
+    pdr = sum(p.acks_received for p in producers) / sum(
+        p.requests_sent for p in producers
+    )
+    depths = [d for d in net.formation_depths() if d]
+
+    # healing after a router failure
+    router = next(
+        d for d in net.dynconns if d.child_count() > 0 and not d.rpl.is_root
+    )
+    uplink = next(
+        conn for conn in router.node.controller.connections
+        if router.node.controller.role_of(conn) is Role.SUBORDINATE
+    )
+    uplink.close(DisconnectReason.SUPERVISION_TIMEOUT)
+    cut_at = net.sim.now
+    while not net.fully_joined() and net.sim.now < cut_at + 600 * SEC:
+        net.run(net.sim.now + 1 * SEC)
+    healing_s = (net.sim.now - cut_at) / SEC
+    assert net.fully_joined(), "the mesh never healed"
+    return formation_s, pdr, max(depths), healing_s, router.node.node_id
+
+
+def test_ext_dynamic_topology(run_once):
+    banner("Extension: dynamic topology formation + healing", "paper §9 future work")
+    traffic_s = scaled(120)
+    formation_s, pdr, max_depth, healing_s, killed = run_once(run_scenario, traffic_s)
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["formation time (15 nodes, zero config)", f"{formation_s:.0f} s"],
+            ["max DODAG depth", max_depth],
+            ["CoAP PDR over self-formed routes", f"{pdr:.4f}"],
+            ["router killed", f"node {killed}"],
+            ["healing time (subtree re-join)", f"{healing_s:.0f} s"],
+        ],
+        title="(no paper baseline: this regenerates the paper's future work)",
+    ))
+    assert formation_s < 120, "formation must complete within two minutes"
+    assert pdr > 0.97, "self-formed routes must carry the paper's workload"
+    assert 2 <= max_depth <= 6, "a 15-node, 3-children mesh is 2-4 deep"
+    assert healing_s < 180, "healing must be fast thanks to DIS solicitation"

@@ -1,0 +1,80 @@
+"""Figure 4: per-connection capacity shrinks with each extra connection.
+
+A node saturates connection C0 while 0, 1, or 2 additional connections are
+open on the same node.  Every additional connection bounds C0's connection
+events (packets may only be exchanged until the next event of any
+co-located connection starts), so C0's goodput must fall monotonically --
+the paper's Figure 4 story, measured instead of illustrated.
+"""
+
+import random
+
+from repro.ble.config import BleConfig, ConnParams
+from repro.ble.conn import Connection
+from repro.ble.controller import BleController
+from repro.exp.report import format_table
+from repro.l2cap import L2capCoc
+from repro.phy.medium import BleMedium, InterferenceModel
+from repro.sim import DriftingClock, Simulator
+from repro.sim.units import MSEC, SEC
+
+from conftest import banner, scaled
+
+
+def goodput_with_connections(n_extra: int, duration_s: float) -> float:
+    """Saturated goodput of C0 [kbit/s] with ``n_extra`` other connections."""
+    sim = Simulator()
+    medium = BleMedium(sim, random.Random(1), InterferenceModel(base_ber=0.0))
+    nodes = [
+        BleController(
+            sim, medium, addr=i, clock=DriftingClock(sim),
+            config=BleConfig(buffer_pool_bytes=40000), rng=random.Random(10 + i),
+        )
+        for i in range(2 + n_extra)
+    ]
+    conn0 = Connection(
+        sim, nodes[0], nodes[1], ConnParams(interval_ns=75 * MSEC),
+        access_address=0xC0C0C0C0, anchor0_true=MSEC,
+    )
+    # extra connections: node0 subordinate, anchors splitting the interval
+    # evenly like Figure 4's illustration (C1 halves C0's budget, C2 cuts it
+    # to a third)
+    spacing = 75 * MSEC // (n_extra + 1) if n_extra else 0
+    for k in range(n_extra):
+        Connection(
+            sim, nodes[2 + k], nodes[0], ConnParams(interval_ns=75 * MSEC),
+            access_address=0xD0D0D0D0 + k,
+            anchor0_true=MSEC + (k + 1) * spacing,
+        )
+    coc = L2capCoc(conn0)
+    received = [0]
+    coc.set_rx_handler(nodes[1], lambda sdu: received.__setitem__(0, received[0] + len(sdu)))
+    end = coc.end_of(nodes[0])
+
+    def refill(tag=None):
+        while len(end.tx_sdus) < 4:
+            coc.send(nodes[0], bytes(1000))
+
+    end.on_sdu_sent = refill
+    refill()
+    sim.run(until=int(duration_s * SEC))
+    return received[0] * 8 / duration_s / 1000
+
+
+def test_fig04_capacity_vs_connection_count(run_once):
+    banner("Figure 4: C0 capacity vs. co-located connection count", "paper §2.3")
+    duration = scaled(20, minimum=5)
+    goodputs = run_once(
+        lambda: [goodput_with_connections(n, duration) for n in (0, 1, 2)]
+    )
+    rows = [
+        [f"C0 alone" if n == 0 else f"C0 + {n} connection(s)", f"{g:.0f}"]
+        for n, g in zip((0, 1, 2), goodputs)
+    ]
+    print(format_table(["scenario", "C0 goodput [kbit/s]"], rows))
+    assert goodputs[0] > goodputs[1] > goodputs[2] > 0, (
+        "each additional connection must cost C0 capacity"
+    )
+    # with anchors 25 ms apart on a 75 ms interval, C0 keeps roughly 1/3 of
+    # its airtime per extra connection boundary -- check the rough factor
+    assert goodputs[1] < 0.75 * goodputs[0]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's moderate-load tree experiment, scaled to 60 s.
+
+Builds the 15-node IPv6-over-BLE tree of Figure 6(b), lets 14 CoAP producers
+send 39-byte requests to the consumer at the root (1 s ±0.5 s apart, §4.3),
+and prints the headline metrics: CoAP packet delivery rate, round-trip-time
+percentiles, link-layer PDR, and any BLE connection losses.
+
+Run with::
+
+    python examples/quickstart.py [duration_seconds]
+"""
+
+import sys
+
+from repro import ExperimentConfig, run_experiment
+from repro.exp.metrics import summarize_rtt
+from repro.exp.report import format_table
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 60.0
+    config = ExperimentConfig(
+        name="quickstart",
+        topology="tree",
+        conn_interval="75",
+        producer_interval_s=1.0,
+        producer_jitter_s=0.5,
+        duration_s=duration,
+        seed=1,
+    )
+    print(f"Running: 15-node tree, 75 ms connection interval, {duration:.0f} s")
+    print(config.to_yaml())
+    result = run_experiment(config)
+
+    rtt = summarize_rtt(result.rtts_s())
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["CoAP requests sent", result.coap_sent()],
+                ["CoAP ACKs received", result.coap_acked()],
+                ["CoAP PDR", f"{result.coap_pdr():.5f}"],
+                ["link-layer PDR", f"{result.link_pdr_overall():.4f}"],
+                ["BLE connection losses", result.num_connection_losses()],
+                ["RTT mean [ms]", f"{rtt['mean'] * 1000:.1f}"],
+                ["RTT p50 [ms]", f"{rtt['p50'] * 1000:.1f}"],
+                ["RTT p99 [ms]", f"{rtt['p99'] * 1000:.1f}"],
+            ],
+            title="\n=== results ===",
+        )
+    )
+    losses = result.connection_losses()
+    if losses:
+        print("\nconnection losses (time, node, peer):")
+        for t, node, peer in losses:
+            print(f"  {t:8.1f}s  node {node} <-> node {peer}")
+    else:
+        print("\nno BLE connection losses during this run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Full reproduction pass: install, test, regenerate every figure/table.
+# REPRO_DURATION_SCALE (default 1.0) trades runtime for fidelity.
+set -e
+cd "$(dirname "$0")/.."
+pip install -e . 2>/dev/null || python setup.py develop
+pytest tests/ 2>&1 | tee test_output.txt
+pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt

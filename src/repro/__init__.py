@@ -1,0 +1,59 @@
+"""repro -- Multi-hop IPv6 over BLE, in simulation.
+
+A from-scratch discrete-event reproduction of *"Mind the Gap: Multi-hop IPv6
+over BLE in the IoT"* (Petersen, Schmidt, Wählisch; CoNEXT '21): the full
+Figure-5 stack -- BLE link layer with connection events and drifting clocks,
+L2CAP credit-based channels, 6LoWPAN/IPHC, IPv6 forwarding, UDP, CoAP, the
+statconn connection manager -- plus the IEEE 802.15.4 comparison stack, the
+energy model, and an experiment framework that regenerates every figure and
+table of the paper's evaluation.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(duration_s=600))
+    print(result.coap_pdr(), result.num_connection_losses())
+
+See ``examples/`` for richer entry points and ``benchmarks/`` for the
+figure-by-figure reproduction harness.
+"""
+
+from repro.core import (
+    Node,
+    RandomWindowIntervalPolicy,
+    Statconn,
+    StatconnConfig,
+    StaticIntervalPolicy,
+)
+from repro.exp import ExperimentConfig, ExperimentResult, run_experiment
+from repro.testbed import (
+    BleNetwork,
+    Consumer,
+    Producer,
+    TrafficConfig,
+    line_topology_edges,
+    star_topology_edges,
+    tree_topology_edges,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Node",
+    "Statconn",
+    "StatconnConfig",
+    "StaticIntervalPolicy",
+    "RandomWindowIntervalPolicy",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "BleNetwork",
+    "Producer",
+    "Consumer",
+    "TrafficConfig",
+    "tree_topology_edges",
+    "line_topology_edges",
+    "star_topology_edges",
+    "__version__",
+]

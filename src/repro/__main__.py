@@ -1,0 +1,5 @@
+"""``python -m repro`` -- see :mod:`repro.exp.cli`."""
+
+from repro.exp.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""BLE link layer (controller) model.
+
+This package reproduces the connection-oriented BLE machinery the paper's
+experiments exercise (§2):
+
+* :mod:`repro.ble.pdu` -- data / advertising PDU structures and header bits,
+* :mod:`repro.ble.chanmap` -- the 37-bit data channel map,
+* :mod:`repro.ble.csa` -- channel selection algorithms #1 and #2,
+* :mod:`repro.ble.sched` -- the per-node radio scheduler that arbitrates
+  overlapping connection events (the mechanism behind *connection shading*),
+* :mod:`repro.ble.conn` -- the connection state machine: connection events,
+  anchor points, SN/NESN acknowledgement, More Data, event abort on CRC
+  error, window widening, supervision timeout,
+* :mod:`repro.ble.adv` -- advertising and scanning, connection establishment,
+* :mod:`repro.ble.llcp` -- the connection parameter update control procedure,
+* :mod:`repro.ble.controller` -- the per-node facade tying it all together
+  (the NimBLE-equivalent of Figure 5).
+"""
+
+from repro.ble.config import BleConfig, ConnParams, SchedulerPolicy
+from repro.ble.chanmap import ChannelMap
+from repro.ble.csa import Csa1, Csa2, ChannelSelection
+from repro.ble.controller import BleController
+from repro.ble.conn import Connection, DisconnectReason, Role
+from repro.ble.afh import AfhManager, AfhConfig
+
+__all__ = [
+    "BleConfig",
+    "ConnParams",
+    "SchedulerPolicy",
+    "ChannelMap",
+    "Csa1",
+    "Csa2",
+    "ChannelSelection",
+    "BleController",
+    "Connection",
+    "DisconnectReason",
+    "Role",
+    "AfhManager",
+    "AfhConfig",
+]

@@ -1,0 +1,57 @@
+"""Byte-budget buffer pool.
+
+NimBLE allocates link-layer and L2CAP buffers from a shared *msys* pool; the
+paper configures it to 6600 bytes (§4.2).  The GNRC packet buffer (6144
+bytes) is modelled by the same class in :mod:`repro.net.pktbuf`'s wrapper.
+When the pool is exhausted, allocation fails and the caller must drop or
+stall -- the mechanism behind the load-induced losses of §5.2.
+"""
+
+from __future__ import annotations
+
+
+class BufferPool:
+    """A counting allocator with a fixed byte budget.
+
+    :param capacity: pool size in bytes.
+    :param name: diagnostic label.
+    """
+
+    def __init__(self, capacity: int, name: str = "pool") -> None:
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.used = 0
+        #: Number of failed allocations (each one is a dropped packet
+        #: somewhere up the stack).
+        self.alloc_failures = 0
+        #: High-water mark for diagnostics.
+        self.peak_used = 0
+
+    def try_alloc(self, nbytes: int) -> bool:
+        """Reserve ``nbytes``; returns False (and counts a failure) if full."""
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if self.used + nbytes > self.capacity:
+            self.alloc_failures += 1
+            return False
+        self.used += nbytes
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+        return True
+
+    def free(self, nbytes: int) -> None:
+        """Release ``nbytes`` back to the pool."""
+        if nbytes < 0:
+            raise ValueError("negative free")
+        if nbytes > self.used:
+            raise RuntimeError(
+                f"{self.name}: freeing {nbytes} bytes but only {self.used} in use"
+            )
+        self.used -= nbytes
+
+    @property
+    def available(self) -> int:
+        """Bytes currently allocatable."""
+        return self.capacity - self.used

@@ -1,0 +1,70 @@
+"""The 37-bit BLE data channel map.
+
+A connection only hops over channels marked *used* in its channel map.  The
+paper statically removes channel 22 on all nodes because an external signal
+permanently jammed it in the testbed (§4.2); :meth:`ChannelMap.excluding`
+reproduces exactly that configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.phy.channels import BLE_NUM_DATA_CHANNELS
+
+
+@dataclass(frozen=True)
+class ChannelMap:
+    """Immutable set of used data channels (indices 0..36).
+
+    The Bluetooth standard requires at least two used channels (a CSA needs
+    something to hop over); we enforce the same.
+    """
+
+    used: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.used) < 2:
+            raise ValueError("a channel map needs at least 2 used channels")
+        if any(not 0 <= c < BLE_NUM_DATA_CHANNELS for c in self.used):
+            raise ValueError(f"data channel index out of range in {self.used}")
+        if list(self.used) != sorted(set(self.used)):
+            raise ValueError("channel map must be sorted and duplicate-free")
+
+    @classmethod
+    def all_channels(cls) -> "ChannelMap":
+        """The default map: all 37 data channels used."""
+        return cls(tuple(range(BLE_NUM_DATA_CHANNELS)))
+
+    @classmethod
+    def excluding(cls, excluded: Iterable[int]) -> "ChannelMap":
+        """All data channels except ``excluded`` (e.g. the jammed channel 22)."""
+        banned = set(excluded)
+        return cls(tuple(c for c in range(BLE_NUM_DATA_CHANNELS) if c not in banned))
+
+    @property
+    def num_used(self) -> int:
+        """Number of used channels."""
+        return len(self.used)
+
+    def is_used(self, channel: int) -> bool:
+        """Whether ``channel`` is marked used."""
+        return channel in self.used
+
+    def remap(self, remapping_index: int) -> int:
+        """Map a remapping index onto the sorted used-channel table."""
+        return self.used[remapping_index % self.num_used]
+
+    def to_bitmask(self) -> int:
+        """The 37-bit on-air representation (bit i set = channel i used)."""
+        mask = 0
+        for c in self.used:
+            mask |= 1 << c
+        return mask
+
+    @classmethod
+    def from_bitmask(cls, mask: int) -> "ChannelMap":
+        """Parse the 37-bit on-air representation."""
+        used = tuple(c for c in range(BLE_NUM_DATA_CHANNELS) if mask & (1 << c))
+        return cls(used)

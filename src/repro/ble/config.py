@@ -1,0 +1,121 @@
+"""Configuration objects for the BLE controller model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ble.chanmap import ChannelMap
+from repro.phy.frames import BlePhyMode
+from repro.sim.units import MSEC, USEC
+
+
+class SchedulerPolicy(enum.Enum):
+    """How a controller arbitrates overlapping radio demands (§6.1).
+
+    The Bluetooth standard leaves this to implementers.  The paper describes
+    the two observable outcomes when connection events of two connections
+    overlap:
+
+    * ``EARLIEST_WINS`` -- the event whose anchor comes first runs to (at
+      least) one full packet exchange; the later event is skipped entirely.
+      With identical connection intervals and slow relative clock drift the
+      same connection loses every time, starving it until the supervision
+      timeout kills it (paper choice (i): random connection losses).
+    * ``ALTERNATE`` -- the controller grants the radio to whichever
+      connection has been skipped more often, so overlapping connections
+      alternate; each one transfers at every second event, halving its link
+      capacity (paper choice (ii): the ~50 % link PDR plateau of Fig. 12).
+    """
+
+    EARLIEST_WINS = "earliest-wins"
+    ALTERNATE = "alternate"
+
+
+class CsaVariant(enum.Enum):
+    """Which channel selection algorithm a connection uses."""
+
+    CSA1 = "csa1"
+    CSA2 = "csa2"
+
+
+#: The connection interval quantum: all intervals are multiples of 1.25 ms.
+CONN_INTERVAL_UNIT_NS: int = 1_250_000
+#: Smallest interval the standard allows (7.5 ms), used by §6.2's worst case.
+CONN_INTERVAL_MIN_NS: int = 6 * CONN_INTERVAL_UNIT_NS
+#: Largest interval the standard allows (4.0 s).
+CONN_INTERVAL_MAX_NS: int = 3200 * CONN_INTERVAL_UNIT_NS
+
+
+def quantize_interval_ns(interval_ns: int) -> int:
+    """Clamp and round an interval to the standard's 1.25 ms grid."""
+    units = max(1, round(interval_ns / CONN_INTERVAL_UNIT_NS))
+    quantized = units * CONN_INTERVAL_UNIT_NS
+    return min(max(quantized, CONN_INTERVAL_MIN_NS), CONN_INTERVAL_MAX_NS)
+
+
+@dataclass(frozen=True)
+class ConnParams:
+    """Per-connection timing parameters, dictated by the coordinator (§2.2).
+
+    :param interval_ns: nominal connection interval (local clock units; both
+        peers count it on their own drifting clocks -- the root cause of
+        connection shading).
+    :param latency: subordinate latency, the number of connection events the
+        subordinate may skip when it has nothing to send.
+    :param supervision_timeout_ns: declare the connection lost when no valid
+        packet arrives for this long.  ``None`` derives the RIOT/statconn
+        style default ``max(6 * interval, 100 ms)``.
+    """
+
+    interval_ns: int = 75 * MSEC
+    latency: int = 0
+    supervision_timeout_ns: Optional[int] = None
+
+    def effective_supervision_timeout_ns(self) -> int:
+        """Resolve the supervision timeout default."""
+        if self.supervision_timeout_ns is not None:
+            return self.supervision_timeout_ns
+        return max(6 * self.interval_ns * (self.latency + 1), 100 * MSEC)
+
+
+@dataclass
+class BleConfig:
+    """Node-level controller configuration (NimBLE-equivalent knobs, §4.2).
+
+    :param phy: PHY mode; the paper uses LE 1M throughout.
+    :param scheduler_policy: overlap arbitration, see :class:`SchedulerPolicy`.
+    :param csa: channel selection algorithm variant.
+    :param chan_map: data channels this node uses (paper: all but 22).
+    :param declared_sca_ppm: sleep clock accuracy *declared* to peers; window
+        widening grows at the sum of both peers' declared SCA.
+    :param window_widening_base_ns: constant term of the receive window.
+    :param max_event_len_ns: hard cap of a single connection event; 0 means
+        "until the next radio demand" (NimBLE behaviour with one connection).
+    :param buffer_pool_bytes: LL/L2CAP transmit buffer pool (NimBLE msys was
+        configured to 6600 bytes in the paper).
+    :param max_ll_payload: LL data payload cap; 251 with the data length
+        extension enabled (the paper's default), 27 without.
+    :param adv_interval_ns: advertising interval of the statconn subordinate
+      role (90 ms in the paper).
+    :param scan_interval_ns / scan_window_ns: statconn coordinator role scan
+      timing (100 ms / 100 ms in the paper == continuous scanning).
+    """
+
+    phy: BlePhyMode = BlePhyMode.LE_1M
+    scheduler_policy: SchedulerPolicy = SchedulerPolicy.EARLIEST_WINS
+    csa: CsaVariant = CsaVariant.CSA2
+    chan_map: ChannelMap = field(default_factory=ChannelMap.all_channels)
+    declared_sca_ppm: float = 50.0
+    window_widening_base_ns: int = 32 * USEC
+    max_event_len_ns: int = 0
+    buffer_pool_bytes: int = 6600
+    max_ll_payload: int = 251
+    adv_interval_ns: int = 90 * MSEC
+    scan_interval_ns: int = 100 * MSEC
+    scan_window_ns: int = 100 * MSEC
+    #: BT 5.2 Vol 6 Part B §4.5.6: a CRC error closes the connection event
+    #: even when packets still wait -- the mechanism behind the burst
+    #: collapse of §5.2 (Fig. 9b).  Disable for the ablation bench only.
+    abort_event_on_crc_error: bool = True

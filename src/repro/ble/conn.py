@@ -1,0 +1,679 @@
+"""The BLE connection state machine.
+
+One :class:`Connection` object models both endpoints of a link (coordinator
+and subordinate) and executes each *connection event* as a single composite
+transaction at the coordinator's anchor point.  Within the transaction the
+full packet flow of Figure 3 is played out -- coordinator TX, T_IFS,
+subordinate TX, repeat while More Data is signalled and the time budget
+allows -- with per-packet loss sampled from the medium and exact SN/NESN
+acknowledgement bookkeeping.
+
+Everything the paper blames for its observations is here:
+
+* anchors advance on the **coordinator's drifting clock** while the
+  subordinate predicts them on **its own clock** (window widening, §6.1);
+* each endpoint's node has a **single radio**, so overlapping events of
+  co-located connections are skipped or alternated per the scheduler
+  policy (connection shading);
+* a **CRC error closes the event** even when packets are still queued
+  (the burst-collapse of §5.2);
+* no valid packet for *supervision timeout* kills the connection (the
+  random connection losses of §5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+from repro.ble.chanmap import ChannelMap
+from repro.ble.config import BleConfig, ConnParams, CsaVariant, SchedulerPolicy
+from repro.ble.csa import Csa1, Csa2, ChannelSelection
+from repro.ble.pdu import DataPdu, Llid
+from repro.phy.frames import T_IFS_NS, ble_air_time_ns
+from repro.sim.kernel import Simulator, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.ble.controller import BleController
+
+
+class Role(enum.Enum):
+    """Connection role of one endpoint (§2.1)."""
+
+    COORDINATOR = "coordinator"
+    SUBORDINATE = "subordinate"
+
+
+class DisconnectReason(enum.Enum):
+    """Why a connection ended."""
+
+    SUPERVISION_TIMEOUT = "supervision-timeout"
+    LOCAL_CLOSE = "local-close"
+    #: §6.3: the subordinate closes a fresh connection whose interval
+    #: collides with one of its existing connections.
+    INTERVAL_COLLISION = "interval-collision"
+
+
+#: Duration of one minimal (empty <-> empty) packet exchange at LE 1M:
+#: 80 us + T_IFS + 80 us.
+MIN_EXCHANGE_NS: int = ble_air_time_ns(0) + T_IFS_NS + ble_air_time_ns(0)
+
+
+@dataclass
+class LinkStats:
+    """Per-endpoint link-layer counters (inputs to the paper's LL PDR)."""
+
+    #: Data PDU transmission attempts (retransmissions count again).
+    tx_data_attempts: int = 0
+    #: Data PDUs acknowledged by the peer (delivered exactly once).
+    tx_data_acked: int = 0
+    #: Unique data PDUs received (duplicates excluded).
+    rx_data_unique: int = 0
+    #: Duplicate data PDUs received (retransmissions of delivered PDUs).
+    rx_data_dup: int = 0
+    #: Empty PDUs transmitted.
+    tx_empty: int = 0
+    #: Connection events in which this endpoint exchanged >= 1 valid packet.
+    events_active: int = 0
+    #: Events this endpoint skipped because its radio was claimed elsewhere.
+    events_skipped_radio: int = 0
+    #: Events this endpoint voluntarily skipped (ALTERNATE policy yield).
+    events_skipped_policy: int = 0
+    #: Events where the subordinate's window missed the coordinator's TX.
+    events_missed_window: int = 0
+    #: Events aborted early by a CRC error (packet loss on air).
+    events_crc_abort: int = 0
+    #: Per-channel (attempts, acked) for this endpoint's transmissions.
+    per_channel: List[List[int]] = field(
+        default_factory=lambda: [[0, 0] for _ in range(37)]
+    )
+    #: Per-channel (events run, events CRC-aborted) -- the AFH manager's
+    #: input (kept on the coordinator endpoint only).
+    per_channel_events: List[List[int]] = field(
+        default_factory=lambda: [[0, 0] for _ in range(37)]
+    )
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """(tx_attempts, tx_acked, rx_unique, events_active) for sampling."""
+        return (
+            self.tx_data_attempts,
+            self.tx_data_acked,
+            self.rx_data_unique,
+            self.events_active,
+        )
+
+
+class Endpoint:
+    """One side of a connection: queues, sequence bits, timers, stats."""
+
+    def __init__(self, conn: "Connection", controller: "BleController", role: Role):
+        self.conn = conn
+        self.controller = controller
+        self.role = role
+        self.tx_queue: Deque[DataPdu] = deque()
+        self.tx_queue_bytes = 0
+        self.sn = 0
+        self.nesn = 0
+        #: The PDU pinned in flight (queue head or an empty); it keeps its
+        #: sequence number until acknowledged, so a lost acknowledgement
+        #: triggers a retransmission of the *same* PDU -- even an empty one,
+        #: which consumes a sequence number like any data PDU.
+        self._outstanding: Optional[DataPdu] = None
+        #: True time of the last CRC-valid packet received (supervision basis).
+        self.last_rx_valid = 0
+        self.stats = LinkStats()
+        #: Upper-layer receive hook, set by L2CAP: ``on_rx_pdu(pdu)``.
+        self.on_rx_pdu: Optional[Callable[[DataPdu], None]] = None
+        #: Upper-layer ack hook: ``on_pdu_acked(pdu)``.
+        self.on_pdu_acked: Optional[Callable[[DataPdu], None]] = None
+
+    @property
+    def has_data(self) -> bool:
+        """Whether this endpoint has PDUs waiting (drives the MD flag)."""
+        return bool(self.tx_queue)
+
+    def enqueue(self, pdu: DataPdu) -> bool:
+        """Queue a PDU for transfer, charging the controller's buffer pool.
+
+        :returns: False when the pool is exhausted (caller must back off).
+        """
+        if not self.controller.buffer_pool.try_alloc(len(pdu.payload)):
+            return False
+        self.tx_queue.append(pdu)
+        self.tx_queue_bytes += len(pdu.payload)
+        return True
+
+    def next_tx_len(self) -> int:
+        """Payload length of the PDU the next ``build_tx_pdu`` would send."""
+        if self._outstanding is not None:
+            return len(self._outstanding.payload)
+        return len(self.tx_queue[0].payload) if self.tx_queue else 0
+
+    def build_tx_pdu(self, max_payload: int = 251) -> DataPdu:
+        """Stamp and return the next PDU to transmit.
+
+        The outstanding PDU (queue head or an empty) is *not* released: it
+        stays pinned with its sequence number until the peer acknowledges it
+        via NESN, which makes loss-triggered retransmission automatic
+        (§2.2's 1-bit piggybacked ack).  Empty PDUs consume sequence numbers
+        exactly like data PDUs, so an unacknowledged empty is retransmitted
+        before any newly queued data may use its sequence number.
+
+        :param max_payload: the largest payload that still fits before the
+            node's next scheduled radio activity.  Fresh data larger than
+            this is deferred (an empty PDU is pinned instead), mirroring how
+            a controller avoids starting a packet it cannot finish -- the
+            Figure 4 capacity truncation.  A PDU that already went on air is
+            exempt: a retransmission must repeat the original PDU.
+        """
+        pdu = self._outstanding
+        if pdu is None:
+            if self.tx_queue and len(self.tx_queue[0].payload) <= max_payload:
+                pdu = self.tx_queue[0]
+            else:
+                pdu = DataPdu(payload=b"", llid=Llid.DATA_CONT)
+            pdu.sn = self.sn
+            self._outstanding = pdu
+        pdu.nesn = self.nesn
+        pdu.md = len(self.tx_queue) > (1 if pdu.payload else 0)
+        if pdu.payload:
+            self.stats.tx_data_attempts += 1
+        else:
+            self.stats.tx_empty += 1
+        return pdu
+
+    def process_rx(self, pdu: DataPdu, now_ns: int, channel: int) -> None:
+        """Handle one CRC-valid received packet (ack + accept logic)."""
+        self.last_rx_valid = now_ns
+        # Acknowledgement: the peer advanced its NESN past our SN.
+        if pdu.nesn != self.sn:
+            self.sn ^= 1
+            outstanding = self._outstanding
+            self._outstanding = None
+            if outstanding is not None and outstanding.payload:
+                done = self.tx_queue.popleft()
+                assert done is outstanding, "acked PDU must be the queue head"
+                self.tx_queue_bytes -= len(done.payload)
+                self.controller.buffer_pool.free(len(done.payload))
+                self.stats.tx_data_acked += 1
+                self.stats.per_channel[channel][1] += 1
+                if self.on_pdu_acked is not None:
+                    self.on_pdu_acked(done)
+        # Acceptance: new sequence number means new data.
+        if pdu.sn == self.nesn:
+            self.nesn ^= 1
+            if not pdu.is_empty:
+                self.stats.rx_data_unique += 1
+                if pdu.llid is Llid.CTRL:
+                    self.conn._handle_ctrl(self, pdu)
+                elif self.on_rx_pdu is not None:
+                    self.on_rx_pdu(pdu)
+        elif not pdu.is_empty:
+            self.stats.rx_data_dup += 1
+
+    def drain_queue(self) -> None:
+        """Free all queued PDUs (connection teardown)."""
+        while self.tx_queue:
+            pdu = self.tx_queue.popleft()
+            self.controller.buffer_pool.free(len(pdu.payload))
+        self.tx_queue_bytes = 0
+        self._outstanding = None
+
+
+class _ConnActivity:
+    """Scheduler-facing adapter: one per (connection, node) pair."""
+
+    __slots__ = ("conn", "role", "consec_skips")
+
+    def __init__(self, conn: "Connection", role: Role):
+        self.conn = conn
+        self.role = role
+        self.consec_skips = 0
+
+    def next_radio_time(self, after_ns: int) -> Optional[int]:
+        return self.conn._next_radio_time(self.role, after_ns)
+
+
+class Connection:
+    """A live BLE connection between two controllers.
+
+    :param sim: simulation kernel.
+    :param coordinator: controller in the coordinator role.
+    :param subordinate: controller in the subordinate role.
+    :param params: timing parameters chosen by the coordinator.
+    :param access_address: 32-bit access address (seeds CSA#2).
+    :param anchor0_true: true time of the first connection event.
+    :param hop_increment: CSA#1 hop (ignored for CSA#2).
+    """
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        coordinator: "BleController",
+        subordinate: "BleController",
+        params: ConnParams,
+        access_address: int,
+        anchor0_true: int,
+        hop_increment: int = 7,
+    ) -> None:
+        if coordinator is subordinate:
+            raise ValueError("a connection needs two distinct nodes")
+        self.sim = sim
+        self.conn_id = Connection._next_id
+        Connection._next_id += 1
+        self.params = params
+        self.access_address = access_address
+        self.medium = coordinator.medium
+        # The coordinator dictates the hopping parameters (§2.2) and the
+        # PHY mode (LE 1M in the paper; LE 2M as an extension -- both peers
+        # must support it, which the simulated radios do).
+        self.phy = coordinator.config.phy
+        self.chan_map: ChannelMap = coordinator.config.chan_map
+        self.csa: ChannelSelection
+        if coordinator.config.csa is CsaVariant.CSA2:
+            self.csa = Csa2(access_address)
+        else:
+            self.csa = Csa1(hop_increment)
+
+        self.coord = Endpoint(self, coordinator, Role.COORDINATOR)
+        self.sub = Endpoint(self, subordinate, Role.SUBORDINATE)
+        self._coord_activity = _ConnActivity(self, Role.COORDINATOR)
+        self._sub_activity = _ConnActivity(self, Role.SUBORDINATE)
+
+        self.event_counter = 0
+        self.anchor_true = anchor0_true
+        # Subordinate sync state: CONNECT_IND hands the sub exact timing, so
+        # it is "synced" to the first anchor by definition.
+        self._sync_true = anchor0_true
+        self._sync_counter = 0
+        self._sub_latency_credit = 0
+        self._pending_params: Optional[ConnParams] = None
+        self._pending_chan_map: Optional[ChannelMap] = None
+        self.open = True
+        self._timer: Optional[Timer] = None
+        #: Called once on teardown: ``on_closed(conn, reason)``.
+        self.on_closed: Optional[Callable[["Connection", DisconnectReason], None]] = None
+
+        coordinator.attach_connection(self, self._coord_activity)
+        subordinate.attach_connection(self, self._sub_activity)
+        self._timer = sim.at(anchor0_true, self._run_event)
+        self.coord.last_rx_valid = anchor0_true
+        self.sub.last_rx_valid = anchor0_true
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def interval_ns(self) -> int:
+        """Nominal connection interval (local clock nanoseconds)."""
+        return self.params.interval_ns
+
+    def endpoint_of(self, controller: "BleController") -> Endpoint:
+        """The endpoint owned by ``controller``."""
+        if controller is self.coord.controller:
+            return self.coord
+        if controller is self.sub.controller:
+            return self.sub
+        raise ValueError(f"{controller} is not part of this connection")
+
+    def peer_of(self, controller: "BleController") -> "BleController":
+        """The other node of the link."""
+        self.endpoint_of(controller)  # membership check
+        return (
+            self.sub.controller
+            if controller is self.coord.controller
+            else self.coord.controller
+        )
+
+    def send(
+        self,
+        controller: "BleController",
+        payload: bytes,
+        llid: Llid = Llid.DATA_START,
+        tag: Optional[object] = None,
+    ) -> bool:
+        """Queue ``payload`` as one LL data PDU from ``controller``'s side.
+
+        :returns: False when the node's buffer pool is exhausted.
+        """
+        if not self.open:
+            return False
+        max_payload = controller.config.max_ll_payload
+        if len(payload) > max_payload:
+            raise ValueError(
+                f"LL payload {len(payload)} exceeds max {max_payload}; "
+                "segment at L2CAP"
+            )
+        return self.endpoint_of(controller).enqueue(
+            DataPdu(payload=payload, llid=llid, tag=tag)
+        )
+
+    def close(self, reason: DisconnectReason = DisconnectReason.LOCAL_CLOSE) -> None:
+        """Tear the connection down on both ends."""
+        if not self.open:
+            return
+        self.open = False
+        if self._timer is not None:
+            self._timer.cancel()
+        self.coord.drain_queue()
+        self.sub.drain_queue()
+        self.coord.controller.detach_connection(self, self._coord_activity)
+        self.sub.controller.detach_connection(self, self._sub_activity)
+        self.coord.controller.notify_closed(self, reason)
+        self.sub.controller.notify_closed(self, reason)
+        if self.on_closed is not None:
+            self.on_closed(self, reason)
+
+    def request_param_update(self, new_params: ConnParams) -> None:
+        """LL control procedure: update timing parameters in flight (§2.2).
+
+        Modelled as a control PDU from the coordinator; the new parameters
+        apply at the first event boundary after the PDU is acknowledged.
+        """
+        pdu = DataPdu(
+            payload=b"\x00" * 12,  # CONNECTION_UPDATE_IND is 12 bytes
+            llid=Llid.CTRL,
+            tag=("conn-param-update", new_params),
+        )
+        if not self.coord.enqueue(pdu):
+            raise RuntimeError("buffer pool exhausted for control PDU")
+
+    def request_chan_map_update(self, new_map: ChannelMap) -> None:
+        """LL control procedure: restrict the data channels in flight."""
+        pdu = DataPdu(
+            payload=b"\x00" * 8,  # CHANNEL_MAP_IND is 8 bytes
+            llid=Llid.CTRL,
+            tag=("chan-map-update", new_map),
+        )
+        if not self.coord.enqueue(pdu):
+            raise RuntimeError("buffer pool exhausted for control PDU")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _handle_ctrl(self, receiver: Endpoint, pdu: DataPdu) -> None:
+        """Apply a received LL control PDU at the next event boundary."""
+        if not isinstance(pdu.tag, tuple):
+            return
+        kind, arg = pdu.tag
+        if kind == "conn-param-update":
+            self._pending_params = arg
+        elif kind == "chan-map-update":
+            self._pending_chan_map = arg
+
+    def _interval_true_coord(self) -> int:
+        """One interval as counted by the coordinator's clock, in true ns."""
+        return self.coord.controller.clock.local_duration_to_true(
+            self.params.interval_ns
+        )
+
+    def _next_radio_time(self, role: Role, after_ns: int) -> Optional[int]:
+        """Scheduler callback: when does this connection need the radio next."""
+        if not self.open:
+            return None
+        anchor = self.anchor_true
+        if anchor <= after_ns:
+            interval = self._interval_true_coord()
+            periods = (after_ns - anchor) // interval + 1
+            anchor += periods * interval
+        if role is Role.SUBORDINATE:
+            # The subordinate opens its window early; approximating with the
+            # current widening is enough for budget queries.
+            anchor -= self._window_widening(anchor)
+        return anchor
+
+    def _sub_predicted_anchor(self) -> int:
+        """Where the subordinate's clock believes the current anchor lies."""
+        sub_clock = self.sub.controller.clock
+        elapsed_events = self.event_counter - self._sync_counter
+        sync_local = sub_clock.to_local(self._sync_true)
+        pred_local = sync_local + elapsed_events * self.params.interval_ns
+        return sub_clock.to_true(pred_local)
+
+    def _window_widening(self, pred_true: int) -> int:
+        """Receive window half-width around the predicted anchor (§6.1)."""
+        cfg_c = self.coord.controller.config
+        cfg_s = self.sub.controller.config
+        sca_sum_ppm = cfg_c.declared_sca_ppm + cfg_s.declared_sca_ppm
+        dt = max(0, pred_true - self._sync_true)
+        return cfg_s.window_widening_base_ns + int(dt * sca_sum_ppm * 1e-6)
+
+    def _policy_yield(
+        self, controller: "BleController", activity: _ConnActivity, t0: int
+    ) -> bool:
+        """ALTERNATE policy: yield to a more-starved co-located activity."""
+        if controller.config.scheduler_policy is not SchedulerPolicy.ALTERNATE:
+            return False
+        demand_t, demand_a = controller.scheduler.next_demand_after(
+            t0, exclude=activity
+        )
+        if demand_t is None or demand_a is None:
+            return False
+        return (
+            demand_t <= t0 + MIN_EXCHANGE_NS
+            and demand_a.consec_skips > activity.consec_skips
+        )
+
+    def _event_budget_end(
+        self,
+        controller: "BleController",
+        activity: _ConnActivity,
+        t0: int,
+        interval_true: int,
+    ) -> int:
+        """Latest time this event may occupy ``controller``'s radio."""
+        end = t0 + interval_true - T_IFS_NS
+        demand_t, _ = controller.scheduler.next_demand_after(t0, exclude=activity)
+        if demand_t is not None:
+            end = min(end, demand_t - T_IFS_NS)
+        max_len = controller.config.max_event_len_ns
+        if max_len > 0:
+            end = min(end, t0 + max_len)
+        return end
+
+    def _run_event(self) -> None:
+        """Execute one connection event (the composite transaction)."""
+        if not self.open:
+            return
+        sim = self.sim
+        t0 = self.anchor_true
+        coord_ctrl = self.coord.controller
+        sub_ctrl = self.sub.controller
+        interval_true = self._interval_true_coord()
+
+        channel = self.csa.channel_for_event(self.event_counter & 0xFFFF, self.chan_map)
+
+        # --- subordinate's view: does its window catch the anchor? ---------
+        pred = self._sub_predicted_anchor()
+        widening = self._window_widening(pred)
+        window_hit = pred - widening <= t0 <= pred + widening
+
+        # --- subordinate latency: may it sleep through this event? ---------
+        latency_skip = False
+        if self.params.latency > 0 and not self.sub.has_data:
+            if self._sub_latency_credit > 0:
+                self._sub_latency_credit -= 1
+                latency_skip = True
+            else:
+                self._sub_latency_credit = self.params.latency
+
+        # --- radio arbitration on both nodes --------------------------------
+        coord_free = coord_ctrl.scheduler.is_free(t0)
+        sub_free = sub_ctrl.scheduler.is_free(t0)
+        coord_yield = coord_free and self._policy_yield(
+            coord_ctrl, self._coord_activity, t0
+        )
+        sub_yield = sub_free and self._policy_yield(sub_ctrl, self._sub_activity, t0)
+
+        coord_runs = coord_free and not coord_yield
+        sub_listens = (
+            sub_free and not sub_yield and window_hit and not latency_skip
+        )
+
+        if not coord_free:
+            self.coord.stats.events_skipped_radio += 1
+            coord_ctrl.scheduler.deny(self._coord_activity)
+        elif coord_yield:
+            self.coord.stats.events_skipped_policy += 1
+            coord_ctrl.scheduler.deny(self._coord_activity)
+        if not sub_free:
+            self.sub.stats.events_skipped_radio += 1
+            sub_ctrl.scheduler.deny(self._sub_activity)
+        elif sub_yield:
+            self.sub.stats.events_skipped_policy += 1
+            sub_ctrl.scheduler.deny(self._sub_activity)
+        elif not window_hit:
+            self.sub.stats.events_missed_window += 1
+
+        if coord_runs and sub_listens:
+            end = self._exchange_loop(t0, channel, interval_true)
+            coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
+            sub_ctrl.scheduler.claim(self._sub_activity, t0, end)
+            coord_ctrl.note_conn_event(Role.COORDINATOR, end - t0)
+            sub_ctrl.note_conn_event(Role.SUBORDINATE, end - t0)
+        elif coord_runs:
+            # TX into the void: one unanswered packet, then the event closes.
+            pdu = self.coord.build_tx_pdu()
+            dur = ble_air_time_ns(len(pdu.payload), self.phy)
+            if not pdu.is_empty:
+                self.coord.stats.per_channel[channel][0] += 1
+            end = t0 + dur + T_IFS_NS + ble_air_time_ns(0, self.phy)
+            coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
+            coord_ctrl.note_conn_event(Role.COORDINATOR, end - t0)
+        elif sub_listens:
+            # Subordinate listens but the coordinator never transmits.
+            listen_end = min(pred + widening, t0 + interval_true // 2)
+            sub_ctrl.scheduler.claim(self._sub_activity, t0, max(t0, listen_end))
+            sub_ctrl.note_conn_event(Role.SUBORDINATE, max(0, listen_end - t0))
+
+        if not self.open:
+            return  # torn down by a control procedure during the event
+
+        # --- supervision timeout (both sides judge independently) ----------
+        timeout = self.params.effective_supervision_timeout_ns()
+        now = sim.now if sim.now > t0 else t0
+        if (
+            now - self.coord.last_rx_valid >= timeout
+            or now - self.sub.last_rx_valid >= timeout
+        ):
+            self.close(DisconnectReason.SUPERVISION_TIMEOUT)
+            return
+
+        # --- apply pending control procedures at the event boundary --------
+        if self._pending_chan_map is not None:
+            self.chan_map = self._pending_chan_map
+            self._pending_chan_map = None
+        if self._pending_params is not None:
+            self.params = self._pending_params
+            self._pending_params = None
+            interval_true = self._interval_true_coord()
+            # Parameter updates re-anchor the link: both sides agree on the
+            # instant, so the subordinate is synced by definition.
+            self._sync_true = t0 + interval_true
+            self._sync_counter = self.event_counter + 1
+
+        # --- schedule the next event ----------------------------------------
+        self.event_counter += 1
+        self.anchor_true = t0 + interval_true
+        self._timer = sim.at(self.anchor_true, self._run_event)
+
+    def _exchange_loop(self, t0: int, channel: int, interval_true: int) -> int:
+        """Play out the packet exchanges of one event; returns its end time.
+
+        Follows Figure 3: the coordinator opens every exchange; the
+        subordinate answers one T_IFS later; a CRC error on either side
+        closes the event immediately (BT 5.2 Vol 6 Part B §4.5.6).
+        """
+        coord, sub = self.coord, self.sub
+        budget_end = min(
+            self._event_budget_end(
+                coord.controller, self._coord_activity, t0, interval_true
+            ),
+            self._event_budget_end(
+                sub.controller, self._sub_activity, t0, interval_true
+            ),
+        )
+        medium = self.medium
+        t = t0
+        first = True
+        coord_active = False
+        sub_active = False
+        lost_c = lost_s = False
+        while True:
+            # The first exchange always runs in full: the coordinator opens
+            # the event and a started packet completes even when it overruns
+            # a co-located connection's anchor (that connection's event is
+            # then skipped -- the load-induced starvation behind §5.2's
+            # connection drops and "beneficial reconnects").  Additional
+            # exchanges are only *started* while they fit the budget (the
+            # `needed` check below).
+            pdu_c = coord.build_tx_pdu()
+            if not pdu_c.is_empty:
+                coord.stats.per_channel[channel][0] += 1
+            dur_c = ble_air_time_ns(len(pdu_c.payload), self.phy)
+            lost_c = medium.packet_lost(channel, len(pdu_c.payload) + 10)
+            t += dur_c
+            if lost_c:
+                coord.stats.events_crc_abort += 1
+                if coord.controller.config.abort_event_on_crc_error:
+                    break
+                # ablation: keep the event open and retry after one IFS
+                if t + T_IFS_NS + MIN_EXCHANGE_NS > budget_end:
+                    break
+                t += T_IFS_NS
+                continue
+            if first:
+                self._resync_sub(t0)
+            sub.process_rx(pdu_c, t, channel)
+            sub_active = True
+
+            t += T_IFS_NS
+            pdu_s = sub.build_tx_pdu()
+            if not pdu_s.is_empty:
+                sub.stats.per_channel[channel][0] += 1
+            dur_s = ble_air_time_ns(len(pdu_s.payload), self.phy)
+            lost_s = medium.packet_lost(channel, len(pdu_s.payload) + 10)
+            t += dur_s
+            if lost_s:
+                sub.stats.events_crc_abort += 1
+                if coord.controller.config.abort_event_on_crc_error:
+                    break
+                if t + T_IFS_NS + MIN_EXCHANGE_NS > budget_end:
+                    break
+                t += T_IFS_NS
+                continue
+            coord.process_rx(pdu_s, t, channel)
+            coord_active = True
+            first = False
+
+            if not (coord.has_data or sub.has_data):
+                break
+            needed = (
+                T_IFS_NS
+                + ble_air_time_ns(coord.next_tx_len(), self.phy)
+                + T_IFS_NS
+                + ble_air_time_ns(sub.next_tx_len(), self.phy)
+            )
+            if t + needed > budget_end:
+                break
+            t += T_IFS_NS
+        if coord_active:
+            coord.stats.events_active += 1
+        if sub_active:
+            sub.stats.events_active += 1
+        event_row = coord.stats.per_channel_events[channel]
+        event_row[0] += 1
+        if lost_c or lost_s:
+            event_row[1] += 1
+        return t
+
+    def _resync_sub(self, anchor_true: int) -> None:
+        """The subordinate locks onto the coordinator's anchor (first RX)."""
+        self._sync_true = anchor_true
+        self._sync_counter = self.event_counter

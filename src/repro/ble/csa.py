@@ -1,0 +1,111 @@
+"""BLE channel selection algorithms (BT 5.2 Vol 6 Part B §4.5.8).
+
+Connections hop to a new data channel for every connection event (§2.2 of
+the paper).  Two algorithms exist:
+
+* **CSA#1** -- a simple modular hop: the unmapped channel advances by a
+  per-connection *hop increment* (5..16) modulo 37 each event; unused
+  channels are remapped onto the used-channel table.
+* **CSA#2** -- a 16-bit permutation/multiply-add PRNG seeded by the access
+  address, giving a pseudo-random sequence that decorrelates neighbouring
+  events.
+
+Both remap channels excluded by the channel map, which is how the paper's
+nodes avoid the permanently jammed channel 22 (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.ble.chanmap import ChannelMap
+
+
+class ChannelSelection(Protocol):
+    """Common interface of the two channel selection algorithms."""
+
+    def channel_for_event(self, event_counter: int, chan_map: ChannelMap) -> int:
+        """Data channel index for connection event ``event_counter``.
+
+        CSA#1 is stateful: callers must ask for consecutive event counters.
+        CSA#2 is a pure function of the counter.
+        """
+        ...
+
+
+class Csa1:
+    """Channel Selection Algorithm #1.
+
+    :param hop_increment: per-connection hop (5..16), set in CONNECT_IND.
+    """
+
+    def __init__(self, hop_increment: int) -> None:
+        if not 5 <= hop_increment <= 16:
+            raise ValueError(f"hop increment must be in 5..16, got {hop_increment}")
+        self.hop_increment = hop_increment
+        self._last_unmapped = 0
+        self._last_counter: int | None = None
+
+    def channel_for_event(self, event_counter: int, chan_map: ChannelMap) -> int:
+        """Advance the hop state and return the event's data channel."""
+        if self._last_counter is not None and event_counter <= self._last_counter:
+            raise ValueError("CSA#1 event counters must be strictly increasing")
+        steps = (
+            1
+            if self._last_counter is None
+            else event_counter - self._last_counter
+        )
+        unmapped = self._last_unmapped
+        for _ in range(steps):
+            unmapped = (unmapped + self.hop_increment) % 37
+        self._last_unmapped = unmapped
+        self._last_counter = event_counter
+        if chan_map.is_used(unmapped):
+            return unmapped
+        return chan_map.remap(unmapped % chan_map.num_used)
+
+
+# PERM runs once per connection event; table-driven byte reversal keeps it
+# off the profile.
+_REVERSED_BYTE = tuple(int(f"{b:08b}"[::-1], 2) for b in range(256))
+
+
+def _perm(value: int) -> int:
+    """CSA#2 PERM operation: reverse the bit order within each byte."""
+    return _REVERSED_BYTE[value & 0xFF] | (_REVERSED_BYTE[(value >> 8) & 0xFF] << 8)
+
+
+def _mam(a: int, b: int) -> int:
+    """CSA#2 MAM operation: multiply (by 17), add, mod 2^16."""
+    return (a * 17 + b) & 0xFFFF
+
+
+class Csa2:
+    """Channel Selection Algorithm #2.
+
+    :param access_address: the 32-bit connection access address; the channel
+        identifier is ``(AA >> 16) XOR (AA & 0xFFFF)``.
+    """
+
+    def __init__(self, access_address: int) -> None:
+        if not 0 <= access_address <= 0xFFFFFFFF:
+            raise ValueError("access address must be a 32-bit value")
+        self.access_address = access_address
+        self.channel_identifier = ((access_address >> 16) ^ access_address) & 0xFFFF
+
+    def _prn_e(self, event_counter: int) -> int:
+        """Pseudo-random number for one event (spec Figure 4.44)."""
+        cid = self.channel_identifier
+        u = (event_counter ^ cid) & 0xFFFF
+        for _ in range(3):
+            u = _mam(_perm(u), cid)
+        return (u ^ cid) & 0xFFFF
+
+    def channel_for_event(self, event_counter: int, chan_map: ChannelMap) -> int:
+        """Data channel index for ``event_counter`` (pure function)."""
+        prn = self._prn_e(event_counter & 0xFFFF)
+        unmapped = prn % 37
+        if chan_map.is_used(unmapped):
+            return unmapped
+        remapping_index = (chan_map.num_used * prn) // 0x10000
+        return chan_map.remap(remapping_index)

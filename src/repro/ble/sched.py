@@ -1,0 +1,112 @@
+"""Per-node radio scheduler.
+
+Every node owns exactly one transceiver.  Connection events of different
+connections -- plus advertising events -- compete for it.  The scheduler
+
+* tracks the single currently-claimed busy interval (composite connection
+  events claim their full computed duration up front),
+* answers "when does some *other* activity need the radio next?" so a
+  running connection event can bound its packet exchanges (the capacity
+  fluctuation of Figure 4), and
+* tracks per-activity skip streaks so the :class:`~repro.ble.config.
+  SchedulerPolicy` can starve (EARLIEST_WINS) or alternate (ALTERNATE)
+  overlapping events -- the two behaviours the paper observes when
+  connection shading strikes (§6.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple
+
+
+class RadioActivity(Protocol):
+    """Anything that periodically needs the node's radio."""
+
+    #: Consecutive times this activity was denied the radio (reset on a
+    #: successful grant); the ALTERNATE policy uses it as priority.
+    consec_skips: int
+
+    def next_radio_time(self, after_ns: int) -> Optional[int]:
+        """Next time (> after_ns, true ns) this activity wants the radio.
+
+        ``None`` if the activity is dormant.
+        """
+        ...
+
+
+class RadioScheduler:
+    """Single-transceiver arbitration for one node."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._activities: List[RadioActivity] = []
+        self._busy_until: int = 0
+        self._busy_owner: Optional[RadioActivity] = None
+        #: Total radio-busy nanoseconds (energy accounting input).
+        self.busy_ns_total: int = 0
+        #: Number of claims granted.
+        self.claims: int = 0
+        #: Number of times an activity found the radio busy.
+        self.denials: int = 0
+
+    def register(self, activity: RadioActivity) -> None:
+        """Add an activity to the demand table."""
+        if activity not in self._activities:
+            self._activities.append(activity)
+
+    def unregister(self, activity: RadioActivity) -> None:
+        """Remove an activity (connection closed, advertising stopped)."""
+        if activity in self._activities:
+            self._activities.remove(activity)
+
+    def is_free(self, at_ns: int) -> bool:
+        """Whether the radio is unclaimed at ``at_ns``."""
+        return at_ns >= self._busy_until
+
+    @property
+    def busy_until(self) -> int:
+        """End of the current claim (past values mean: free now)."""
+        return self._busy_until
+
+    def claim(self, owner: RadioActivity, start_ns: int, end_ns: int) -> None:
+        """Mark the radio busy for [start, end).
+
+        The caller must have checked :meth:`is_free` -- overlapping claims
+        indicate a simulation bug and raise.
+        """
+        if start_ns < self._busy_until:
+            raise RuntimeError(
+                f"radio {self.name}: overlapping claim "
+                f"[{start_ns}, {end_ns}) while busy until {self._busy_until}"
+            )
+        if end_ns < start_ns:
+            raise RuntimeError(f"radio {self.name}: negative claim duration")
+        self._busy_until = end_ns
+        self._busy_owner = owner
+        self.busy_ns_total += end_ns - start_ns
+        self.claims += 1
+        owner.consec_skips = 0
+
+    def deny(self, activity: RadioActivity) -> None:
+        """Record that ``activity`` was denied the radio (skip streak +1)."""
+        activity.consec_skips += 1
+        self.denials += 1
+
+    def next_demand_after(
+        self, after_ns: int, exclude: Optional[RadioActivity] = None
+    ) -> Tuple[Optional[int], Optional[RadioActivity]]:
+        """Earliest future radio demand of any *other* activity.
+
+        :returns: ``(time_ns, activity)`` or ``(None, None)`` when no other
+            activity has pending demand.
+        """
+        best_t: Optional[int] = None
+        best_a: Optional[RadioActivity] = None
+        for activity in self._activities:
+            if activity is exclude:
+                continue
+            t = activity.next_radio_time(after_ns)
+            if t is not None and (best_t is None or t < best_t):
+                best_t = t
+                best_a = activity
+        return best_t, best_a

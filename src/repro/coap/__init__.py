@@ -1,0 +1,25 @@
+"""CoAP (RFC 7252): message codec plus client/server endpoints.
+
+The paper's traffic is CoAP over UDP (§4.3): producers send non-confirmable
+GET requests with a 39-byte payload; the consumer answers each request with
+a CoAP acknowledgement.  The reliability metric is the ratio of ACKs
+received to requests sent, and the latency metric is the request-to-ACK
+round trip time -- both are measured against this implementation.
+
+* :mod:`repro.coap.message` -- binary codec (header, token, options,
+  payload marker),
+* :mod:`repro.coap.endpoint` -- the gcoap-equivalent client/server bound to
+  a node's UDP stack, including CON retransmission timers.
+"""
+
+from repro.coap.message import CoapMessage, CoapType, CoapCode, CoapOption
+from repro.coap.endpoint import CoapEndpoint, COAP_DEFAULT_PORT
+
+__all__ = [
+    "CoapMessage",
+    "CoapType",
+    "CoapCode",
+    "CoapOption",
+    "CoapEndpoint",
+    "COAP_DEFAULT_PORT",
+]

@@ -1,0 +1,213 @@
+"""gcoap-equivalent CoAP endpoint: server resources + client requests.
+
+Matches the paper's usage (§4.2-§4.3): an endpoint bound to the default
+CoAP port serves resources and issues requests; non-confirmable requests are
+acknowledged by the peer application with a CoAP ACK, confirmable requests
+additionally arm the RFC 7252 retransmission timers (2 s base timeout --
+which §8 warns collides with multi-second connection intervals).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.coap.message import (
+    CoapCode,
+    CoapDecodeError,
+    CoapMessage,
+    CoapType,
+)
+from repro.sim.kernel import Timer
+from repro.sim.units import SEC
+from repro.sixlowpan.ipv6 import Ipv6Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import Node
+
+#: The default CoAP UDP port.
+COAP_DEFAULT_PORT = 5683
+#: RFC 7252 §4.8 transmission parameters.
+ACK_TIMEOUT_NS = 2 * SEC
+ACK_RANDOM_FACTOR = 1.5
+MAX_RETRANSMIT = 4
+
+#: ``handler(payload, src_addr) -> response payload or None`` for resources;
+#: ``None`` yields an empty ACK (the paper's consumer behaviour).
+ResourceHandler = Callable[[bytes, Ipv6Address], Optional[bytes]]
+#: ``on_response(message, rtt_ns)`` for request completions.
+ResponseHandler = Callable[[CoapMessage, int], None]
+
+
+@dataclass
+class _Pending:
+    """A request awaiting its acknowledgement / response."""
+
+    message: CoapMessage
+    dst: Ipv6Address
+    sent_at: int
+    on_response: Optional[ResponseHandler]
+    on_timeout: Optional[Callable[[], None]]
+    retransmits_left: int
+    timer: Optional[Timer] = None
+    timeout_ns: int = ACK_TIMEOUT_NS
+
+
+class CoapEndpoint:
+    """One node's CoAP client+server.
+
+    :param node: the owning :class:`repro.core.node.Node`.
+    :param port: UDP port to bind (default 5683).
+    :param rng: random stream for the ACK_RANDOM_FACTOR jitter.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        port: int = COAP_DEFAULT_PORT,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.node = node
+        self.port = port
+        self.rng = rng or random.Random(node.node_id ^ 0xC0A9)
+        self._resources: Dict[str, ResourceHandler] = {}
+        self._pending: Dict[Tuple[bytes, int], _Pending] = {}
+        self._next_mid = self.rng.randrange(0, 0x10000)
+        self._next_token = self.rng.randrange(0, 0x10000)
+        # Statistics.
+        self.requests_sent = 0
+        self.responses_received = 0
+        self.requests_served = 0
+        self.acks_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.decode_errors = 0
+        node.udp.bind(port, self._on_datagram)
+
+    # -- server side ------------------------------------------------------------
+
+    def add_resource(self, path: str, handler: ResourceHandler) -> None:
+        """Register a resource at ``path`` (no leading slash)."""
+        self._resources[path] = handler
+
+    # -- client side ---------------------------------------------------------------
+
+    def request(
+        self,
+        dst: Ipv6Address,
+        path: str,
+        payload: bytes = b"",
+        confirmable: bool = False,
+        on_response: Optional[ResponseHandler] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Issue a GET request; completion arrives via ``on_response``.
+
+        :returns: False when the local stack dropped the request (e.g. the
+            packet buffer was full); the request is *not* tracked then.
+        """
+        mid = self._next_mid
+        self._next_mid = (self._next_mid + 1) & 0xFFFF
+        token = self._next_token.to_bytes(2, "big")
+        self._next_token = (self._next_token + 1) & 0xFFFF
+        message = CoapMessage.request(
+            path, payload, mid=mid, token=token, confirmable=confirmable
+        )
+        pending = _Pending(
+            message=message,
+            dst=dst,
+            sent_at=self.node.sim.now,
+            on_response=on_response,
+            on_timeout=on_timeout,
+            retransmits_left=MAX_RETRANSMIT if confirmable else 0,
+        )
+        if not self._transmit(message, dst):
+            return False
+        self.requests_sent += 1
+        self._pending[(token, mid)] = pending
+        if confirmable:
+            timeout = int(
+                ACK_TIMEOUT_NS * (1 + (ACK_RANDOM_FACTOR - 1) * self.rng.random())
+            )
+            pending.timeout_ns = timeout
+            pending.timer = self.node.sim.after(
+                timeout, self._retransmit, (token, mid)
+            )
+        return True
+
+    def _transmit(self, message: CoapMessage, dst: Ipv6Address) -> bool:
+        return self.node.udp.sendto(
+            message.encode(), dst, self.port, self.port
+        )
+
+    def _retransmit(self, key: Tuple[bytes, int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:
+            return
+        if pending.retransmits_left <= 0:
+            del self._pending[key]
+            self.timeouts += 1
+            if pending.on_timeout is not None:
+                pending.on_timeout()
+            return
+        pending.retransmits_left -= 1
+        self.retransmissions += 1
+        self._transmit(pending.message, pending.dst)
+        pending.timeout_ns *= 2  # binary exponential backoff
+        pending.timer = self.node.sim.after(
+            pending.timeout_ns, self._retransmit, key
+        )
+
+    # -- datagram demux -----------------------------------------------------------
+
+    def _on_datagram(self, payload: bytes, src: Ipv6Address, src_port: int) -> None:
+        try:
+            message = CoapMessage.decode(payload)
+        except CoapDecodeError:
+            self.decode_errors += 1
+            return
+        is_request = (
+            message.code in (CoapCode.GET, CoapCode.POST, CoapCode.PUT, CoapCode.DELETE)
+            and message.mtype in (CoapType.CON, CoapType.NON)
+        )
+        if is_request:
+            self._serve(message, src, src_port)
+        else:
+            self._complete(message)
+
+    def _serve(self, message: CoapMessage, src: Ipv6Address, src_port: int) -> None:
+        handler = self._resources.get(message.uri_path())
+        if handler is None:
+            reply = message.make_ack(CoapCode.NOT_FOUND)
+        else:
+            self.requests_served += 1
+            response_payload = handler(message.payload, src)
+            if response_payload is None:
+                reply = message.make_ack()  # empty ACK, the paper's consumer
+            else:
+                reply = message.make_ack(CoapCode.CONTENT, response_payload)
+        self.acks_sent += 1
+        self.node.udp.sendto(reply.encode(), src, src_port, self.port)
+
+    def _complete(self, message: CoapMessage) -> None:
+        """Match a response/ACK against the pending table."""
+        pending = None
+        if message.mtype is CoapType.ACK and message.code is CoapCode.EMPTY:
+            # empty ACKs carry no token: match by message id
+            for key, cand in self._pending.items():
+                if key[1] == message.mid:
+                    pending = self._pending.pop(key)
+                    break
+        else:
+            for key in list(self._pending):
+                if key[0] == message.token:
+                    pending = self._pending.pop(key)
+                    break
+        if pending is None:
+            return  # duplicate or stale response
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.responses_received += 1
+        if pending.on_response is not None:
+            pending.on_response(message, self.node.sim.now - pending.sent_at)

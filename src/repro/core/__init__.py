@@ -1,0 +1,39 @@
+"""The paper's contribution: statconn + randomized connection intervals.
+
+* :mod:`repro.core.intervals` -- connection-interval selection policies:
+  the standard fixed interval, and §6.3's randomized window with per-node
+  uniqueness enforcement;
+* :mod:`repro.core.statconn` -- the static connection manager of §3:
+  role-configured advertising/scanning, health monitoring, automatic
+  reconnect, and the subordinate-side collision rejection of §6.3;
+* :mod:`repro.core.shading` -- the connection-shading likelihood model of
+  §6.2 (closed form) plus trace-based detection helpers;
+* :mod:`repro.core.node` -- the full firmware image: BLE controller +
+  L2CAP + 6LoWPAN + IPv6 + UDP + statconn wired together like Figure 5.
+"""
+
+from repro.core.intervals import (
+    IntervalPolicy,
+    StaticIntervalPolicy,
+    RandomWindowIntervalPolicy,
+)
+from repro.core.statconn import Statconn, StatconnConfig, LinkSpec
+from repro.core.node import Node
+from repro.core.shading import (
+    time_to_overlap_s,
+    shading_events_per_hour,
+    network_shading_events,
+)
+
+__all__ = [
+    "IntervalPolicy",
+    "StaticIntervalPolicy",
+    "RandomWindowIntervalPolicy",
+    "Statconn",
+    "StatconnConfig",
+    "LinkSpec",
+    "Node",
+    "time_to_overlap_s",
+    "shading_events_per_hour",
+    "network_shading_events",
+]

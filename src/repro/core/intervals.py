@@ -1,0 +1,140 @@
+"""Connection-interval selection policies (§6.3).
+
+The coordinator of a new connection dictates the connection interval without
+any knowledge of the intervals its peer already uses -- the Bluetooth
+standard offers no way to ask.  The paper's mitigation: draw the interval
+randomly from a window around the target value, and keep regenerating until
+it is unique among the coordinator's own connections.  Together with the
+subordinate-side rejection of colliding intervals (implemented in
+:mod:`repro.core.statconn`) this guarantees interval uniqueness per node,
+which prevents connection shading.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Protocol
+
+from repro.ble.config import (
+    CONN_INTERVAL_UNIT_NS,
+    ConnParams,
+    quantize_interval_ns,
+)
+
+
+class IntervalPolicy(Protocol):
+    """Strategy interface: produce connection parameters for a new link."""
+
+    def make_params(self, in_use_ns: Iterable[int]) -> ConnParams:
+        """Connection parameters for a new connection.
+
+        :param in_use_ns: intervals already used by the coordinator's other
+            connections (for uniqueness enforcement).
+        """
+        ...
+
+    def describe(self) -> str:
+        """Short label for experiment reports (e.g. ``"75"``, ``"[65:85]"``)."""
+        ...
+
+
+class StaticIntervalPolicy:
+    """The standard approach: every connection uses the same interval.
+
+    This is the configuration under which the paper observes connection
+    shading (§5, §6.1).
+
+    :param interval_ns: the fixed connection interval.
+    :param latency: subordinate latency for new connections.
+    :param supervision_timeout_ns: explicit supervision timeout (optional).
+    """
+
+    def __init__(
+        self,
+        interval_ns: int,
+        latency: int = 0,
+        supervision_timeout_ns: Optional[int] = None,
+    ):
+        self.interval_ns = quantize_interval_ns(interval_ns)
+        self.latency = latency
+        self.supervision_timeout_ns = supervision_timeout_ns
+
+    def make_params(self, in_use_ns: Iterable[int]) -> ConnParams:
+        """Always the configured interval, collisions and all."""
+        return ConnParams(
+            interval_ns=self.interval_ns,
+            latency=self.latency,
+            supervision_timeout_ns=self.supervision_timeout_ns,
+        )
+
+    def describe(self) -> str:
+        return f"{self.interval_ns // 1_000_000}"
+
+
+class RandomWindowIntervalPolicy:
+    """§6.3's proposal: randomize the interval within a window.
+
+    The draw is quantized to the standard's 1.25 ms grid and regenerated
+    until unique among the node's in-use intervals (the paper's first
+    enhancement).  The window must be wide enough for a node's maximum
+    connection count at the grid spacing; we validate that cheaply.
+
+    :param lo_ns / hi_ns: inclusive window bounds, e.g. 65-85 ms around a
+        75 ms target.
+    :param rng: random stream (experiment-seeded for reproducibility).
+    :param unique: enforce per-node uniqueness by redrawing.
+    :param max_redraws: safety bound on the redraw loop.
+    """
+
+    def __init__(
+        self,
+        lo_ns: int,
+        hi_ns: int,
+        rng: random.Random,
+        latency: int = 0,
+        supervision_timeout_ns: Optional[int] = None,
+        unique: bool = True,
+        max_redraws: int = 64,
+    ):
+        if hi_ns < lo_ns:
+            raise ValueError("window upper bound below lower bound")
+        self.lo_ns = quantize_interval_ns(lo_ns)
+        self.hi_ns = quantize_interval_ns(hi_ns)
+        if self.hi_ns == self.lo_ns:
+            raise ValueError(
+                "window collapses to a single 1.25 ms slot; widen it "
+                "(the minimum window size must exceed the node's connection "
+                "count times the grid spacing, §6.3)"
+            )
+        self.rng = rng
+        self.latency = latency
+        self.supervision_timeout_ns = supervision_timeout_ns
+        self.unique = unique
+        self.max_redraws = max_redraws
+
+    def _draw(self) -> int:
+        slots = (self.hi_ns - self.lo_ns) // CONN_INTERVAL_UNIT_NS
+        return self.lo_ns + self.rng.randint(0, slots) * CONN_INTERVAL_UNIT_NS
+
+    def make_params(self, in_use_ns: Iterable[int]) -> ConnParams:
+        """Draw an interval; redraw until unique on this node if enabled."""
+        used = set(in_use_ns) if self.unique else ()
+        interval = self._draw()
+        redraws = 0
+        while self.unique and interval in used:
+            redraws += 1
+            if redraws > self.max_redraws:
+                raise RuntimeError(
+                    "cannot find a unique connection interval: window "
+                    f"[{self.lo_ns}, {self.hi_ns}] too narrow for "
+                    f"{len(used)} existing connections"
+                )
+            interval = self._draw()
+        return ConnParams(
+            interval_ns=interval,
+            latency=self.latency,
+            supervision_timeout_ns=self.supervision_timeout_ns,
+        )
+
+    def describe(self) -> str:
+        return f"[{self.lo_ns // 1_000_000}:{self.hi_ns // 1_000_000}]"

@@ -1,0 +1,20 @@
+"""Energy model (paper §5.4).
+
+The paper measured per-connection-event charge on nrf52dk boards with the
+Nordic Power Profiler Kit; this package keeps those measured constants
+(:mod:`repro.energy.calib`) and re-derives every §5.4 number from them --
+average currents per role and interval, forwarder consumption under load,
+battery lifetimes, and the beacon-versus-IP-over-BLE comparison
+(:mod:`repro.energy.model`).  Simulated controllers feed their event
+counters straight into the model.
+"""
+
+from repro.energy.calib import EnergyCalibration, PAPER_CALIBRATION
+from repro.energy.model import EnergyModel, BatteryLife
+
+__all__ = [
+    "EnergyCalibration",
+    "PAPER_CALIBRATION",
+    "EnergyModel",
+    "BatteryLife",
+]

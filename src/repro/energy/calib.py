@@ -1,0 +1,56 @@
+"""Measured constants from the paper's power profiling (§5.4).
+
+These are the paper's own numbers, not ours: per-event charges measured with
+the Nordic Power Profiler Kit on a nrf52dk, plus the board's idle current
+and the two battery capacities used for the lifetime projections.  The one
+fitted value is ``radio_active_current_a``: the paper only reports *charges*
+for idle events, so the cost of longer, data-bearing events is modelled as
+that current over the extra radio-on time, calibrated so the paper's
+"IP-over-BLE CoAP sender at 1 s ~ +16 uA" observation holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.frames import T_IFS_NS, ble_air_time_ns
+
+
+@dataclass(frozen=True)
+class EnergyCalibration:
+    """Charge and current constants for the energy model.
+
+    :param charge_per_event_coord_uc: charge of one idle connection event in
+        the coordinator role (paper: 2.3 uC).
+    :param charge_per_event_sub_uc: same for the subordinate (paper: 2.6 uC,
+        the extra being window-widening receive time).
+    :param charge_per_adv_event_uc: one connectable advertising event with a
+        31-byte payload (back-derived from the paper's "beacon at 1 s adds
+        12 uA").
+    :param idle_board_current_ua: the board's baseline draw (paper: 15 uA).
+    :param radio_active_current_a: radio current applied to event time beyond
+        the idle-event baseline (fitted, see module docstring).
+    :param coin_cell_mah / li_ion_mah: the paper's battery capacities.
+    """
+
+    charge_per_event_coord_uc: float = 2.3
+    charge_per_event_sub_uc: float = 2.6
+    charge_per_adv_event_uc: float = 12.0
+    idle_board_current_ua: float = 15.0
+    # Fit: the paper's CoAP sender (one connection, one 31-byte payload per
+    # second) draws +16 uA over idle.  At a 1 s connection interval that is
+    # 16 uC per event, of which 2.3 uC is the idle-event base; the remaining
+    # ~13.7 uC over the ~1.9 ms data exchange imply ~7.2 mA of radio+CPU
+    # current -- consistent with an nRF52 radio on DC/DC plus an active CPU.
+    radio_active_current_a: float = 0.0072
+    coin_cell_mah: float = 230.0
+    li_ion_mah: float = 2500.0
+
+    @property
+    def empty_event_duration_ns(self) -> int:
+        """Duration of one empty packet exchange (the idle-event baseline)."""
+        return ble_air_time_ns(0) + T_IFS_NS + ble_air_time_ns(0)
+
+
+#: The calibration used throughout the reproduction.
+PAPER_CALIBRATION = EnergyCalibration()

@@ -1,0 +1,134 @@
+"""Charge accounting and battery-life projection (§5.4).
+
+Two modes of use:
+
+* **closed form** -- reproduce the paper's arithmetic directly from the
+  calibration (`idle_connection_current_ua`, `battery_life`, ...);
+* **from simulation** -- feed a :class:`~repro.ble.controller.BleController`'s
+  event counters into :meth:`EnergyModel.controller_current_ua` to get the
+  average current its activity would have drawn on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.ble.conn import Role
+from repro.energy.calib import EnergyCalibration, PAPER_CALIBRATION
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ble.controller import BleController
+
+
+@dataclass(frozen=True)
+class BatteryLife:
+    """A projected battery lifetime."""
+
+    days: float
+
+    @property
+    def years(self) -> float:
+        """Lifetime in years."""
+        return self.days / 365.0
+
+
+class EnergyModel:
+    """Energy arithmetic around one :class:`EnergyCalibration`."""
+
+    def __init__(self, calibration: Optional[EnergyCalibration] = None):
+        self.calib = calibration or PAPER_CALIBRATION
+
+    # -- closed-form reproductions of §5.4 ---------------------------------
+
+    def idle_connection_current_ua(self, interval_s: float, role: Role) -> float:
+        """Average current one idle connection adds at ``interval_s``.
+
+        Paper: 30.7 uA (coordinator) / 34.7 uA (subordinate) at 75 ms.
+        """
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        charge = (
+            self.calib.charge_per_event_coord_uc
+            if role is Role.COORDINATOR
+            else self.calib.charge_per_event_sub_uc
+        )
+        return charge / interval_s
+
+    def beacon_current_ua(self, adv_interval_s: float) -> float:
+        """Average current of a connection-less beacon (paper: 12 uA at 1 s)."""
+        if adv_interval_s <= 0:
+            raise ValueError("interval must be positive")
+        return self.calib.charge_per_adv_event_uc / adv_interval_s
+
+    def event_charge_uc(self, role: Role, duration_ns: int) -> float:
+        """Charge of one connection event of ``duration_ns``.
+
+        The idle-event charge plus the fitted radio current over the extra
+        active time.
+        """
+        base = (
+            self.calib.charge_per_event_coord_uc
+            if role is Role.COORDINATOR
+            else self.calib.charge_per_event_sub_uc
+        )
+        extra_ns = max(0, duration_ns - self.calib.empty_event_duration_ns)
+        return base + self.calib.radio_active_current_a * extra_ns * 1e-9 * 1e6
+
+    def battery_life(
+        self, average_current_ua: float, capacity_mah: float
+    ) -> BatteryLife:
+        """Lifetime of a battery at a constant average current."""
+        if average_current_ua <= 0:
+            raise ValueError("average current must be positive")
+        hours = capacity_mah * 1000.0 / average_current_ua
+        return BatteryLife(days=hours / 24.0)
+
+    def forwarder_battery_life_coin_cell(
+        self, additional_current_ua: float
+    ) -> BatteryLife:
+        """Paper's example: idle board + connection load on a 230 mAh cell."""
+        total = self.calib.idle_board_current_ua + additional_current_ua
+        return self.battery_life(total, self.calib.coin_cell_mah)
+
+    def forwarder_battery_life_li_ion(
+        self, additional_current_ua: float
+    ) -> BatteryLife:
+        """Same on the paper's 2500 mAh 18650 cell."""
+        total = self.calib.idle_board_current_ua + additional_current_ua
+        return self.battery_life(total, self.calib.li_ion_mah)
+
+    # -- simulation-driven accounting -------------------------------------------
+
+    def controller_charge_uc(self, controller: "BleController") -> float:
+        """Total BLE charge a controller's recorded activity implies.
+
+        Uses the per-role event counts plus the radio current over the
+        cumulative event time beyond the idle baselines, and the advertising
+        event counter scaled by payload-independent charge.
+        """
+        calib = self.calib
+        events = controller.conn_events_coord + controller.conn_events_sub
+        base = (
+            controller.conn_events_coord * calib.charge_per_event_coord_uc
+            + controller.conn_events_sub * calib.charge_per_event_sub_uc
+        )
+        extra_ns = max(
+            0, controller.conn_event_ns - events * calib.empty_event_duration_ns
+        )
+        adv = controller.adv_events * calib.charge_per_adv_event_uc
+        return base + adv + calib.radio_active_current_a * extra_ns * 1e-9 * 1e6
+
+    def controller_current_ua(
+        self,
+        controller: "BleController",
+        elapsed_s: float,
+        include_idle_board: bool = False,
+    ) -> float:
+        """Average current of a controller's activity over ``elapsed_s``."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        current = self.controller_charge_uc(controller) / elapsed_s
+        if include_idle_board:
+            current += self.calib.idle_board_current_ua
+        return current

@@ -1,0 +1,33 @@
+"""Experimentation framework (paper Appendix A).
+
+The paper drives every experiment from a static YAML description and emits
+(i) the description, (ii) a raw event log, and (iii) derived metrics/plots.
+This package mirrors that pipeline in-process:
+
+* :mod:`repro.exp.config` -- the experiment description (YAML round-trip),
+* :mod:`repro.exp.runner` -- builds the network, runs it, samples link
+  statistics, and returns an :class:`~repro.exp.runner.ExperimentResult`,
+* :mod:`repro.exp.events` -- the structured event log,
+* :mod:`repro.exp.metrics` -- CDFs, time-binned PDR series, per-channel
+  PDRs, loss censuses,
+* :mod:`repro.exp.report` -- fixed-width tables for benchmark output,
+* :mod:`repro.exp.asciiplot` -- terminal renderings of the paper's figures.
+"""
+
+from repro.exp.config import ExperimentConfig, parse_interval_spec
+from repro.exp.runner import ExperimentResult, ExperimentRunner, run_experiment
+from repro.exp.events import EventLog
+from repro.exp.artifacts import write_artifacts
+from repro.exp.repeat import RepeatedResult, run_repetitions
+
+__all__ = [
+    "ExperimentConfig",
+    "parse_interval_spec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_experiment",
+    "EventLog",
+    "write_artifacts",
+    "RepeatedResult",
+    "run_repetitions",
+]

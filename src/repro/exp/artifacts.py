@@ -1,0 +1,129 @@
+"""Artifact output (paper Appendix A).
+
+The paper's experimentation framework produces three artifacts per run:
+(i) the static experiment description, (ii) a raw results log, and (iii)
+derived metrics/plots.  :func:`write_artifacts` mirrors that layout::
+
+    <outdir>/
+      experiment.yml       the description (reproduces the run bit-exactly)
+      results.jsonl        raw per-event records (requests, RTTs, losses,
+                           link-statistics samples)
+      summary.txt          derived tables + terminal plots
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exp.asciiplot import render_cdf, render_series
+from repro.exp.metrics import aggregate_binned_pdr, cdf, summarize_rtt
+from repro.exp.report import format_table
+from repro.exp.runner import ExperimentResult
+from repro.sim.units import SEC
+
+
+def write_results_log(result: ExperimentResult, path: Path) -> int:
+    """Write the raw results as JSON lines; returns the record count."""
+    count = 0
+    with path.open("w") as fh:
+        for producer in result.producers:
+            acked = {sent for sent, _ in producer.rtt_samples}
+            rtt_of = dict(producer.rtt_samples)
+            for sent_at in producer.request_times:
+                record = {
+                    "type": "request",
+                    "t_s": sent_at / SEC,
+                    "producer": producer.node.node_id,
+                    "acked": sent_at in acked,
+                }
+                if sent_at in rtt_of:
+                    record["rtt_s"] = rtt_of[sent_at] / SEC
+                fh.write(json.dumps(record) + "\n")
+                count += 1
+        for t_s, node, peer in result.connection_losses():
+            fh.write(
+                json.dumps(
+                    {"type": "conn-loss", "t_s": t_s, "node": node, "peer": peer}
+                )
+                + "\n"
+            )
+            count += 1
+        for (link, direction), series in result.link_series.items():
+            for i, t_s in enumerate(series.times_s):
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "link-sample",
+                            "t_s": t_s,
+                            "coordinator": link[0],
+                            "subordinate": link[1],
+                            "direction": direction,
+                            "tx_attempts": series.tx_attempts[i],
+                            "tx_acked": series.tx_acked[i],
+                        }
+                    )
+                    + "\n"
+                )
+                count += 1
+    return count
+
+
+def render_summary(result: ExperimentResult) -> str:
+    """Derived metrics and plots as one text report."""
+    config = result.config
+    rtts = result.rtts_s()
+    lines = [
+        f"experiment: {config.name}",
+        f"topology={config.topology} link_layer={config.link_layer} "
+        f"conn_interval={config.conn_interval} "
+        f"producer_interval={config.producer_interval_s}s seed={config.seed}",
+        "",
+    ]
+    rows = [
+        ["CoAP requests sent", result.coap_sent()],
+        ["CoAP ACKs received", result.coap_acked()],
+        ["CoAP PDR", f"{result.coap_pdr():.5f}"],
+        ["connection losses", result.num_connection_losses()],
+    ]
+    if result.link_series:
+        rows.append(["link-layer PDR", f"{result.link_pdr_overall():.4f}"])
+    if rtts:
+        summary = summarize_rtt(rtts)
+        rows += [
+            ["RTT mean [ms]", f"{summary['mean'] * 1000:.1f}"],
+            ["RTT p50 [ms]", f"{summary['p50'] * 1000:.1f}"],
+            ["RTT p99 [ms]", f"{summary['p99'] * 1000:.1f}"],
+        ]
+    currents = result.fleet_current_ua()
+    if currents:
+        values = list(currents.values())
+        rows += [
+            ["BLE current, fleet mean [uA]", f"{sum(values) / len(values):.1f}"],
+            ["BLE current, max node [uA]", f"{max(values):.1f}"],
+        ]
+    lines.append(format_table(["metric", "value"], rows))
+    if rtts:
+        lines += ["", "RTT CDF:", render_cdf({"rtt": cdf(rtts)}, x_label="RTT [s]")]
+    times, pdrs = aggregate_binned_pdr(
+        result.producers,
+        bin_s=max(10.0, config.duration_s / 60),
+        t_end_s=config.total_runtime_s,
+    )
+    if times:
+        lines += [
+            "",
+            "CoAP PDR over runtime:",
+            render_series({"pdr": (times, pdrs)}, y_lo=0.0, y_hi=1.0),
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def write_artifacts(result: ExperimentResult, outdir: str) -> Path:
+    """Write the Appendix-A artifact triple; returns the output directory."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "experiment.yml").write_text(result.config.to_yaml())
+    write_results_log(result, out / "results.jsonl")
+    (out / "summary.txt").write_text(render_summary(result))
+    return out

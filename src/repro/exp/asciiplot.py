@@ -1,0 +1,109 @@
+"""Terminal renderings of the paper's figure types.
+
+Benchmarks print these next to their numeric tables so a reader can eyeball
+the *shape* of each reproduced figure: CDFs (Figs. 7b/8/10b/13c), time
+series (Figs. 7a/9/12/13a-b), and per-node/per-channel heat rows (Figs.
+9a/12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_cdf(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+) -> str:
+    """Plot one or more CDFs as an ASCII grid.
+
+    :param series: label -> (sorted values, cumulative probabilities).
+    """
+    if not series:
+        return "(no data)"
+    x_max = max((values[-1] for values, _ in series.values() if values), default=1.0)
+    if x_max <= 0:
+        x_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    legend = []
+    for index, (label, (values, probs)) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} = {label}")
+        for x, p in zip(values, probs):
+            col = min(width - 1, int(x / x_max * (width - 1)))
+            row = min(height - 1, int((1 - p) * (height - 1)))
+            grid[row][col] = marker
+    lines = ["1.0 |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     0 {x_label} ... {x_max:.3g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 12,
+    y_lo: float = 0.0,
+    y_hi: float = 1.0,
+    x_label: str = "t [s]",
+) -> str:
+    """Plot y(t) traces (e.g. PDR over experiment runtime)."""
+    if not series:
+        return "(no data)"
+    x_max = max((times[-1] for times, _ in series.values() if times), default=1.0)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    legend = []
+    span = y_hi - y_lo or 1.0
+    for index, (label, (times, values)) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} = {label}")
+        for t, v in zip(times, values):
+            col = min(width - 1, int(t / x_max * (width - 1)))
+            frac = min(1.0, max(0.0, (v - y_lo) / span))
+            row = min(height - 1, int((1 - frac) * (height - 1)))
+            grid[row][col] = marker
+    lines = [f"{y_hi:4.2f}|" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append(f"{y_lo:4.2f}|" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     0 {x_label} ... {x_max:.3g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_heat_rows(
+    rows: Dict[str, Sequence[float]],
+    width_per_cell: int = 1,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render labelled rows of 0..1 values as shade characters (heatmap).
+
+    NaN cells render as ``'?'``.
+    """
+    span = hi - lo or 1.0
+    lines = []
+    for label, values in rows.items():
+        cells = []
+        for value in values:
+            if isinstance(value, float) and math.isnan(value):
+                cells.append("?" * width_per_cell)
+                continue
+            frac = min(1.0, max(0.0, (value - lo) / span))
+            shade = _SHADES[min(len(_SHADES) - 1, int(frac * (len(_SHADES) - 1)))]
+            cells.append(shade * width_per_cell)
+        lines.append(f"{label:>12} |{''.join(cells)}|")
+    lines.append(f"{'scale':>12} |{_SHADES}| {lo:.2f} -> {hi:.2f}")
+    return "\n".join(lines)

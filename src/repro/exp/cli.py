@@ -1,0 +1,89 @@
+"""Command-line entry point: run experiments from YAML descriptions.
+
+Mirrors the paper's experimentation workflow (Appendix A): a static
+description file fully determines the run; the output directory receives
+the description, the raw results log, and the derived summary.
+
+Usage::
+
+    python -m repro describe > experiment.yml   # a template description
+    python -m repro run experiment.yml -o out/  # execute + write artifacts
+    python -m repro run experiment.yml --set duration_s=120 --set seed=7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exp.artifacts import render_summary, write_artifacts
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_experiment
+
+
+def _apply_overrides(config: ExperimentConfig, overrides: list[str]) -> ExperimentConfig:
+    """Apply ``key=value`` overrides onto a config (typed via the field)."""
+    values = {}
+    for item in overrides:
+        if "=" not in item:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        key, raw = item.split("=", 1)
+        if not hasattr(config, key):
+            raise SystemExit(f"unknown config field {key!r}")
+        current = getattr(config, key)
+        if isinstance(current, bool):
+            value = raw.lower() in ("1", "true", "yes", "on")
+        elif isinstance(current, int) and not isinstance(current, bool):
+            value = int(raw)
+        elif isinstance(current, float):
+            value = float(raw)
+        else:
+            value = raw
+        values[key] = value
+    if not values:
+        return config
+    from dataclasses import asdict, replace
+
+    return ExperimentConfig(**{**asdict(config), **values})
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatch; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Mind the Gap: Multi-hop IPv6 over BLE'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print a template description")
+    describe.add_argument("--name", default="experiment")
+
+    run = sub.add_parser("run", help="execute a YAML experiment description")
+    run.add_argument("description", help="path to the experiment YAML")
+    run.add_argument("-o", "--outdir", default=None,
+                     help="write Appendix-A artifacts here")
+    run.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="KEY=VALUE", help="override a config field")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "describe":
+        print(ExperimentConfig(name=args.name).to_yaml(), end="")
+        return 0
+
+    config = ExperimentConfig.from_yaml(Path(args.description).read_text())
+    config = _apply_overrides(config, args.overrides)
+    print(f"running {config.name!r}: {config.topology} topology, "
+          f"{config.link_layer}, conn interval {config.conn_interval}, "
+          f"{config.duration_s:.0f}s ...", file=sys.stderr)
+    result = run_experiment(config)
+    print(render_summary(result), end="")
+    if args.outdir:
+        out = write_artifacts(result, args.outdir)
+        print(f"artifacts written to {out}/", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Structured event log.
+
+The paper's firmware dumps carefully rate-limited events to STDIO (§4.2);
+here the runner records them in memory.  Records are cheap tuples, filtered
+by kind on read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One logged event."""
+
+    time_ns: int
+    kind: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field lookup by name."""
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+
+class EventLog:
+    """An append-only event recorder."""
+
+    def __init__(self) -> None:
+        self._records: List[EventRecord] = []
+
+    def emit(self, time_ns: int, kind: str, **fields: Any) -> None:
+        """Record one event."""
+        self._records.append(EventRecord(time_ns, kind, tuple(fields.items())))
+
+    def of_kind(self, kind: str) -> Iterator[EventRecord]:
+        """All records of ``kind`` in time order."""
+        return (r for r in self._records if r.kind == kind)
+
+    def count(self, kind: str) -> int:
+        """Number of records of ``kind``."""
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)

@@ -1,0 +1,120 @@
+"""Metric computation helpers (CDFs, binned series, percentiles).
+
+Everything the paper's figures plot, as plain functions over sample lists:
+round-trip-time CDFs (Figs. 7b/8/10b/13c), time-binned CoAP PDR (Figs.
+7a/9/10a/13a), link-layer PDR series (Figs. 12/13b), and per-channel PDRs
+(Fig. 12 bottom).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.units import SEC
+
+
+def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF: sorted values and cumulative probabilities."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    return ordered, [(i + 1) / n for i in range(n)]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-quantile (0..1) by linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not samples:
+        raise ValueError("no samples")
+    return sum(samples) / len(samples)
+
+
+def binned_pdr(
+    request_times_ns: Sequence[int],
+    acked_times_ns: Iterable[int],
+    bin_s: float,
+    t_end_s: float,
+    t_start_s: float = 0.0,
+) -> Tuple[List[float], List[float]]:
+    """Time-binned delivery rate.
+
+    Requests are binned by *send* time; a request counts as delivered when
+    its send time appears in ``acked_times_ns`` (the producer records the
+    send timestamp of every acknowledged request).
+
+    :returns: (bin centre times in s, PDR per bin); bins without requests
+        are skipped.
+    """
+    if bin_s <= 0:
+        raise ValueError("bin size must be positive")
+    acked = set(acked_times_ns)
+    n_bins = max(1, math.ceil((t_end_s - t_start_s) / bin_s))
+    sent_per_bin = [0] * n_bins
+    acked_per_bin = [0] * n_bins
+    for t in request_times_ns:
+        t_s = t / SEC
+        if not t_start_s <= t_s < t_end_s:
+            continue
+        index = min(int((t_s - t_start_s) / bin_s), n_bins - 1)
+        sent_per_bin[index] += 1
+        if t in acked:
+            acked_per_bin[index] += 1
+    times, pdrs = [], []
+    for i in range(n_bins):
+        if sent_per_bin[i]:
+            times.append(t_start_s + (i + 0.5) * bin_s)
+            pdrs.append(acked_per_bin[i] / sent_per_bin[i])
+    return times, pdrs
+
+
+def producer_binned_pdr(producer, bin_s: float, t_end_s: float):
+    """Time-binned PDR for one :class:`~repro.testbed.traffic.Producer`."""
+    acked_sends = [sent_at for sent_at, _ in producer.rtt_samples]
+    return binned_pdr(producer.request_times, acked_sends, bin_s, t_end_s)
+
+
+def aggregate_binned_pdr(producers, bin_s: float, t_end_s: float):
+    """Network-wide time-binned CoAP PDR (Fig. 7a / 9 bottom panels)."""
+    all_requests: List[int] = []
+    all_acked: List[int] = []
+    for producer in producers:
+        all_requests.extend(producer.request_times)
+        all_acked.extend(sent_at for sent_at, _ in producer.rtt_samples)
+    return binned_pdr(all_requests, all_acked, bin_s, t_end_s)
+
+
+def per_channel_pdr(channel_counts: Sequence[Sequence[int]]) -> List[float]:
+    """Per-channel PDR from [attempts, acked] rows (Fig. 12 bottom).
+
+    Channels without attempts report NaN so renderers can skip them.
+    """
+    out = []
+    for attempts, acked in channel_counts:
+        out.append(acked / attempts if attempts else math.nan)
+    return out
+
+
+def summarize_rtt(rtts_s: Sequence[float]) -> Dict[str, float]:
+    """The RTT summary row used by several benches."""
+    return {
+        "mean": mean(rtts_s),
+        "p50": percentile(rtts_s, 0.50),
+        "p90": percentile(rtts_s, 0.90),
+        "p99": percentile(rtts_s, 0.99),
+        "max": max(rtts_s),
+    }

@@ -1,0 +1,65 @@
+"""Repetition helper: the paper's "every experiment is repeated 5x" (§5).
+
+Runs an :class:`~repro.exp.config.ExperimentConfig` across derived seeds and
+aggregates the headline metrics, like the paper's Appendix B grid does for
+its 5x1 h cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.metrics import percentile
+from repro.exp.runner import ExperimentResult, run_experiment
+
+
+@dataclass
+class RepeatedResult:
+    """Aggregate over N repetitions of one configuration."""
+
+    config: ExperimentConfig
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Number of repetitions."""
+        return len(self.results)
+
+    def coap_pdr_mean(self) -> float:
+        """Mean CoAP PDR across repetitions."""
+        return sum(r.coap_pdr() for r in self.results) / self.n
+
+    def coap_pdr_min(self) -> float:
+        """Worst repetition's CoAP PDR."""
+        return min(r.coap_pdr() for r in self.results)
+
+    def link_pdr_mean(self) -> float:
+        """Mean link-layer PDR across repetitions."""
+        return sum(r.link_pdr_overall() for r in self.results) / self.n
+
+    def total_connection_losses(self) -> int:
+        """Connection losses summed over all repetitions (Fig. 14's bars)."""
+        return sum(r.num_connection_losses() for r in self.results)
+
+    def rtt_percentile(self, q: float) -> float:
+        """A pooled RTT quantile across all repetitions (seconds)."""
+        pooled = [rtt for r in self.results for rtt in r.rtts_s()]
+        return percentile(pooled, q)
+
+
+def run_repetitions(config: ExperimentConfig, n: int = 5) -> RepeatedResult:
+    """Run ``config`` ``n`` times with derived seeds and aggregate.
+
+    Repetition ``k`` uses seed ``config.seed * 1000 + k`` so repetition sets
+    never overlap between base seeds and every run stays reproducible.
+    """
+    if n < 1:
+        raise ValueError("need at least one repetition")
+    aggregate = RepeatedResult(config=config)
+    base = asdict(config)
+    for k in range(n):
+        rep_config = ExperimentConfig(**{**base, "seed": config.seed * 1000 + k})
+        aggregate.results.append(run_experiment(rep_config))
+    return aggregate

@@ -1,0 +1,33 @@
+"""GATT / ATT and the Internet Protocol Support Service (Figure 2).
+
+The paper's stack diagram shows GATT and the **Internet Protocol Support
+Service (IPSS)** beside L2CAP: before treating a peer as an IP router, a
+node checks (via GATT service discovery) that the peer exposes the IPSS --
+"the Internet Service Support Profile specifies how nodes can check for
+neighbor's IP capabilities" (§3).  Table 2 lists GATT-service support as a
+differentiator between IP-over-BLE implementations.
+
+* :mod:`repro.gatt.att` -- the Attribute Protocol subset needed for service
+  discovery (Exchange MTU, Read By Group Type, Read, Error Response) over
+  the fixed L2CAP channel 0x0004,
+* :mod:`repro.gatt.server` / :mod:`repro.gatt.client` -- a minimal GATT
+  database and discovery client,
+* :mod:`repro.gatt.ipss` -- the IPSS definition (UUID 0x1820) and the
+  IP-capability check used by the connection managers.
+"""
+
+from repro.gatt.att import AttServer, AttClient
+from repro.gatt.server import GattServer, Service
+from repro.gatt.client import GattClient
+from repro.gatt.ipss import IPSS_UUID, add_ipss, check_ip_support
+
+__all__ = [
+    "AttServer",
+    "AttClient",
+    "GattServer",
+    "Service",
+    "GattClient",
+    "IPSS_UUID",
+    "add_ipss",
+    "check_ip_support",
+]

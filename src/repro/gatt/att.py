@@ -1,0 +1,160 @@
+"""The Attribute Protocol (ATT) subset GATT discovery needs.
+
+ATT rides the fixed L2CAP channel 0x0004.  Implemented opcodes:
+
+===========================  ======  =======================================
+Exchange MTU Request/Resp.   02/03   negotiate the ATT_MTU
+Read By Group Type Req/Rsp   10/11   primary-service discovery (UUID 0x2800)
+Read Request/Response        0A/0B   read one attribute value
+Error Response               01      e.g. Attribute Not Found (0x0A)
+===========================  ======  =======================================
+
+All requests are strictly sequential per the spec (one outstanding request
+per ATT bearer); the client enforces that.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from repro.ble.controller import BleController
+from repro.l2cap.coc import L2capCoc
+
+#: The ATT fixed channel id.
+ATT_CID = 0x0004
+
+# opcodes
+OP_ERROR = 0x01
+OP_MTU_REQ = 0x02
+OP_MTU_RSP = 0x03
+OP_READ_BY_GROUP_REQ = 0x10
+OP_READ_BY_GROUP_RSP = 0x11
+OP_READ_REQ = 0x0A
+OP_READ_RSP = 0x0B
+
+#: GATT primary-service group type.
+PRIMARY_SERVICE_UUID = 0x2800
+
+# error codes
+ERR_ATTRIBUTE_NOT_FOUND = 0x0A
+ERR_INVALID_HANDLE = 0x01
+
+#: Default ATT_MTU (BT 5.2 Vol 3 Part F §3.2.8).
+DEFAULT_ATT_MTU = 23
+
+
+class AttServer:
+    """Serves a flat attribute table over one connection.
+
+    :param coc: the connection's L2CAP object (provides the fixed channel).
+    :param controller: the serving side.
+    :param database: the owning :class:`~repro.gatt.server.GattServer`.
+    """
+
+    def __init__(self, coc: L2capCoc, controller: BleController, database) -> None:
+        self.coc = coc
+        self.controller = controller
+        self.database = database
+        self.requests_served = 0
+        coc.register_fixed_channel(ATT_CID, controller, self._on_pdu)
+
+    def _send(self, body: bytes) -> None:
+        self.coc.send_fixed(self.controller, ATT_CID, body)
+
+    def _error(self, request_op: int, handle: int, code: int) -> None:
+        self._send(struct.pack("<BBHB", OP_ERROR, request_op, handle, code))
+
+    def _on_pdu(self, body: bytes) -> None:
+        if not body:
+            return
+        op = body[0]
+        self.requests_served += 1
+        if op == OP_MTU_REQ:
+            self._send(struct.pack("<BH", OP_MTU_RSP, DEFAULT_ATT_MTU))
+        elif op == OP_READ_BY_GROUP_REQ and len(body) >= 7:
+            start, end, group = struct.unpack_from("<HHH", body, 1)
+            self._read_by_group(start, end, group)
+        elif op == OP_READ_REQ and len(body) >= 3:
+            (handle,) = struct.unpack_from("<H", body, 1)
+            self._read(handle)
+        else:
+            self._error(op, 0, ERR_INVALID_HANDLE)
+
+    def _read_by_group(self, start: int, end: int, group: int) -> None:
+        if group != PRIMARY_SERVICE_UUID:
+            self._error(OP_READ_BY_GROUP_REQ, start, ERR_ATTRIBUTE_NOT_FOUND)
+            return
+        matches = self.database.services_in_range(start, end)
+        if not matches:
+            self._error(OP_READ_BY_GROUP_REQ, start, ERR_ATTRIBUTE_NOT_FOUND)
+            return
+        # each entry: attribute handle (2) + end group handle (2) + UUID16 (2)
+        body = bytearray([OP_READ_BY_GROUP_RSP, 6])
+        for service in matches:
+            body += struct.pack("<HHH", service.start, service.end, service.uuid)
+        self._send(bytes(body))
+
+    def _read(self, handle: int) -> None:
+        value = self.database.read(handle)
+        if value is None:
+            self._error(OP_READ_REQ, handle, ERR_INVALID_HANDLE)
+            return
+        self._send(bytes([OP_READ_RSP]) + value)
+
+
+class AttClient:
+    """Issues sequential ATT requests over one connection."""
+
+    def __init__(self, coc: L2capCoc, controller: BleController) -> None:
+        self.coc = coc
+        self.controller = controller
+        self._pending: Optional[Callable[[bytes], None]] = None
+        coc.register_fixed_channel(ATT_CID, controller, self._on_pdu)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a request is outstanding (ATT allows exactly one)."""
+        return self._pending is not None
+
+    def request(self, body: bytes, on_response: Callable[[bytes], None]) -> None:
+        """Send one request; ``on_response`` gets the raw response PDU."""
+        if self._pending is not None:
+            raise RuntimeError("ATT allows one outstanding request")
+        self._pending = on_response
+        self.coc.send_fixed(self.controller, ATT_CID, body)
+
+    def read_by_group_type(
+        self,
+        start: int,
+        end: int,
+        on_response: Callable[[bytes], None],
+        group: int = PRIMARY_SERVICE_UUID,
+    ) -> None:
+        """Issue a Read By Group Type request (service discovery step)."""
+        self.request(
+            struct.pack("<BHHH", OP_READ_BY_GROUP_REQ, start, end, group),
+            on_response,
+        )
+
+    def read(self, handle: int, on_response: Callable[[bytes], None]) -> None:
+        """Issue a Read request for one attribute handle."""
+        self.request(struct.pack("<BH", OP_READ_REQ, handle), on_response)
+
+    def _on_pdu(self, body: bytes) -> None:
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            pending(body)
+
+
+def parse_read_by_group_response(body: bytes) -> Optional[List[Tuple[int, int, int]]]:
+    """(start, end, uuid16) triples from a response, or None on ATT error."""
+    if len(body) < 2 or body[0] != OP_READ_BY_GROUP_RSP:
+        return None
+    length = body[1]
+    if length != 6:
+        return None
+    out = []
+    for offset in range(2, len(body) - 5, 6):
+        out.append(struct.unpack_from("<HHH", body, offset))
+    return out

@@ -1,0 +1,53 @@
+"""GATT discovery client: enumerate a peer's primary services."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.ble.controller import BleController
+from repro.gatt.att import AttClient, parse_read_by_group_response
+from repro.l2cap.coc import L2capCoc
+
+
+class GattClient:
+    """Runs primary-service discovery over one connection."""
+
+    def __init__(self, coc: L2capCoc, controller: BleController) -> None:
+        self.att = AttClient(coc, controller)
+
+    def discover_primary_services(
+        self, on_done: Callable[[List[Tuple[int, int, int]]], None]
+    ) -> None:
+        """Enumerate (start, end, uuid16) of every primary service.
+
+        Issues Read By Group Type requests walking the handle space until
+        the server answers Attribute Not Found, then calls ``on_done``.
+        """
+        found: List[Tuple[int, int, int]] = []
+
+        def step(start_handle: int) -> None:
+            self.att.read_by_group_type(
+                start_handle, 0xFFFF, lambda body: handle_response(body)
+            )
+
+        def handle_response(body: bytes) -> None:
+            groups = parse_read_by_group_response(body)
+            if not groups:
+                on_done(found)  # error response ends discovery
+                return
+            found.extend(groups)
+            last_end = groups[-1][1]
+            if last_end >= 0xFFFF:
+                on_done(found)
+                return
+            step(last_end + 1)
+
+        step(0x0001)
+
+    def has_service(
+        self, uuid: int, on_done: Callable[[bool], None]
+    ) -> None:
+        """Discover and report whether ``uuid`` is among the services."""
+        self.discover_primary_services(
+            lambda services: on_done(any(u == uuid for _, _, u in services))
+        )

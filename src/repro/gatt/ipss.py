@@ -1,0 +1,34 @@
+"""The Internet Protocol Support Service (IPSS).
+
+A marker service (UUID 0x1820, no characteristics): exposing it declares
+"I speak IPv6 over L2CAP on the IPSP PSM" (Internet Protocol Support
+Profile; paper §2.1 Figure 2 and §3).  Connection managers use
+:func:`check_ip_support` to avoid adopting peers that cannot route.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ble.controller import BleController
+from repro.gatt.client import GattClient
+from repro.gatt.server import GattServer
+from repro.l2cap.coc import L2capCoc
+
+#: The Bluetooth SIG-assigned UUID of the Internet Protocol Support Service.
+IPSS_UUID = 0x1820
+
+
+def add_ipss(server: GattServer) -> None:
+    """Register the IPSS on a node's GATT database."""
+    if not server.has_service(IPSS_UUID):
+        server.add_service(IPSS_UUID)
+
+
+def check_ip_support(
+    coc: L2capCoc,
+    controller: BleController,
+    on_done: Callable[[bool], None],
+) -> None:
+    """Discover the peer's services and report whether IPSS is present."""
+    GattClient(coc, controller).has_service(IPSS_UUID, on_done)

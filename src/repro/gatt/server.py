@@ -1,0 +1,62 @@
+"""A minimal GATT database: primary services with readable values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Service:
+    """One primary service occupying a handle range."""
+
+    uuid: int
+    start: int
+    end: int
+    #: Readable attribute values inside the range: handle -> bytes.
+    values: Dict[int, bytes] = field(default_factory=dict)
+
+
+class GattServer:
+    """One node's GATT database (shared across its connections).
+
+    Handles are allocated sequentially; each service reserves its declared
+    handle plus one handle per value.
+    """
+
+    def __init__(self) -> None:
+        self.services: List[Service] = []
+        self._next_handle = 1
+
+    def add_service(self, uuid: int, values: Optional[List[bytes]] = None) -> Service:
+        """Register a primary service; returns the allocated service."""
+        values = values or []
+        start = self._next_handle
+        end = start + len(values)
+        service = Service(
+            uuid=uuid,
+            start=start,
+            end=end,
+            values={start + 1 + i: v for i, v in enumerate(values)},
+        )
+        self.services.append(service)
+        self._next_handle = end + 1
+        return service
+
+    def services_in_range(self, start: int, end: int) -> List[Service]:
+        """Primary services whose declaration falls in [start, end]."""
+        return [s for s in self.services if start <= s.start <= end]
+
+    def has_service(self, uuid: int) -> bool:
+        """Whether a service with ``uuid`` is registered."""
+        return any(s.uuid == uuid for s in self.services)
+
+    def read(self, handle: int) -> Optional[bytes]:
+        """The value at ``handle`` (service declarations read their UUID)."""
+        for service in self.services:
+            if handle == service.start:
+                return service.uuid.to_bytes(2, "little")
+            value = service.values.get(handle)
+            if value is not None:
+                return value
+        return None

@@ -1,0 +1,36 @@
+"""IEEE 802.15.4 comparison link layer (paper §5.3).
+
+The paper contrasts multi-hop BLE with 802.15.4 on m3 nodes running the same
+CoAP benchmark.  The protocol differences that drive the results:
+
+* **CSMA/CA** media access instead of time-sliced channel hopping -- small
+  backoff delays instead of interval-quantized latencies;
+* **250 kbit/s** instead of 1 Mbit/s;
+* frames are **dropped after macMaxFrameRetries** failed attempts, whereas
+  BLE retransmits until the supervision timeout -- hence 802.15.4 loses
+  packets under contention while BLE converts loss into delay.
+
+* :mod:`repro.ieee802154.medium154` -- an active medium with carrier sense
+  and collision corruption,
+* :mod:`repro.ieee802154.mac` -- the unslotted CSMA/CA state machine with
+  acknowledgements and retries,
+* :mod:`repro.ieee802154.netif154` -- the 6LoWPAN interface glue,
+* :mod:`repro.ieee802154.network154` -- fleet builder mirroring
+  :class:`repro.testbed.topology.BleNetwork` so the identical workload runs
+  on both link layers.
+"""
+
+from repro.ieee802154.medium154 import CsmaMedium
+from repro.ieee802154.mac import Mac154, MacConfig, Frame154
+from repro.ieee802154.netif154 import Netif154
+from repro.ieee802154.network154 import CsmaNetwork, Node154
+
+__all__ = [
+    "CsmaMedium",
+    "Mac154",
+    "MacConfig",
+    "Frame154",
+    "Netif154",
+    "CsmaNetwork",
+    "Node154",
+]

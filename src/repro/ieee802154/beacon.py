@@ -1,0 +1,153 @@
+"""Beacon-enabled 802.15.4 PANs: shading beyond BLE (paper §7/§8).
+
+The paper generalizes its finding: "connection shading is not unique to BLE
+and can be observed in other time-slotted networks" (§8), citing Feeney &
+Fodor's study of co-located *beacon-enabled* IEEE 802.15.4 PANs whose
+superframes drift into each other (§7 [16]).
+
+This module models exactly that scenario with the repository's pieces: a
+:class:`BeaconedPan` is a coordinator that broadcasts beacons on its own
+drifting clock and a device that answers with a data burst inside the
+superframe's active period.  Two co-located PANs on one channel have
+active periods that slide against each other at the relative clock drift;
+while they overlap, their transmissions collide -- the same beat-frequency
+"temporal disconnections" the BLE connections suffer, on a completely
+different MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ieee802154.medium154 import CsmaMedium
+from repro.phy.frames import ieee802154_air_time_ns
+from repro.sim.clock import DriftingClock
+from repro.sim.kernel import Simulator
+from repro.sim.units import USEC
+
+#: Beacon frame PSDU: header 11 + superframe spec etc.
+BEACON_PSDU = 15
+#: A device's data frame PSDU in the burst.
+DATA_PSDU = 60
+#: Gap between burst frames (LIFS-ish).
+FRAME_GAP_NS = 640 * USEC
+
+
+@dataclass
+class PanStats:
+    """Delivery accounting for one PAN."""
+
+    beacons_sent: int = 0
+    beacons_received: int = 0
+    frames_sent: int = 0
+    frames_delivered: int = 0
+
+    def beacon_pdr(self) -> float:
+        """Beacons heard / sent (misses == the Feeney 'disconnections')."""
+        if not self.beacons_sent:
+            return 1.0
+        return self.beacons_received / self.beacons_sent
+
+    def frame_pdr(self) -> float:
+        """Burst frames delivered / sent."""
+        if not self.frames_sent:
+            return 1.0
+        return self.frames_delivered / self.frames_sent
+
+
+class BeaconedPan:
+    """One coordinator + one device, beaconing on a drifting clock.
+
+    :param sim: simulation kernel.
+    :param medium: the shared (collision-capable) channel.
+    :param clock: the coordinator's drifting clock -- beacons are spaced
+        ``beacon_interval_ns`` apart *on this clock*, exactly like BLE
+        anchors on the coordinator's sleep clock.
+    :param beacon_interval_ns: the beacon interval (the paper's connection
+        interval analogue).
+    :param burst_frames: data frames the device sends per superframe.
+    :param channel: the shared channel (co-located PANs collide on it).
+    :param offset_ns: first-beacon time (the initial phase).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: CsmaMedium,
+        clock: DriftingClock,
+        beacon_interval_ns: int,
+        burst_frames: int = 4,
+        channel: int = 17,
+        offset_ns: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.clock = clock
+        self.beacon_interval_ns = beacon_interval_ns
+        self.burst_frames = burst_frames
+        self.channel = channel
+        self.stats = PanStats()
+        #: (time_s, beacon_ok) samples for time-series analysis.
+        self.beacon_log: List[tuple] = []
+        self._running = False
+        self._anchor_true = offset_ns
+
+    def start(self) -> None:
+        """Begin beaconing."""
+        self._running = True
+        self.sim.at(self._anchor_true, self._superframe)
+
+    def stop(self) -> None:
+        """Stop at the next superframe boundary."""
+        self._running = False
+
+    def active_period_ns(self) -> int:
+        """Length of one superframe's active transmissions."""
+        beacon = ieee802154_air_time_ns(BEACON_PSDU)
+        frame = ieee802154_air_time_ns(DATA_PSDU)
+        return beacon + self.burst_frames * (FRAME_GAP_NS + frame)
+
+    def _superframe(self) -> None:
+        if not self._running:
+            return
+        self.stats.beacons_sent += 1
+        self.medium.transmit(
+            sender=self,
+            channel=self.channel,
+            nbytes=BEACON_PSDU,
+            duration_ns=ieee802154_air_time_ns(BEACON_PSDU),
+            on_delivered=self._beacon_done,
+        )
+        # next beacon: one interval later on the coordinator's *own* clock
+        self._anchor_true += self.clock.local_duration_to_true(
+            self.beacon_interval_ns
+        )
+        self.sim.at(self._anchor_true, self._superframe)
+
+    def _beacon_done(self, ok: bool) -> None:
+        self.beacon_log.append((self.sim.now, ok))
+        if not ok:
+            # the device missed the beacon: no burst this superframe --
+            # Feeney's "temporal disconnection"
+            return
+        self.stats.beacons_received += 1
+        self._send_burst(self.burst_frames)
+
+    def _send_burst(self, remaining: int) -> None:
+        if remaining == 0 or not self._running:
+            return
+        self.stats.frames_sent += 1
+
+        def done(ok: bool) -> None:
+            if ok:
+                self.stats.frames_delivered += 1
+            self.sim.after(FRAME_GAP_NS, self._send_burst, remaining - 1)
+
+        self.medium.transmit(
+            sender=self,
+            channel=self.channel,
+            nbytes=DATA_PSDU,
+            duration_ns=ieee802154_air_time_ns(DATA_PSDU),
+            on_delivered=done,
+        )

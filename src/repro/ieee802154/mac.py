@@ -1,0 +1,236 @@
+"""Unslotted CSMA/CA MAC (IEEE 802.15.4-2006 §7.5.1.4).
+
+For every frame: draw a random backoff of ``0..2^BE - 1`` unit backoff
+periods (320 us at 2.4 GHz), perform a CCA, and transmit if the channel is
+clear; on a busy channel, widen the exponent (up to macMaxBE) and try again
+up to macMaxCSMABackoffs times.  Transmitted data frames await an immediate
+acknowledgement; a missing ACK burns one of macMaxFrameRetries, and the
+frame is **dropped** when retries run out -- the behaviour that caps
+802.15.4's delivery rate under contention in the paper's comparison (§5.3)
+while keeping its delays small.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from repro.ieee802154.medium154 import CsmaMedium
+from repro.phy.frames import ieee802154_air_time_ns
+from repro.sim.kernel import Simulator
+from repro.sim.units import USEC
+
+#: One unit backoff period: 20 symbols x 16 us.
+UNIT_BACKOFF_NS = 320 * USEC
+#: CCA duration: 8 symbols.
+CCA_NS = 128 * USEC
+#: RX/TX turnaround: 12 symbols.
+TURNAROUND_NS = 192 * USEC
+#: How long a transmitter waits for the immediate ACK (54 symbols).
+ACK_WAIT_NS = 864 * USEC
+#: Immediate-ACK PSDU: FCF 2 + seq 1 + FCS 2.
+ACK_PSDU_LEN = 5
+#: MHR overhead of a data frame with short addressing: FCF 2 + seq 1 +
+#: PAN id 2 + dst 2 + src 2, plus the 2-byte FCS.
+DATA_FRAME_OVERHEAD = 11
+
+
+@dataclass
+class MacConfig:
+    """The standard's default CSMA/CA parameters (used by the paper's m3s)."""
+
+    min_be: int = 3
+    max_be: int = 5
+    max_csma_backoffs: int = 4
+    max_frame_retries: int = 3
+    channel: int = 17
+
+
+@dataclass
+class Frame154:
+    """One MAC data frame."""
+
+    src: int
+    dst: int
+    payload: bytes
+    seq: int = 0
+    #: Opaque upper-layer cookie returned in the completion callback.
+    tag: Optional[object] = None
+
+    @property
+    def psdu_len(self) -> int:
+        """MAC frame length including headers and FCS."""
+        return DATA_FRAME_OVERHEAD + len(self.payload)
+
+
+class Mac154:
+    """One node's CSMA/CA MAC entity.
+
+    :param sim: simulation kernel.
+    :param medium: the shared channel.
+    :param addr: 16-bit short address.
+    :param rng: backoff stream.
+    :param config: CSMA parameters.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: CsmaMedium,
+        addr: int,
+        rng: random.Random,
+        config: Optional[MacConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.addr = addr
+        self.rng = rng
+        self.config = config or MacConfig()
+        medium_peers = getattr(medium, "_macs", None)
+        if medium_peers is None:
+            medium_peers = {}
+            medium._macs = medium_peers
+        medium_peers[addr] = self
+        self._queue: Deque[Frame154] = deque()
+        self._busy = False  # a frame is progressing through CSMA/TX/ACK
+        self._transmitting = False  # radio actively emitting
+        self._seq = rng.randrange(0, 256)
+        self._rx_dedupe: Dict[int, int] = {}  # src -> last seq delivered
+        #: Upper-layer delivery hook: ``on_frame(frame)``.
+        self.on_frame: Optional[Callable[[Frame154], None]] = None
+        #: Completion hook: ``on_tx_done(frame, ok)`` -- ok=False means the
+        #: frame was dropped (retries or channel access exhausted).
+        self.on_tx_done: Optional[Callable[[Frame154, bool], None]] = None
+        # Statistics.
+        self.tx_ok = 0
+        self.tx_dropped_retries = 0
+        self.tx_dropped_channel_access = 0
+        self.tx_attempts = 0
+        self.rx_frames = 0
+        self.rx_dupes = 0
+        self.acks_sent = 0
+
+    # -- transmit path ---------------------------------------------------------
+
+    def send(self, dst: int, payload: bytes, tag: Optional[object] = None) -> Frame154:
+        """Queue one frame for transmission."""
+        self._seq = (self._seq + 1) & 0xFF
+        frame = Frame154(src=self.addr, dst=dst, payload=payload, seq=self._seq, tag=tag)
+        self._queue.append(frame)
+        if not self._busy:
+            self._start_next()
+        return frame
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting (including the one in progress)."""
+        return len(self._queue)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        self._csma_attempt(self._queue[0], nb=0, be=self.config.min_be, retries=0)
+
+    def _csma_attempt(self, frame: Frame154, nb: int, be: int, retries: int) -> None:
+        backoff = self.rng.randrange(0, 1 << be) * UNIT_BACKOFF_NS
+        self.sim.after(backoff + CCA_NS, self._after_cca, frame, nb, be, retries)
+
+    def _after_cca(self, frame: Frame154, nb: int, be: int, retries: int) -> None:
+        if self.medium.channel_busy(self.config.channel):
+            nb += 1
+            if nb > self.config.max_csma_backoffs:
+                self._complete(frame, ok=False, reason="channel-access")
+                return
+            self._csma_attempt(frame, nb, min(be + 1, self.config.max_be), retries)
+            return
+        self.sim.after(TURNAROUND_NS, self._transmit, frame, retries)
+
+    def _transmit(self, frame: Frame154, retries: int) -> None:
+        self.tx_attempts += 1
+        self._transmitting = True
+        duration = ieee802154_air_time_ns(frame.psdu_len)
+        self.medium.transmit(
+            sender=self,
+            channel=self.config.channel,
+            nbytes=frame.psdu_len,
+            duration_ns=duration,
+            on_delivered=lambda ok: self._tx_finished(frame, retries, ok),
+        )
+
+    def _tx_finished(self, frame: Frame154, retries: int, ok: bool) -> None:
+        self._transmitting = False
+        delivered = False
+        if ok:
+            receiver = self.medium._macs.get(frame.dst)
+            if receiver is not None and not receiver._transmitting:
+                delivered = receiver._deliver(frame)
+        if delivered:
+            # the receiver sends an immediate ACK after the turnaround; model
+            # the ACK as a short frame that may itself collide
+            self.sim.after(
+                TURNAROUND_NS,
+                self._await_ack,
+                frame,
+                retries,
+            )
+        else:
+            self.sim.after(ACK_WAIT_NS, self._ack_missing, frame, retries)
+
+    def _await_ack(self, frame: Frame154, retries: int) -> None:
+        receiver = self.medium._macs[frame.dst]
+        receiver.acks_sent += 1
+        duration = ieee802154_air_time_ns(ACK_PSDU_LEN)
+        receiver._transmitting = True
+
+        def ack_done(ok: bool, rcv=receiver) -> None:
+            rcv._transmitting = False
+            if ok:
+                self._complete(frame, ok=True, reason="acked")
+            else:
+                self._ack_missing(frame, retries)
+
+        self.medium.transmit(
+            sender=receiver,
+            channel=self.config.channel,
+            nbytes=ACK_PSDU_LEN,
+            duration_ns=duration,
+            on_delivered=ack_done,
+        )
+
+    def _ack_missing(self, frame: Frame154, retries: int) -> None:
+        if retries >= self.config.max_frame_retries:
+            self._complete(frame, ok=False, reason="retries")
+            return
+        self._csma_attempt(frame, nb=0, be=self.config.min_be, retries=retries + 1)
+
+    def _complete(self, frame: Frame154, ok: bool, reason: str) -> None:
+        if self._queue and self._queue[0] is frame:
+            self._queue.popleft()
+        if ok:
+            self.tx_ok += 1
+        elif reason == "retries":
+            self.tx_dropped_retries += 1
+        else:
+            self.tx_dropped_channel_access += 1
+        if self.on_tx_done is not None:
+            self.on_tx_done(frame, ok)
+        self._start_next()
+
+    # -- receive path ------------------------------------------------------------
+
+    def _deliver(self, frame: Frame154) -> bool:
+        """Accept a frame addressed to us; returns False never (dedupe only
+        suppresses the upper-layer delivery, the ACK still goes out)."""
+        last = self._rx_dedupe.get(frame.src)
+        if last == frame.seq:
+            self.rx_dupes += 1
+            return True
+        self._rx_dedupe[frame.src] = frame.seq
+        self.rx_frames += 1
+        if self.on_frame is not None:
+            self.on_frame(frame)
+        return True

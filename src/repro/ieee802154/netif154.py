@@ -1,0 +1,120 @@
+"""6LoWPAN interface over the 802.15.4 MAC.
+
+The same IPHC adaptation as the BLE netif for frame-sized datagrams; larger
+datagrams take the RFC 4944 fragmentation path (FRAG1/FRAGN + reassembly)
+that the paper's workload deliberately avoids (§4.3 footnote) -- and whose
+fragility under loss `benchmarks/test_ext_fragmentation.py` measures.
+
+Packet-buffer accounting mirrors the BLE path: bytes are held from ``send``
+until the MAC reports each frame acknowledged or dropped.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ieee802154.mac import Frame154, Mac154
+from repro.net.pktbuf import PacketBuffer
+from repro.phy.frames import IEEE802154_MAX_PSDU
+from repro.sixlowpan import frag
+from repro.sixlowpan.adapt import BleAdaptation
+from repro.sixlowpan.iphc import UNCOMPRESSED_IPV6_DISPATCH
+from repro.sixlowpan.ipv6 import Ipv6Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.ip import Ipv6Stack
+
+#: MAC header + FCS overhead around the 6LoWPAN payload.
+MAC_OVERHEAD = 11
+#: Largest 6LoWPAN payload per frame.
+FRAME_BUDGET = IEEE802154_MAX_PSDU - MAC_OVERHEAD
+
+
+class Netif154:
+    """IPv6-over-802.15.4 interface for one node."""
+
+    def __init__(self, mac: Mac154, pktbuf: PacketBuffer) -> None:
+        self.mac = mac
+        self.pktbuf = pktbuf
+        self.adaptation = BleAdaptation()  # IPHC is identical over 802.15.4
+        self.ip: Optional["Ipv6Stack"] = None
+        self.reassembler = frag.Reassembler(mac.sim, self._on_reassembled)
+        self._next_tag = mac.rng.randrange(0, 0x10000)
+        self.tx_packets = 0
+        self.tx_fragmented_datagrams = 0
+        self.rx_packets = 0
+        self.drops_pktbuf = 0
+        self.drops_mac = 0
+        self.drops_too_big = 0
+        self.rx_decode_errors = 0
+        mac.on_frame = self._on_frame
+        mac.on_tx_done = self._on_tx_done
+
+    @property
+    def ll_addr(self) -> int:
+        """This interface's short address."""
+        return self.mac.addr
+
+    def send(self, packet: Ipv6Packet, next_hop_ll: int) -> bool:
+        """Compress (or fragment) and queue one packet to ``next_hop_ll``."""
+        wire = self.adaptation.to_link(
+            packet,
+            BleAdaptation.iid_for_node(self.ll_addr),
+            BleAdaptation.iid_for_node(next_hop_ll),
+        )
+        if len(wire) <= FRAME_BUDGET:
+            if not self.pktbuf.try_alloc(len(wire)):
+                self.drops_pktbuf += 1
+                return False
+            self.mac.send(next_hop_ll, wire, tag=len(wire))
+            self.tx_packets += 1
+            return True
+        return self._send_fragmented(packet, next_hop_ll)
+
+    def _send_fragmented(self, packet: Ipv6Packet, next_hop_ll: int) -> bool:
+        """RFC 4944 path: carry the datagram uncompressed in fragments."""
+        raw = bytes([UNCOMPRESSED_IPV6_DISPATCH]) + packet.encode()
+        if len(raw) > 0x7FF or len(raw) > 1281:
+            self.drops_too_big += 1
+            return False
+        tag = self._next_tag
+        self._next_tag = (self._next_tag + 1) & 0xFFFF
+        fragments = frag.fragment(raw, tag, FRAME_BUDGET)
+        total = sum(len(f) for f in fragments)
+        if not self.pktbuf.try_alloc(total):
+            self.drops_pktbuf += 1
+            return False
+        for piece in fragments:
+            self.mac.send(next_hop_ll, piece, tag=len(piece))
+        self.tx_packets += 1
+        self.tx_fragmented_datagrams += 1
+        return True
+
+    def _on_tx_done(self, frame: Frame154, ok: bool) -> None:
+        if isinstance(frame.tag, int):
+            self.pktbuf.free(frame.tag)
+        if not ok:
+            self.drops_mac += 1
+
+    def _on_frame(self, frame: Frame154) -> None:
+        if frag.is_fragment(frame.payload):
+            self.reassembler.accept(frame.payload, frame.src)
+            return
+        self._deliver(frame.payload, frame.src)
+
+    def _on_reassembled(self, datagram: bytes, sender: int) -> None:
+        self._deliver(datagram, sender)
+
+    def _deliver(self, wire: bytes, sender_ll: int) -> None:
+        try:
+            packet = self.adaptation.from_link(
+                wire,
+                BleAdaptation.iid_for_node(sender_ll),
+                BleAdaptation.iid_for_node(self.ll_addr),
+            )
+        except ValueError:
+            self.rx_decode_errors += 1
+            return
+        self.rx_packets += 1
+        if self.ip is not None:
+            self.ip.receive(packet, self)

@@ -1,0 +1,13 @@
+"""L2CAP connection-oriented channels with credit-based flow control.
+
+RFC 7668 transfers IPv6 datagrams over an LE credit-based L2CAP channel
+(the *Connection Oriented Channel* of the paper's Figure 2): a full-duplex,
+reliable, in-order pipe on top of a BLE connection.  This package implements
+the channel -- SDU segmentation into K-frames, reassembly, and the credit
+economy -- with byte-accurate framing so packet sizes on air match the
+arithmetic of §4.3.
+"""
+
+from repro.l2cap.coc import CocConfig, L2capCoc, IPSP_PSM
+
+__all__ = ["CocConfig", "L2capCoc", "IPSP_PSM"]

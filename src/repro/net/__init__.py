@@ -1,0 +1,24 @@
+"""GNRC-equivalent network core: packet buffer, interfaces, IPv6, UDP.
+
+This package mirrors the slice of RIOT's GNRC stack the paper exercises
+(Figure 5): a byte-budgeted central packet buffer (6144 bytes by default,
+§4.2), a neighbour information base (raised to 32 entries in the paper), a
+static forwarding information base (routes are configured manually, §4.3),
+an IPv6 forwarding engine, and a minimal UDP layer for CoAP.
+"""
+
+from repro.net.pktbuf import PacketBuffer
+from repro.net.nib import NeighborCache
+from repro.net.fib import ForwardingTable
+from repro.net.ip import Ipv6Stack
+from repro.net.udp import UdpStack
+from repro.net.netif import BleNetif
+
+__all__ = [
+    "PacketBuffer",
+    "NeighborCache",
+    "ForwardingTable",
+    "Ipv6Stack",
+    "UdpStack",
+    "BleNetif",
+]

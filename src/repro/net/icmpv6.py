@@ -1,0 +1,169 @@
+"""ICMPv6: echo (ping), plus the router solicitation/advertisement shells
+used by the routing layer.
+
+The paper's GNRC configuration disables router advertisements (§4.2)
+because routes are static; the dynamic-topology extension (the paper's
+future work, §9) re-enables a minimal ND exchange and RPL rides on ICMPv6
+like the real protocol (type 155).  Wire formats are exact, checksums are
+computed over the IPv6 pseudo header.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.net.ip import Ipv6Stack
+from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet
+
+#: IANA next-header number for ICMPv6.
+PROTO_ICMPV6 = 58
+
+# message types
+ECHO_REQUEST = 128
+ECHO_REPLY = 129
+ROUTER_SOLICITATION = 133
+ROUTER_ADVERTISEMENT = 134
+RPL_CONTROL = 155
+
+
+def icmpv6_checksum(src: Ipv6Address, dst: Ipv6Address, message: bytes) -> int:
+    """ICMPv6 checksum over the IPv6 pseudo header (RFC 4443 §2.3)."""
+    pseudo = (
+        src.packed
+        + dst.packed
+        + struct.pack(">IHBB", len(message), 0, 0, PROTO_ICMPV6)
+    )
+    from repro.sixlowpan.ipv6 import _checksum  # shared RFC 1071 sum
+
+    return _checksum(pseudo + message)
+
+
+@dataclass
+class Icmpv6Message:
+    """One ICMPv6 message: type, code, body (after the 4-byte header)."""
+
+    mtype: int
+    code: int = 0
+    body: bytes = b""
+
+    def encode(self, src: Ipv6Address, dst: Ipv6Address) -> bytes:
+        """Serialize with a valid checksum."""
+        raw = struct.pack(">BBH", self.mtype, self.code, 0) + self.body
+        checksum = icmpv6_checksum(src, dst, raw)
+        return struct.pack(">BBH", self.mtype, self.code, checksum) + self.body
+
+    @classmethod
+    def decode(
+        cls,
+        data: bytes,
+        src: Optional[Ipv6Address] = None,
+        dst: Optional[Ipv6Address] = None,
+        verify: bool = True,
+    ) -> "Icmpv6Message":
+        """Parse; verifies the checksum when both addresses are given."""
+        if len(data) < 4:
+            raise ValueError("truncated ICMPv6 header")
+        mtype, code, checksum = struct.unpack_from(">BBH", data)
+        body = data[4:]
+        if verify and src is not None and dst is not None:
+            raw = struct.pack(">BBH", mtype, code, 0) + body
+            if icmpv6_checksum(src, dst, raw) != checksum:
+                raise ValueError("ICMPv6 checksum mismatch")
+        return cls(mtype, code, body)
+
+
+#: ``handler(message, src_addr)`` for registered ICMPv6 types.
+IcmpHandler = Callable[[Icmpv6Message, Ipv6Address], None]
+
+
+class Icmpv6Stack:
+    """ICMPv6 demux + echo responder for one node.
+
+    :param ip: the node's IPv6 stack.
+    :param sim: the simulation kernel (for ping RTT measurement).
+    """
+
+    def __init__(self, ip: Ipv6Stack, sim) -> None:
+        self.ip = ip
+        self.sim = sim
+        self._handlers: Dict[int, IcmpHandler] = {}
+        self._pending_pings: Dict[tuple, tuple] = {}
+        self._next_ping_id = 1
+        # Statistics.
+        self.echo_requests_served = 0
+        self.rx_checksum_errors = 0
+        self.rx_unhandled = 0
+        ip.register_protocol(PROTO_ICMPV6, self._on_packet)
+
+    def register(self, mtype: int, handler: IcmpHandler) -> None:
+        """Attach a handler for an ICMPv6 type (e.g. RPL control)."""
+        self._handlers[mtype] = handler
+
+    def send(
+        self,
+        dst: Ipv6Address,
+        message: Icmpv6Message,
+        src: Optional[Ipv6Address] = None,
+        hop_limit: int = 64,
+    ) -> bool:
+        """Send one ICMPv6 message."""
+        src = src or self.ip.mesh_local
+        packet = Ipv6Packet(
+            src=src,
+            dst=dst,
+            payload=message.encode(src, dst),
+            next_header=PROTO_ICMPV6,
+            hop_limit=hop_limit,
+        )
+        return self.ip.send(packet)
+
+    # -- ping --------------------------------------------------------------
+
+    def ping(
+        self,
+        dst: Ipv6Address,
+        payload: bytes = b"",
+        on_reply: Optional[Callable[[int], None]] = None,
+    ) -> bool:
+        """Send an echo request; ``on_reply(rtt_ns)`` fires on the reply."""
+        ident = self._next_ping_id
+        self._next_ping_id = (self._next_ping_id + 1) & 0xFFFF
+        body = struct.pack(">HH", ident, 0) + payload
+        self._pending_pings[(ident, 0)] = (self.sim.now, on_reply)
+        return self.send(dst, Icmpv6Message(ECHO_REQUEST, 0, body))
+
+    # -- demux --------------------------------------------------------------
+
+    def _on_packet(self, packet: Ipv6Packet) -> None:
+        try:
+            message = Icmpv6Message.decode(packet.payload, packet.src, packet.dst)
+        except ValueError:
+            self.rx_checksum_errors += 1
+            return
+        if message.mtype == ECHO_REQUEST:
+            self._serve_echo(message, packet)
+        elif message.mtype == ECHO_REPLY:
+            self._match_echo(message)
+        else:
+            handler = self._handlers.get(message.mtype)
+            if handler is None:
+                self.rx_unhandled += 1
+            else:
+                handler(message, packet.src)
+
+    def _serve_echo(self, message: Icmpv6Message, packet: Ipv6Packet) -> None:
+        self.echo_requests_served += 1
+        self.send(packet.src, Icmpv6Message(ECHO_REPLY, 0, message.body))
+
+    def _match_echo(self, message: Icmpv6Message) -> None:
+        if len(message.body) < 4:
+            return
+        ident, seq = struct.unpack_from(">HH", message.body)
+        pending = self._pending_pings.pop((ident, seq), None)
+        if pending is None:
+            return
+        sent_at, on_reply = pending
+        if on_reply is not None:
+            on_reply(self.sim.now - sent_at)

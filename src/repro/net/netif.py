@@ -1,0 +1,171 @@
+"""The BLE network interface (the paper's ``nimble_netif``, §3).
+
+One :class:`BleNetif` per node bridges the IP stack and the BLE controller:
+
+* on connection open it attaches an L2CAP CoC to the link, installs
+  neighbour-cache entries for the peer (RFC 7668 derives the IID from the
+  device address, no address resolution needed), and starts forwarding;
+* outbound packets are IPHC-compressed, charged against the GNRC packet
+  buffer, and handed to the CoC; the buffer bytes are released only when the
+  SDU is acknowledged on the link layer -- so a stalled link holds buffer
+  space, which is precisely how the paper's overload losses arise (§5.2);
+* on connection close all held buffer bytes are released and the neighbour
+  entries are withdrawn.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.ble.conn import Connection, DisconnectReason
+from repro.ble.controller import BleController
+from repro.l2cap import CocConfig, L2capCoc
+from repro.net.pktbuf import PacketBuffer
+from repro.sixlowpan.adapt import BleAdaptation
+from repro.sixlowpan.ipv6 import Ipv6Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.ip import Ipv6Stack
+
+
+def coc_of(
+    conn: Connection,
+    config: Optional[CocConfig] = None,
+    handshake: bool = False,
+) -> L2capCoc:
+    """The single shared CoC of a connection (created on first use).
+
+    Both endpoints' netifs must drive the *same* channel object, so it is
+    cached on the connection.
+    """
+    coc = getattr(conn, "_ipsp_coc", None)
+    if coc is None:
+        coc = L2capCoc(conn, config, handshake=handshake)
+        conn._ipsp_coc = coc
+    return coc
+
+
+class BleNetif:
+    """IPv6-over-BLE interface for one node.
+
+    :param controller: the node's BLE controller.
+    :param pktbuf: the node's GNRC packet buffer.
+    :param coc_config: L2CAP channel parameters.
+    """
+
+    def __init__(
+        self,
+        controller: BleController,
+        pktbuf: PacketBuffer,
+        coc_config: Optional[CocConfig] = None,
+    ) -> None:
+        self.controller = controller
+        self.pktbuf = pktbuf
+        self.coc_config = coc_config
+        self.adaptation = BleAdaptation()
+        #: Set by :meth:`repro.net.ip.Ipv6Stack.add_netif`.
+        self.ip: Optional["Ipv6Stack"] = None
+        self._outstanding: Dict[Connection, int] = {}
+        # Statistics.
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.drops_pktbuf = 0
+        self.drops_no_link = 0
+        self.rx_decode_errors = 0
+        controller.conn_open_listeners.append(self._on_conn_open)
+        controller.conn_close_listeners.append(self._on_conn_close)
+
+    @property
+    def ll_addr(self) -> int:
+        """This interface's link-layer address."""
+        return self.controller.addr
+
+    # -- link lifecycle ----------------------------------------------------
+
+    def _on_conn_open(self, conn: Connection) -> None:
+        from repro.ble.conn import Role
+        from repro.l2cap.coc import IPSP_PSM
+
+        coc = coc_of(conn, self.coc_config, handshake=True)
+        coc.accept_psm(IPSP_PSM)
+        end = coc.end_of(self.controller)
+        peer_ll = conn.peer_of(self.controller).addr
+        end.on_sdu = lambda sdu, peer=peer_ll: self._on_rx_sdu(sdu, peer)
+        end.on_sdu_sent = self._on_sdu_sent
+        self._outstanding[conn] = 0
+        # RFC 7668: the coordinator (6LN/central) initiates the IPSP channel
+        if self.controller.role_of(conn) is Role.COORDINATOR:
+            coc.open_channel(self.controller, IPSP_PSM)
+        if self.ip is not None:
+            self.ip.neighbor_up(peer_ll, self)
+
+    def _on_conn_close(self, conn: Connection, reason: DisconnectReason) -> None:
+        held = self._outstanding.pop(conn, 0)
+        if held:
+            self.pktbuf.free(held)
+        if self.ip is not None:
+            self.ip.neighbor_down(conn.peer_of(self.controller).addr)
+
+    # -- data path ----------------------------------------------------------
+
+    def send(self, packet: Ipv6Packet, next_hop_ll: int) -> bool:
+        """Queue ``packet`` towards the neighbour at ``next_hop_ll``.
+
+        :returns: False when the link is down or the packet buffer is full
+            (the packet is dropped and counted either way).
+        """
+        conn = self.controller.connection_to(next_hop_ll)
+        if conn is None or not conn.open:
+            self.drops_no_link += 1
+            return False
+        wire = self.adaptation.to_link(
+            packet,
+            BleAdaptation.iid_for_node(self.ll_addr),
+            BleAdaptation.iid_for_node(next_hop_ll),
+        )
+        if not self.pktbuf.try_alloc(len(wire)):
+            self.drops_pktbuf += 1
+            return False
+        self._outstanding[conn] = self._outstanding.get(conn, 0) + len(wire)
+        coc_of(conn, self.coc_config).send(
+            self.controller, wire, tag=(conn, len(wire))
+        )
+        self.tx_packets += 1
+        return True
+
+    def send_multicast(self, packet: Ipv6Packet) -> int:
+        """Unicast one copy per live connection (RFC 7668 §3.2.3 mapping).
+
+        :returns: the number of copies actually queued.
+        """
+        sent = 0
+        for conn in list(self.controller.connections):
+            if conn.open and self.send(packet, conn.peer_of(self.controller).addr):
+                sent += 1
+        return sent
+
+    def _on_sdu_sent(self, tag) -> None:
+        """The link layer acknowledged a full SDU: release its buffer bytes."""
+        if not isinstance(tag, tuple):
+            return
+        conn, nbytes = tag
+        held = self._outstanding.get(conn)
+        if held is None:
+            return  # connection already closed; bytes were bulk-freed
+        self._outstanding[conn] = held - nbytes
+        self.pktbuf.free(nbytes)
+
+    def _on_rx_sdu(self, sdu: bytes, peer_ll: int) -> None:
+        """Decompress an inbound SDU and push it up to the IP stack."""
+        try:
+            packet = self.adaptation.from_link(
+                sdu,
+                BleAdaptation.iid_for_node(peer_ll),
+                BleAdaptation.iid_for_node(self.ll_addr),
+            )
+        except ValueError:
+            self.rx_decode_errors += 1
+            return
+        self.rx_packets += 1
+        if self.ip is not None:
+            self.ip.receive(packet, self)

@@ -1,0 +1,22 @@
+"""The central GNRC packet buffer.
+
+GNRC holds every in-flight packet in one static byte pool; the paper leaves
+it at the default 6144 bytes (§4.2).  Under load, packets waiting for slow
+links exhaust the pool and new packets are dropped -- the paper attributes
+all §5.2 losses to exactly this.  :class:`PacketBuffer` reuses the generic
+byte-budget allocator and adds the GNRC default.
+"""
+
+from __future__ import annotations
+
+from repro.ble.bufpool import BufferPool
+
+#: RIOT's default GNRC pktbuf size, used in the paper.
+GNRC_PKTBUF_DEFAULT = 6144
+
+
+class PacketBuffer(BufferPool):
+    """A byte-budgeted packet buffer with the GNRC default capacity."""
+
+    def __init__(self, capacity: int = GNRC_PKTBUF_DEFAULT, name: str = "pktbuf"):
+        super().__init__(capacity, name)

@@ -1,0 +1,41 @@
+"""Physical-layer substrate: channels, air-time arithmetic, radio medium.
+
+The paper's testbed has all 15 nodes within mutual radio range on a 1 m grid
+(§4.1), so no propagation model is needed.  What *does* shape the results is
+
+* per-channel packet loss (the testbed had BLE data channel 22 permanently
+  jammed by an external signal, §4.2),
+* exact on-air packet durations (they bound how many packet exchanges fit
+  into a connection event, §2.2), and
+* the half-duplex, single-transceiver nature of each node's radio (the root
+  of scheduling conflicts between co-located connections, §2.3).
+
+This package models the first two; per-node transceiver arbitration lives in
+:mod:`repro.ble.sched` for BLE and inside :mod:`repro.ieee802154.mac` for the
+comparison link layer.
+"""
+
+from repro.phy.channels import (
+    BLE_NUM_DATA_CHANNELS,
+    BLE_DATA_CHANNELS,
+    BLE_ADV_CHANNELS,
+    IEEE802154_CHANNELS,
+)
+from repro.phy.frames import (
+    BlePhyMode,
+    ble_air_time_ns,
+    ieee802154_air_time_ns,
+)
+from repro.phy.medium import InterferenceModel, BleMedium
+
+__all__ = [
+    "BLE_NUM_DATA_CHANNELS",
+    "BLE_DATA_CHANNELS",
+    "BLE_ADV_CHANNELS",
+    "IEEE802154_CHANNELS",
+    "BlePhyMode",
+    "ble_air_time_ns",
+    "ieee802154_air_time_ns",
+    "InterferenceModel",
+    "BleMedium",
+]

@@ -1,0 +1,51 @@
+"""Channel plans for BLE and IEEE 802.15.4.
+
+BLE divides the 2.4 GHz ISM band into 40 RF channels of 2 MHz.  Channel
+*indices* 0..36 are data channels used by connections (via a channel
+selection algorithm, :mod:`repro.ble.csa`); indices 37, 38, 39 are the three
+advertising channels.  The RF-channel <-> channel-index mapping interleaves
+the advertising channels at the band edges and centre so they dodge Wi-Fi.
+
+IEEE 802.15.4 (2.4 GHz O-QPSK PHY) uses 16 channels numbered 11..26.
+"""
+
+from __future__ import annotations
+
+#: Number of BLE data channels selectable by a connection.
+BLE_NUM_DATA_CHANNELS: int = 37
+
+#: BLE data channel indices (0..36).
+BLE_DATA_CHANNELS: tuple[int, ...] = tuple(range(37))
+
+#: BLE advertising channel indices.
+BLE_ADV_CHANNELS: tuple[int, ...] = (37, 38, 39)
+
+#: IEEE 802.15.4 2.4 GHz channel page 0 channels.
+IEEE802154_CHANNELS: tuple[int, ...] = tuple(range(11, 27))
+
+# RF channel (physical frequency slot, 0..39 == 2402..2480 MHz) for each BLE
+# channel *index*.  Adv channels 37/38/39 sit at RF 0, 12, 39.
+_INDEX_TO_RF: tuple[int, ...] = tuple(
+    list(range(1, 12)) + list(range(13, 39)) + [0, 12, 39]
+)
+
+
+def ble_index_to_rf(index: int) -> int:
+    """Map a BLE channel index (0..39) to its RF channel number (0..39)."""
+    if not 0 <= index <= 39:
+        raise ValueError(f"BLE channel index out of range: {index}")
+    return _INDEX_TO_RF[index]
+
+
+def ble_rf_to_frequency_mhz(rf: int) -> int:
+    """Centre frequency of an RF channel in MHz (2402 + 2 * rf)."""
+    if not 0 <= rf <= 39:
+        raise ValueError(f"BLE RF channel out of range: {rf}")
+    return 2402 + 2 * rf
+
+
+def ieee802154_frequency_mhz(channel: int) -> int:
+    """Centre frequency of an IEEE 802.15.4 2.4 GHz channel in MHz."""
+    if channel not in IEEE802154_CHANNELS:
+        raise ValueError(f"802.15.4 channel out of range: {channel}")
+    return 2405 + 5 * (channel - 11)

@@ -1,0 +1,23 @@
+"""RPL-lite: dynamic IPv6 routing for the mesh (the paper's future work).
+
+The paper runs *static* routes (§4.3) and names RPL as the routing protocol
+a real deployment would use, leaving "the coupling of BLE topologies with IP
+routing" as future work (§9).  This package provides that coupling partner:
+a deliberately small storing-mode RPL (RFC 6550) with
+
+* DIO dissemination on a Trickle timer (:mod:`repro.rpl.trickle`,
+  RFC 6206, implemented exactly),
+* rank-based preferred-parent selection and default-route installation,
+* DAO target advertisement up the DODAG with storing-mode host routes,
+* parent-loss detection wired to the BLE connection lifecycle.
+
+Together with :mod:`repro.core.dynconn` it forms networks from nothing:
+nodes discover each other over BLE advertising, join the DODAG, and heal
+after router failures -- the scenario of
+``benchmarks/test_ext_dynamic_topology.py``.
+"""
+
+from repro.rpl.trickle import TrickleTimer
+from repro.rpl.rpl import RplInstance, RplConfig, INFINITE_RANK
+
+__all__ = ["TrickleTimer", "RplInstance", "RplConfig", "INFINITE_RANK"]

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+This package provides the timing foundation for every other subsystem in
+:mod:`repro`:
+
+* :mod:`repro.sim.kernel` -- a deterministic event loop operating on integer
+  nanoseconds of *true* (global) time,
+* :mod:`repro.sim.clock` -- per-node drifting clocks that map local time onto
+  true time (the root cause of the paper's *connection shading*),
+* :mod:`repro.sim.rng` -- named, seed-derived random streams so that every
+  experiment is reproducible from a single integer seed,
+* :mod:`repro.sim.units` -- time unit constants and helpers.
+"""
+
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.clock import DriftingClock
+from repro.sim.rng import RngRegistry
+from repro.sim.units import (
+    NSEC,
+    USEC,
+    MSEC,
+    SEC,
+    ns_to_s,
+    s_to_ns,
+    ms_to_ns,
+    us_to_ns,
+)
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "DriftingClock",
+    "RngRegistry",
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "ns_to_s",
+    "s_to_ns",
+    "ms_to_ns",
+    "us_to_ns",
+]

@@ -1,0 +1,140 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel maintains a priority queue of :class:`Timer` objects keyed by
+``(fire_time_ns, sequence_number)``.  The sequence number makes execution
+order fully deterministic when several timers share a timestamp: they fire
+in scheduling order.  Timestamps are integer nanoseconds of *true* time --
+node-local (drifting) views of time are layered on top by
+:class:`repro.sim.clock.DriftingClock` and never enter the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, running twice, ...)."""
+
+
+class Timer:
+    """A handle for one scheduled callback.
+
+    Timers are returned by :meth:`Simulator.at` / :meth:`Simulator.after` and
+    can be cancelled before they fire.  A cancelled timer stays in the heap
+    but is skipped by the event loop (lazy deletion).
+    """
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, when: int, seq: int, callback: Callable[..., Any], args: tuple):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Timer t={self.when}ns seq={self.seq} {state} {self.callback!r}>"
+
+
+class Simulator:
+    """Event loop over integer-nanosecond true time.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.after(1_000_000, lambda: print("one millisecond"))
+        sim.run(until=SEC)
+
+    The loop stops when the queue is empty, when the optional horizon is
+    reached, or when :meth:`stop` is called from within a callback.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list[Timer] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        #: Number of callbacks executed so far (cheap progress metric).
+        self.events_executed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current true time in nanoseconds."""
+        return self._now
+
+    def at(self, when: int, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute true time ``when`` (ns)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when}ns, already at t={self._now}ns"
+            )
+        timer = Timer(int(when), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, timer)
+        return timer
+
+    def after(self, delay: int, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}ns")
+        return self.at(self._now + int(delay), callback, *args)
+
+    def stop(self) -> None:
+        """Request the running loop to stop after the current callback."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        :param until: optional horizon in true ns.  Events scheduled at
+            exactly ``until`` are *not* executed; on return ``now`` equals
+            ``until`` (if given) or the time of the last executed event.
+        :returns: the number of callbacks executed during this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            queue = self._queue
+            while queue and not self._stopped:
+                timer = queue[0]
+                if timer.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and timer.when >= until:
+                    break
+                heapq.heappop(queue)
+                self._now = timer.when
+                timer.callback(*timer.args)
+                executed += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        self.events_executed += executed
+        return executed
+
+    def peek(self) -> Optional[int]:
+        """Return the timestamp of the next pending event, or ``None``."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].when if queue else None
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue (O(n))."""
+        return sum(1 for t in self._queue if not t.cancelled)

@@ -1,0 +1,49 @@
+"""Time units.
+
+All simulator timestamps and durations are **integer nanoseconds** of true
+(global) time.  BLE timing constants are exact in this base: the inter frame
+spacing T_IFS is 150 us = 150_000 ns, the connection interval quantum is
+1.25 ms = 1_250_000 ns, and one byte at the 1 Mbit/s PHY takes 8 us =
+8_000 ns on air.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NSEC: int = 1
+#: One microsecond in nanoseconds.
+USEC: int = 1_000
+#: One millisecond in nanoseconds.
+MSEC: int = 1_000_000
+#: One second in nanoseconds.
+SEC: int = 1_000_000_000
+
+
+def ns_to_s(t_ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return t_ns / SEC
+
+
+def ns_to_ms(t_ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds."""
+    return t_ns / MSEC
+
+
+def ns_to_us(t_ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return t_ns / USEC
+
+
+def s_to_ns(t_s: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return round(t_s * SEC)
+
+
+def ms_to_ns(t_ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return round(t_ms * MSEC)
+
+
+def us_to_ns(t_us: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return round(t_us * USEC)

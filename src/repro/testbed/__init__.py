@@ -1,0 +1,31 @@
+"""Scenario construction: networks, topologies, traffic (paper §4).
+
+* :mod:`repro.testbed.topology` -- builds multi-node BLE networks, wires
+  statconn links, and installs the static routes of the paper's tree and
+  line topologies (Figure 6);
+* :mod:`repro.testbed.traffic` -- the producer/consumer CoAP workload
+  (39-byte payloads, jittered periodic requests, §4.3);
+* :mod:`repro.testbed.iotlab` -- presets matching the FIT IoT-LAB fleet:
+  15 nodes, measured clock-drift spread, the permanently jammed channel 22.
+"""
+
+from repro.testbed.topology import (
+    BleNetwork,
+    tree_topology_edges,
+    line_topology_edges,
+    star_topology_edges,
+)
+from repro.testbed.traffic import Producer, Consumer, TrafficConfig
+from repro.testbed.iotlab import iotlab_network, IOTLAB_NODE_COUNT
+
+__all__ = [
+    "BleNetwork",
+    "tree_topology_edges",
+    "line_topology_edges",
+    "star_topology_edges",
+    "Producer",
+    "Consumer",
+    "TrafficConfig",
+    "iotlab_network",
+    "IOTLAB_NODE_COUNT",
+]

@@ -1,0 +1,105 @@
+"""Self-forming network construction (dynconn + RPL).
+
+The dynamic counterpart of :class:`repro.testbed.topology.BleNetwork`: no
+edge list, no static routes -- node 0 roots a DODAG, everyone else starts
+as an orphan, and the mesh grows by BLE discovery + RPL joining (the
+paper's §9 future-work scenario).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ble.config import BleConfig
+from repro.core.dynconn import Dynconn, DynconnConfig
+from repro.core.intervals import RandomWindowIntervalPolicy
+from repro.core.node import Node
+from repro.phy.medium import BleMedium, InterferenceModel
+from repro.rpl import RplConfig, RplInstance
+from repro.sim import RngRegistry, Simulator
+from repro.sim.units import MSEC
+
+
+class DynamicBleNetwork:
+    """A fleet that forms its own topology.
+
+    :param n_nodes: fleet size (node 0 is the DODAG root).
+    :param seed: master seed.
+    :param ppms: per-node clock errors (default: uniform ±3 ppm).
+    :param max_children: adoption capacity per router.
+    :param interval_window_ms: the randomized connection-interval window
+        (the §6.3 mitigation is the default in dynamic meshes).
+    :param rpl_config: RPL constants.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 1,
+        ppms: Optional[Sequence[float]] = None,
+        ble_config_factory=None,
+        interference: Optional[InterferenceModel] = None,
+        max_children: int = 3,
+        interval_window_ms: tuple = (65, 85),
+        rpl_config: Optional[RplConfig] = None,
+        pktbuf_capacity: int = 6144,
+    ) -> None:
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.medium = BleMedium(self.sim, self.rngs.stream("medium"), interference)
+        if ppms is None:
+            drift_rng = self.rngs.stream("clock-drift")
+            ppms = [drift_rng.uniform(-3.0, 3.0) for _ in range(n_nodes)]
+        self.nodes: List[Node] = []
+        self.rpls: List[RplInstance] = []
+        self.dynconns: List[Dynconn] = []
+        lo, hi = interval_window_ms
+        for node_id in range(n_nodes):
+            ble_config = (
+                ble_config_factory(node_id) if ble_config_factory else BleConfig()
+            )
+            node = Node(
+                self.sim,
+                self.medium,
+                node_id,
+                ppm=ppms[node_id],
+                ble_config=ble_config,
+                pktbuf_capacity=pktbuf_capacity,
+                rng=self.rngs.stream(f"node{node_id}"),
+            )
+            rpl = RplInstance(node, is_root=(node_id == 0), config=rpl_config)
+            dynconn = Dynconn(
+                node,
+                rpl,
+                DynconnConfig(
+                    interval_policy=RandomWindowIntervalPolicy(
+                        lo * MSEC, hi * MSEC,
+                        self.rngs.stream(f"intervals-{node_id}"),
+                    ),
+                    max_children=max_children,
+                ),
+            )
+            self.nodes.append(node)
+            self.rpls.append(rpl)
+            self.dynconns.append(dynconn)
+
+    def start(self) -> None:
+        """Begin topology formation on every node."""
+        for dynconn in self.dynconns:
+            dynconn.start()
+
+    def run(self, until_ns: int) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until_ns)
+
+    def joined_count(self) -> int:
+        """Nodes currently part of the DODAG."""
+        return sum(1 for rpl in self.rpls if rpl.joined)
+
+    def fully_joined(self) -> bool:
+        """Whether every node is in the DODAG."""
+        return self.joined_count() == len(self.nodes)
+
+    def formation_depths(self) -> List[Optional[int]]:
+        """Per-node DODAG depth (None while detached)."""
+        return [rpl.hops_to_root() for rpl in self.rpls]

@@ -1,0 +1,73 @@
+"""FIT IoT-LAB presets (paper §4.1-§4.2).
+
+The paper's BLE fleet: 15 nRF52 nodes (ten nrf52dk + five nrf52840dk) in one
+room at the Saclay site, all in mutual radio range, with BLE data channel 22
+permanently jammed by an external signal.  The measured relative clock drift
+between boards peaked around 6 us/s, so per-node errors are drawn from
+±3 ppm by default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.phy.medium import InterferenceModel
+from repro.testbed.topology import BleNetwork
+
+#: The paper's BLE fleet size.
+IOTLAB_NODE_COUNT = 15
+#: The data channel found permanently jammed in the testbed (§4.2).
+JAMMED_CHANNEL = 22
+
+
+def iotlab_interference(
+    base_ber: float = 1.0e-5, exclude_jammed: bool = True
+) -> InterferenceModel:
+    """The testbed's loss model.
+
+    With ``exclude_jammed`` the nodes' channel maps already avoid channel 22
+    (the paper's static exclusion), so the jamming never bites; pass False
+    to study what happens without the exclusion.
+    """
+    return InterferenceModel(
+        base_ber=base_ber,
+        jammed_channels=(JAMMED_CHANNEL,),
+    )
+
+
+def iotlab_network(
+    seed: int = 1,
+    n_nodes: int = IOTLAB_NODE_COUNT,
+    ppms: Optional[Sequence[float]] = None,
+    exclude_jammed_channel: bool = True,
+    **kwargs,
+) -> BleNetwork:
+    """A :class:`BleNetwork` configured like the paper's testbed.
+
+    Channel 22 is jammed on the medium; by default every node's channel map
+    excludes it (as the paper configures), so the jamming is dodged --
+    disable ``exclude_jammed_channel`` to expose it.
+
+    Additional keyword arguments pass through to :class:`BleNetwork`.
+    """
+    from repro.ble.chanmap import ChannelMap
+    from repro.ble.config import BleConfig
+
+    interference = kwargs.pop("interference", None) or iotlab_interference()
+
+    factory = kwargs.pop("ble_config_factory", None)
+
+    def ble_config_factory(node_id: int) -> BleConfig:
+        config = factory(node_id) if factory else BleConfig()
+        if exclude_jammed_channel:
+            config.chan_map = ChannelMap.excluding([JAMMED_CHANNEL])
+        return config
+
+    return BleNetwork(
+        n_nodes=n_nodes,
+        seed=seed,
+        ppms=ppms,
+        ble_config_factory=ble_config_factory,
+        interference=interference,
+        **kwargs,
+    )

@@ -1,0 +1,61 @@
+"""Shared fixtures for BLE link-layer tests."""
+
+import random
+
+import pytest
+
+from repro.ble.config import BleConfig, ConnParams
+from repro.ble.controller import BleController
+from repro.phy.medium import BleMedium, InterferenceModel
+from repro.sim import Simulator
+
+
+class BlePlane:
+    """A small test harness: one simulator + medium + n controllers."""
+
+    def __init__(self, n_nodes=2, ppms=None, config_factory=None, base_ber=0.0, seed=1):
+        from repro.sim.clock import DriftingClock
+
+        self.sim = Simulator()
+        self.medium = BleMedium(
+            self.sim, random.Random(seed), InterferenceModel(base_ber=base_ber)
+        )
+        self.nodes = []
+        ppms = ppms or [0.0] * n_nodes
+        for i in range(n_nodes):
+            cfg = config_factory(i) if config_factory else BleConfig()
+            ctrl = BleController(
+                self.sim,
+                self.medium,
+                addr=i,
+                clock=DriftingClock(self.sim, ppm=ppms[i]),
+                config=cfg,
+                rng=random.Random(seed * 1000 + i),
+                name=f"node{i}",
+            )
+            self.nodes.append(ctrl)
+
+    def connect(self, coord_idx, sub_idx, params=None, anchor0=1_000_000, aa=None):
+        from repro.ble.conn import Connection
+
+        params = params or ConnParams()
+        return Connection(
+            sim=self.sim,
+            coordinator=self.nodes[coord_idx],
+            subordinate=self.nodes[sub_idx],
+            params=params,
+            access_address=aa if aa is not None else random.Random(42).getrandbits(32),
+            anchor0_true=anchor0,
+        )
+
+
+@pytest.fixture
+def plane():
+    """Two-node loss-free plane with drift-free clocks."""
+    return BlePlane()
+
+
+@pytest.fixture
+def make_plane():
+    """Factory fixture for custom planes."""
+    return BlePlane

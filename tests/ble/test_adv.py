@@ -1,0 +1,147 @@
+"""Tests for advertising, scanning, and connection establishment."""
+
+import statistics
+
+from repro.ble.config import ConnParams
+from repro.sim.units import MSEC, SEC
+
+
+def make_link(plane, params=None):
+    """Start advertiser on node1 (sub) and initiator on node0 (coord)."""
+    results = {}
+    adv = plane.nodes[1].advertise(
+        payload_len=20, on_connected=lambda c: results.setdefault("sub", c)
+    )
+    scanner = plane.nodes[0].initiate(
+        target_addr=1,
+        params_factory=lambda: params or ConnParams(),
+        on_connected=lambda c: results.setdefault("coord", c),
+    )
+    return adv, scanner, results
+
+
+def test_establishment_roles_and_callbacks(plane):
+    adv, scanner, results = make_link(plane)
+    plane.sim.run(until=1 * SEC)
+    assert "coord" in results and "sub" in results
+    conn = results["coord"]
+    assert conn is results["sub"]
+    assert conn.coord.controller is plane.nodes[0]
+    assert conn.sub.controller is plane.nodes[1]
+    assert conn.open
+
+
+def test_adv_and_scan_stop_after_connect(plane):
+    adv, scanner, results = make_link(plane)
+    plane.sim.run(until=1 * SEC)
+    assert not adv.active
+    assert not scanner.active
+    assert scanner not in plane.medium.scanners
+
+
+def test_connection_carries_factory_params(plane):
+    params = ConnParams(interval_ns=50 * MSEC)
+    _, _, results = make_link(plane, params=params)
+    plane.sim.run(until=1 * SEC)
+    assert results["coord"].params.interval_ns == 50 * MSEC
+
+
+def test_connection_works_after_establishment(plane):
+    _, _, results = make_link(plane)
+    plane.sim.run(until=1 * SEC)
+    conn = results["coord"]
+    received = []
+    conn.sub.on_rx_pdu = lambda pdu: received.append(pdu.payload)
+    conn.send(plane.nodes[0], b"post-handshake")
+    plane.sim.run(until=2 * SEC)
+    assert received == [b"post-handshake"]
+
+
+def test_reconnect_delay_in_paper_range(make_plane):
+    """§4.2: 90 ms adv interval + continuous scan => ~10-100 ms reconnects.
+
+    We measure the establishment delay over many repetitions; the mean must
+    land in the paper's quoted 10-100 ms band (it is essentially U(0, adv
+    interval) plus handshake).
+    """
+    delays = []
+    for seed in range(40):
+        plane = make_plane(seed=seed)
+        t_request = 5 * MSEC
+        result = {}
+
+        def kickoff(p=plane, r=result):
+            p.nodes[1].advertise(on_connected=lambda c: r.setdefault("conn", c))
+            p.nodes[0].initiate(
+                target_addr=1,
+                params_factory=ConnParams,
+                on_connected=lambda c, p=p, r=r: r.setdefault("t", p.sim.now),
+            )
+
+        plane.sim.at(t_request, kickoff)
+        plane.sim.run(until=2 * SEC)
+        assert "t" in result, f"no connection established (seed {seed})"
+        delays.append((result["t"] - t_request) / MSEC)
+    mean = statistics.mean(delays)
+    assert 10 <= mean <= 100, f"mean reconnect delay {mean:.1f} ms out of band"
+    assert max(delays) <= 150
+
+
+def test_no_connection_to_unwanted_target(plane):
+    """A scanner hunting for addr 7 ignores advertisements from addr 1."""
+    plane.nodes[1].advertise()
+    scanner = plane.nodes[0].initiate(
+        target_addr=7, params_factory=ConnParams, on_connected=None
+    )
+    plane.sim.run(until=2 * SEC)
+    assert scanner.active  # still hunting
+    assert plane.nodes[0].connections == []
+
+
+def test_advertiser_stop_cancels_events(plane):
+    adv = plane.nodes[1].advertise()
+    plane.sim.run(until=300 * MSEC)
+    sent_before = adv.events_sent
+    assert sent_before > 0
+    adv.stop()
+    plane.sim.run(until=1 * SEC)
+    assert adv.events_sent == sent_before
+
+
+def test_advertising_consumes_radio_time(plane):
+    plane.nodes[1].advertise(payload_len=31)
+    plane.sim.run(until=1 * SEC)
+    assert plane.nodes[1].adv_events >= 9  # ~10 events per second at 90 ms
+    assert plane.nodes[1].adv_ns > 0
+
+
+def test_scanner_rotates_advertising_channels(plane):
+    from repro.ble.adv import Scanner
+    from repro.ble.config import ConnParams
+    from repro.sim.units import MSEC
+
+    scanner = Scanner(plane.nodes[0], plane.nodes[0].rng, 1, ConnParams)
+    interval = plane.nodes[0].config.scan_interval_ns
+    channels = [scanner.current_channel(k * interval) for k in range(6)]
+    assert set(channels) == {37, 38, 39}
+    assert channels[:3] == channels[3:]  # periodic rotation
+
+
+def test_wildcard_scanner_skips_self_and_connected(plane):
+    from repro.ble.config import ConnParams
+
+    scanner = plane.nodes[0].initiate(None, ConnParams)
+    assert not scanner.wants(0)  # never itself
+    assert scanner.wants(1)
+    plane.connect(0, 1)
+    assert not scanner.wants(1)  # already connected
+
+
+def test_scanner_accept_filter(plane):
+    from repro.ble.config import ConnParams
+
+    scanner = plane.nodes[0].initiate(
+        None, ConnParams, accept=lambda addr: addr % 2 == 0
+    )
+    assert scanner.wants(2)
+    assert not scanner.wants(1)

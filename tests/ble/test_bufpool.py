@@ -1,0 +1,70 @@
+"""Tests for the byte-budget buffer pool."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ble.bufpool import BufferPool
+
+
+def test_alloc_within_budget():
+    pool = BufferPool(100)
+    assert pool.try_alloc(60)
+    assert pool.used == 60
+    assert pool.available == 40
+
+
+def test_alloc_fails_when_full():
+    pool = BufferPool(100)
+    assert pool.try_alloc(80)
+    assert not pool.try_alloc(30)
+    assert pool.alloc_failures == 1
+    assert pool.used == 80  # failed alloc does not charge
+
+
+def test_free_releases():
+    pool = BufferPool(100)
+    pool.try_alloc(80)
+    pool.free(50)
+    assert pool.try_alloc(60)
+
+
+def test_overfree_raises():
+    pool = BufferPool(100)
+    pool.try_alloc(10)
+    with pytest.raises(RuntimeError):
+        pool.free(20)
+
+
+def test_peak_tracking():
+    pool = BufferPool(100)
+    pool.try_alloc(70)
+    pool.free(70)
+    pool.try_alloc(30)
+    assert pool.peak_used == 70
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        BufferPool(0)
+
+
+def test_negative_sizes_rejected():
+    pool = BufferPool(10)
+    with pytest.raises(ValueError):
+        pool.try_alloc(-1)
+    with pytest.raises(ValueError):
+        pool.free(-1)
+
+
+@given(ops=st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+def test_used_never_exceeds_capacity(ops):
+    """Invariant: the pool never over-commits its byte budget."""
+    pool = BufferPool(1000)
+    outstanding = []
+    for size in ops:
+        if pool.try_alloc(size):
+            outstanding.append(size)
+        assert 0 <= pool.used <= pool.capacity
+        if len(outstanding) > 3:
+            pool.free(outstanding.pop(0))
+            assert 0 <= pool.used <= pool.capacity

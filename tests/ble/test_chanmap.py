@@ -1,0 +1,53 @@
+"""Tests for the data channel map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ble.chanmap import ChannelMap
+
+
+def test_all_channels_map():
+    cmap = ChannelMap.all_channels()
+    assert cmap.num_used == 37
+    assert cmap.is_used(0) and cmap.is_used(36)
+
+
+def test_excluding_channel_22_matches_paper_testbed():
+    cmap = ChannelMap.excluding([22])
+    assert cmap.num_used == 36
+    assert not cmap.is_used(22)
+    assert cmap.is_used(21) and cmap.is_used(23)
+
+
+def test_too_few_channels_rejected():
+    with pytest.raises(ValueError):
+        ChannelMap((5,))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        ChannelMap((0, 37))
+
+
+def test_unsorted_rejected():
+    with pytest.raises(ValueError):
+        ChannelMap((5, 3))
+
+
+def test_remap_lands_on_used_channel():
+    cmap = ChannelMap.excluding([0, 1, 2])
+    for idx in range(100):
+        assert cmap.is_used(cmap.remap(idx))
+
+
+@given(
+    excluded=st.sets(st.integers(min_value=0, max_value=36), max_size=35),
+)
+def test_bitmask_roundtrip(excluded):
+    cmap = ChannelMap.excluding(excluded)
+    assert ChannelMap.from_bitmask(cmap.to_bitmask()) == cmap
+
+
+def test_bitmask_value():
+    cmap = ChannelMap((0, 1, 36))
+    assert cmap.to_bitmask() == (1 << 0) | (1 << 1) | (1 << 36)

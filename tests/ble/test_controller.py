@@ -1,0 +1,58 @@
+"""Tests for the per-node controller facade."""
+
+from repro.ble.config import ConnParams
+from repro.ble.conn import DisconnectReason, Role
+from repro.sim.units import MSEC, SEC
+
+
+def test_attach_fires_open_listeners(plane):
+    opened = []
+    plane.nodes[0].conn_open_listeners.append(lambda c: opened.append(c))
+    conn = plane.connect(0, 1)
+    assert opened == [conn]
+
+
+def test_close_fires_close_listeners_on_both(plane):
+    closed = []
+    plane.nodes[0].conn_close_listeners.append(lambda c, r: closed.append((0, r)))
+    plane.nodes[1].conn_close_listeners.append(lambda c, r: closed.append((1, r)))
+    conn = plane.connect(0, 1)
+    conn.close()
+    assert (0, DisconnectReason.LOCAL_CLOSE) in closed
+    assert (1, DisconnectReason.LOCAL_CLOSE) in closed
+
+
+def test_role_of(plane):
+    conn = plane.connect(0, 1)
+    assert plane.nodes[0].role_of(conn) is Role.COORDINATOR
+    assert plane.nodes[1].role_of(conn) is Role.SUBORDINATE
+
+
+def test_connection_to_peer_lookup(plane):
+    conn = plane.connect(0, 1)
+    assert plane.nodes[0].connection_to(1) is conn
+    assert plane.nodes[1].connection_to(0) is conn
+    assert plane.nodes[0].connection_to(99) is None
+
+
+def test_used_intervals_reflect_connections(make_plane):
+    plane = make_plane(n_nodes=3)
+    plane.connect(0, 1, params=ConnParams(interval_ns=75 * MSEC))
+    plane.connect(2, 1, params=ConnParams(interval_ns=85 * MSEC), anchor0=2 * MSEC)
+    assert sorted(plane.nodes[1].used_intervals_ns()) == [75 * MSEC, 85 * MSEC]
+    assert plane.nodes[0].used_intervals_ns() == [75 * MSEC]
+
+
+def test_energy_counters_accumulate(plane):
+    plane.connect(0, 1, anchor0=MSEC)
+    plane.sim.run(until=1 * SEC)
+    assert plane.nodes[0].conn_events_coord > 0
+    assert plane.nodes[0].conn_events_sub == 0
+    assert plane.nodes[1].conn_events_sub > 0
+    assert plane.nodes[0].conn_event_ns > 0
+
+
+def test_peer_of(plane):
+    conn = plane.connect(0, 1)
+    assert conn.peer_of(plane.nodes[0]) is plane.nodes[1]
+    assert conn.peer_of(plane.nodes[1]) is plane.nodes[0]

@@ -1,0 +1,110 @@
+"""Tests for the per-node radio scheduler."""
+
+import pytest
+
+from repro.ble.sched import RadioScheduler
+
+
+class FakeActivity:
+    def __init__(self, demands=()):
+        self.demands = list(demands)
+        self.consec_skips = 0
+
+    def next_radio_time(self, after_ns):
+        future = [t for t in self.demands if t > after_ns]
+        return min(future) if future else None
+
+
+def test_radio_initially_free():
+    sched = RadioScheduler("n")
+    assert sched.is_free(0)
+    assert sched.is_free(10**12)
+
+
+def test_claim_blocks_until_end():
+    sched = RadioScheduler("n")
+    act = FakeActivity()
+    sched.claim(act, 100, 500)
+    assert not sched.is_free(100)
+    assert not sched.is_free(499)
+    assert sched.is_free(500)
+
+
+def test_overlapping_claim_raises():
+    sched = RadioScheduler("n")
+    a, b = FakeActivity(), FakeActivity()
+    sched.claim(a, 100, 500)
+    with pytest.raises(RuntimeError):
+        sched.claim(b, 300, 600)
+
+
+def test_backwards_claim_raises():
+    sched = RadioScheduler("n")
+    with pytest.raises(RuntimeError):
+        sched.claim(FakeActivity(), 500, 100)
+
+
+def test_claim_resets_skip_streak():
+    sched = RadioScheduler("n")
+    act = FakeActivity()
+    sched.deny(act)
+    sched.deny(act)
+    assert act.consec_skips == 2
+    sched.claim(act, 0, 10)
+    assert act.consec_skips == 0
+    assert sched.denials == 2
+    assert sched.claims == 1
+
+
+def test_busy_time_accumulates():
+    sched = RadioScheduler("n")
+    act = FakeActivity()
+    sched.claim(act, 0, 100)
+    sched.claim(act, 200, 250)
+    assert sched.busy_ns_total == 150
+
+
+def test_next_demand_excludes_given_activity():
+    sched = RadioScheduler("n")
+    mine = FakeActivity([100])
+    other = FakeActivity([300])
+    sched.register(mine)
+    sched.register(other)
+    t, a = sched.next_demand_after(0, exclude=mine)
+    assert (t, a) == (300, other)
+
+
+def test_next_demand_picks_earliest():
+    sched = RadioScheduler("n")
+    a = FakeActivity([500])
+    b = FakeActivity([200, 900])
+    sched.register(a)
+    sched.register(b)
+    t, winner = sched.next_demand_after(0)
+    assert (t, winner) == (200, b)
+    t, winner = sched.next_demand_after(200)
+    assert (t, winner) == (500, a)
+
+
+def test_next_demand_none_when_dormant():
+    sched = RadioScheduler("n")
+    sched.register(FakeActivity([]))
+    assert sched.next_demand_after(0) == (None, None)
+
+
+def test_unregister_removes_demand():
+    sched = RadioScheduler("n")
+    act = FakeActivity([100])
+    sched.register(act)
+    sched.unregister(act)
+    assert sched.next_demand_after(0) == (None, None)
+    # idempotent
+    sched.unregister(act)
+
+
+def test_register_is_idempotent():
+    sched = RadioScheduler("n")
+    act = FakeActivity([100])
+    sched.register(act)
+    sched.register(act)
+    assert sched.next_demand_after(0) == (100, act)

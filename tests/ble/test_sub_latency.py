@@ -1,0 +1,77 @@
+"""Tests for subordinate latency (§2.2's energy knob)."""
+
+import pytest
+
+from repro.ble.config import ConnParams
+from repro.sim.units import MSEC, SEC
+
+from .conftest import BlePlane
+
+
+def test_subordinate_skips_allowed_events():
+    """With latency L the idle subordinate listens to every (L+1)th event."""
+    plane = BlePlane()
+    conn = plane.connect(
+        0, 1,
+        params=ConnParams(interval_ns=50 * MSEC, latency=3),
+        anchor0=MSEC,
+    )
+    plane.sim.run(until=10 * SEC)
+    scheduled = conn.event_counter  # ~200 events at 50 ms over 10 s
+    attended = conn.sub.stats.events_active
+    assert attended == pytest.approx(scheduled / 4, rel=0.1)
+    # completed exchanges only happen when the subordinate listens
+    assert conn.coord.stats.events_active == attended
+    assert conn.open
+
+
+def test_latency_zero_listens_everywhere():
+    plane = BlePlane()
+    conn = plane.connect(
+        0, 1, params=ConnParams(interval_ns=50 * MSEC, latency=0), anchor0=MSEC
+    )
+    plane.sim.run(until=5 * SEC)
+    assert conn.sub.stats.events_active == conn.coord.stats.events_active
+
+
+def test_latency_suspended_while_sub_has_data():
+    """A subordinate with queued data must not skip events."""
+    plane = BlePlane()
+    conn = plane.connect(
+        0, 1, params=ConnParams(interval_ns=50 * MSEC, latency=5), anchor0=MSEC
+    )
+    received = []
+    conn.coord.on_rx_pdu = lambda pdu: received.append(pdu.payload)
+
+    def chatter():
+        conn.send(plane.nodes[1], b"uplink-data")
+        plane.sim.after(40 * MSEC, chatter)
+
+    plane.sim.after(5 * MSEC, chatter)
+    plane.sim.run(until=5 * SEC)
+    # with data pending every interval, nearly every event is attended
+    assert conn.sub.stats.events_active > 0.9 * conn.coord.stats.events_active
+    assert len(received) > 50
+
+
+def test_supervision_timeout_scales_with_latency():
+    params = ConnParams(interval_ns=50 * MSEC, latency=3)
+    # default derivation must cover (latency+1) skipped rounds
+    assert params.effective_supervision_timeout_ns() >= 4 * 6 * 50 * MSEC
+
+
+def test_latency_cuts_subordinate_energy():
+    """The §2.2 trade-off: skipped events save subordinate charge."""
+    from repro.energy import EnergyModel
+
+    def sub_current(latency: int) -> float:
+        plane = BlePlane()
+        plane.connect(
+            0, 1,
+            params=ConnParams(interval_ns=50 * MSEC, latency=latency),
+            anchor0=MSEC,
+        )
+        plane.sim.run(until=30 * SEC)
+        return EnergyModel().controller_current_ua(plane.nodes[1], 30.0)
+
+    assert sub_current(4) < 0.45 * sub_current(0)

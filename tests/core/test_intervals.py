@@ -1,0 +1,75 @@
+"""Tests for connection-interval policies (§6.3)."""
+
+import random
+
+import pytest
+
+from repro.ble.config import CONN_INTERVAL_UNIT_NS
+from repro.core.intervals import RandomWindowIntervalPolicy, StaticIntervalPolicy
+from repro.sim.units import MSEC
+
+
+class TestStatic:
+    def test_always_same_interval(self):
+        policy = StaticIntervalPolicy(75 * MSEC)
+        for _ in range(5):
+            assert policy.make_params([]).interval_ns == 75 * MSEC
+
+    def test_ignores_collisions(self):
+        policy = StaticIntervalPolicy(75 * MSEC)
+        assert policy.make_params([75 * MSEC]).interval_ns == 75 * MSEC
+
+    def test_quantized_to_grid(self):
+        policy = StaticIntervalPolicy(76 * MSEC)
+        assert policy.make_params([]).interval_ns % CONN_INTERVAL_UNIT_NS == 0
+
+    def test_describe(self):
+        assert StaticIntervalPolicy(75 * MSEC).describe() == "75"
+
+
+class TestRandomWindow:
+    def make(self, lo=65, hi=85, **kwargs):
+        return RandomWindowIntervalPolicy(
+            lo * MSEC, hi * MSEC, random.Random(7), **kwargs
+        )
+
+    def test_draws_within_window(self):
+        policy = self.make()
+        for _ in range(100):
+            interval = policy.make_params([]).interval_ns
+            assert 65 * MSEC <= interval <= 85 * MSEC
+            assert interval % CONN_INTERVAL_UNIT_NS == 0
+
+    def test_uniqueness_enforced(self):
+        policy = self.make()
+        used = []
+        for _ in range(10):
+            interval = policy.make_params(used).interval_ns
+            assert interval not in used
+            used.append(interval)
+
+    def test_uniqueness_exhaustion_raises(self):
+        policy = self.make(lo=65, hi=70, max_redraws=8)
+        slots = [65 * MSEC + k * CONN_INTERVAL_UNIT_NS for k in range(5)]
+        with pytest.raises(RuntimeError):
+            policy.make_params(slots)
+
+    def test_non_unique_mode_allows_collisions(self):
+        policy = self.make(unique=False)
+        used = [policy._draw() for _ in range(200)]
+        # with 17 slots and 200 draws, collisions are certain
+        assert len(set(used)) < len(used)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            self.make(lo=85, hi=65)
+        with pytest.raises(ValueError):
+            self.make(lo=75, hi=75)
+
+    def test_describe(self):
+        assert self.make().describe() == "[65:85]"
+
+    def test_draws_are_seed_reproducible(self):
+        a = RandomWindowIntervalPolicy(65 * MSEC, 85 * MSEC, random.Random(3))
+        b = RandomWindowIntervalPolicy(65 * MSEC, 85 * MSEC, random.Random(3))
+        assert [a._draw() for _ in range(20)] == [b._draw() for _ in range(20)]

@@ -1,0 +1,144 @@
+"""Tests for the statconn connection manager (full stack, small networks)."""
+
+import pytest
+
+from repro.ble.conn import DisconnectReason, Role
+from repro.core.intervals import RandomWindowIntervalPolicy, StaticIntervalPolicy
+from repro.core.statconn import StatconnConfig
+from repro.sim.units import MSEC, SEC
+from repro.testbed.topology import BleNetwork
+
+
+def two_node_net(**kwargs):
+    net = BleNetwork(2, seed=3, ppms=[0.0, 0.0], **kwargs)
+    net.apply_edges([(0, 1)])  # node0 parent/sub, node1 child/coord
+    return net
+
+
+def test_link_establishes():
+    net = two_node_net()
+    net.run(2 * SEC)
+    assert net.all_links_up()
+    conn = net.nodes[1].controller.connection_to(0)
+    assert conn is not None
+    # child initiates => child is coordinator, parent subordinate
+    assert net.nodes[1].controller.role_of(conn) is Role.COORDINATOR
+    assert net.nodes[0].controller.role_of(conn) is Role.SUBORDINATE
+
+
+def test_neighbor_cache_populated_on_link_up():
+    net = two_node_net()
+    net.run(2 * SEC)
+    from repro.sixlowpan.ipv6 import Ipv6Address
+
+    assert net.nodes[1].ip.nib.resolve(Ipv6Address.mesh_local(0)) is not None
+    assert net.nodes[0].ip.nib.resolve(Ipv6Address.link_local(1)) is not None
+
+
+def test_reconnect_after_forced_loss():
+    net = two_node_net()
+    net.run(2 * SEC)
+    conn = net.nodes[1].controller.connection_to(0)
+    # simulate an unexpected drop mid-run
+    net.sim.at(2 * SEC + 1, lambda: conn.close(DisconnectReason.SUPERVISION_TIMEOUT))
+    net.run(4 * SEC)
+    assert net.all_links_up()
+    new_conn = net.nodes[1].controller.connection_to(0)
+    assert new_conn is not conn
+    # both ends recorded the loss
+    assert len(net.nodes[0].statconn.losses) == 1
+    assert len(net.nodes[1].statconn.losses) == 1
+    # and measured the reconnect delay in the paper's 10-100 ms band
+    delays = net.nodes[1].statconn.reconnect_delays_ns
+    assert len(delays) == 1
+    assert delays[0] <= 200 * MSEC
+
+
+def test_duplicate_link_rejected():
+    net = BleNetwork(2, seed=1)
+    net.nodes[0].statconn.add_link(1, Role.SUBORDINATE)
+    with pytest.raises(ValueError):
+        net.nodes[0].statconn.add_link(1, Role.COORDINATOR)
+
+
+def test_advertiser_shared_across_sub_links():
+    """A parent of several children advertises until all links are up."""
+    net = BleNetwork(3, seed=5, ppms=[0.0] * 3)
+    net.apply_edges([(0, 1), (0, 2)])
+    net.run(3 * SEC)
+    assert net.all_links_up()
+    adv = net.nodes[0].statconn._advertiser
+    assert adv is not None and not adv.active  # stopped once both are up
+
+
+def test_interval_collision_rejection():
+    """§6.3: the subordinate closes fresh connections with colliding
+    intervals, forcing the coordinator to redraw."""
+    policy_rng_net = BleNetwork(
+        3,
+        seed=11,
+        ppms=[0.0] * 3,
+        statconn_config_factory=lambda i: StatconnConfig(
+            interval_policy=RandomWindowIntervalPolicy(
+                65 * MSEC, 85 * MSEC, __import__("random").Random(100 + i)
+            ),
+            reject_interval_collisions=True,
+        ),
+    )
+    net = policy_rng_net
+    net.apply_edges([(0, 1), (0, 2)])
+    net.run(10 * SEC)
+    assert net.all_links_up()
+    intervals = net.nodes[0].controller.used_intervals_ns()
+    assert len(intervals) == 2
+    assert intervals[0] != intervals[1]
+
+
+def test_static_policy_intervals_all_equal():
+    net = BleNetwork(
+        3,
+        seed=11,
+        ppms=[0.0] * 3,
+        statconn_config_factory=lambda i: StatconnConfig(
+            interval_policy=StaticIntervalPolicy(75 * MSEC)
+        ),
+    )
+    net.apply_edges([(0, 1), (0, 2)])
+    net.run(5 * SEC)
+    assert net.nodes[0].controller.used_intervals_ns() == [75 * MSEC, 75 * MSEC]
+
+
+def test_collision_action_update_negotiates_in_place():
+    """§6.3 design space: the BT 5.0 path keeps the link and re-times it."""
+    import random
+    from repro.core.intervals import RandomWindowIntervalPolicy
+
+    net = BleNetwork(
+        3,
+        seed=13,
+        ppms=[0.0] * 3,
+        statconn_config_factory=lambda i: StatconnConfig(
+            interval_policy=RandomWindowIntervalPolicy(
+                # two slots only: the second link must collide sometimes
+                73.75 * 1e6, 76.25 * 1e6, random.Random(0), unique=False
+            ),
+            reject_interval_collisions=True,
+            collision_action="update",
+        ),
+    )
+    net.apply_edges([(0, 1), (0, 2)])
+    net.run(30 * SEC)
+    assert net.all_links_up()
+    intervals = net.nodes[0].controller.used_intervals_ns()
+    assert len(set(intervals)) == len(intervals)
+    # no connection was torn down to fix the collision
+    total_rejects = sum(n.statconn.collision_rejects for n in net.nodes)
+    if total_rejects:
+        assert net.total_connection_losses() == 0
+
+
+def test_collision_action_validation():
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        StatconnConfig(collision_action="explode")

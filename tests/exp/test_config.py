@@ -1,0 +1,71 @@
+"""Tests for experiment descriptions."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import RandomWindowIntervalPolicy, StaticIntervalPolicy
+from repro.exp.config import ExperimentConfig, parse_interval_spec
+from repro.sim.units import MSEC
+
+
+class TestIntervalSpec:
+    def test_static(self):
+        policy = parse_interval_spec("75")
+        assert isinstance(policy, StaticIntervalPolicy)
+        assert policy.interval_ns == 75 * MSEC
+
+    def test_window(self):
+        policy = parse_interval_spec("[65:85]", random.Random(1))
+        assert isinstance(policy, RandomWindowIntervalPolicy)
+        assert policy.lo_ns == 65 * MSEC
+        assert policy.hi_ns == 85 * MSEC
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_interval_spec("75ms")
+        with pytest.raises(ValueError):
+            parse_interval_spec("[65-85]")
+
+
+class TestConfig:
+    def test_defaults_are_paper_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.topology == "tree"
+        assert cfg.conn_interval == "75"
+        assert cfg.producer_interval_s == 1.0
+        assert cfg.producer_jitter_s == 0.5
+        assert cfg.payload_len == 39
+        assert cfg.pktbuf_bytes == 6144
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="ring")
+        with pytest.raises(ValueError):
+            ExperimentConfig(link_layer="lora")
+        with pytest.raises(ValueError):
+            ExperimentConfig(scheduler_policy="magic")
+        with pytest.raises(ValueError):
+            ExperimentConfig(conn_interval="nope")
+        with pytest.raises(ValueError):
+            ExperimentConfig(duration_s=0)
+
+    def test_random_interval_detection(self):
+        assert ExperimentConfig(conn_interval="[65:85]").uses_random_intervals
+        assert not ExperimentConfig(conn_interval="75").uses_random_intervals
+
+    def test_total_runtime(self):
+        cfg = ExperimentConfig(duration_s=100, warmup_s=5, drain_s=3)
+        assert cfg.total_runtime_s == 108
+
+    def test_yaml_roundtrip(self):
+        cfg = ExperimentConfig(
+            name="fig7", topology="line", conn_interval="[65:85]", seed=42
+        )
+        text = cfg.to_yaml()
+        assert "fig7" in text
+        assert ExperimentConfig.from_yaml(text) == cfg
+
+    def test_yaml_missing_key(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig.from_yaml("foo: bar")

@@ -1,0 +1,96 @@
+"""Tests for metric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exp.metrics import (
+    binned_pdr,
+    cdf,
+    mean,
+    per_channel_pdr,
+    percentile,
+    summarize_rtt,
+)
+from repro.sim.units import SEC
+
+
+class TestCdf:
+    def test_basic(self):
+        xs, ps = cdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ps == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    @given(samples=st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    def test_properties(self, samples):
+        xs, ps = cdf(samples)
+        assert xs == sorted(xs)
+        assert ps[-1] == pytest.approx(1.0)
+        assert all(0 < p <= 1 for p in ps)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0.0) == 1
+        assert percentile(data, 1.0) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestBinnedPdr:
+    def test_all_delivered(self):
+        requests = [int(0.5 * SEC), int(1.5 * SEC)]
+        times, pdrs = binned_pdr(requests, requests, bin_s=1.0, t_end_s=2.0)
+        assert times == [0.5, 1.5]
+        assert pdrs == [1.0, 1.0]
+
+    def test_partial_delivery(self):
+        requests = [int(0.2 * SEC), int(0.7 * SEC)]
+        times, pdrs = binned_pdr(requests, requests[:1], bin_s=1.0, t_end_s=1.0)
+        assert pdrs == [0.5]
+
+    def test_empty_bins_skipped(self):
+        requests = [int(2.5 * SEC)]
+        times, pdrs = binned_pdr(requests, [], bin_s=1.0, t_end_s=4.0)
+        assert times == [2.5]
+        assert pdrs == [0.0]
+
+    def test_out_of_window_ignored(self):
+        requests = [int(9.0 * SEC)]
+        times, pdrs = binned_pdr(requests, requests, bin_s=1.0, t_end_s=5.0)
+        assert times == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binned_pdr([], [], bin_s=0, t_end_s=1)
+
+
+class TestPerChannel:
+    def test_basic(self):
+        counts = [[10, 9], [0, 0], [4, 4]]
+        pdrs = per_channel_pdr(counts)
+        assert pdrs[0] == 0.9
+        assert math.isnan(pdrs[1])
+        assert pdrs[2] == 1.0
+
+
+def test_mean_and_summary():
+    assert mean([1.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+    summary = summarize_rtt([0.1] * 99 + [1.0])
+    assert summary["p50"] == pytest.approx(0.1)
+    assert summary["max"] == 1.0
+    assert summary["p99"] < 1.0

@@ -1,0 +1,37 @@
+"""Tests for the repetition helper."""
+
+import pytest
+
+from repro.exp import ExperimentConfig
+from repro.exp.repeat import run_repetitions
+
+
+SHORT = dict(duration_s=15.0, warmup_s=4.0, drain_s=3.0, n_nodes=15)
+
+
+def test_aggregates_across_reps():
+    agg = run_repetitions(ExperimentConfig(name="rep", seed=3, **SHORT), n=3)
+    assert agg.n == 3
+    assert 0 <= agg.coap_pdr_min() <= agg.coap_pdr_mean() <= 1
+    assert 0 < agg.link_pdr_mean() <= 1
+    assert agg.rtt_percentile(0.5) > 0
+    assert agg.total_connection_losses() >= 0
+
+
+def test_reps_use_distinct_seeds():
+    agg = run_repetitions(ExperimentConfig(name="rep", seed=3, **SHORT), n=2)
+    a, b = agg.results
+    assert a.config.seed != b.config.seed
+    assert a.rtts_s() != b.rtts_s()
+
+
+def test_reproducible():
+    cfg = ExperimentConfig(name="rep", seed=4, **SHORT)
+    x = run_repetitions(cfg, n=2)
+    y = run_repetitions(cfg, n=2)
+    assert [r.coap_sent() for r in x.results] == [r.coap_sent() for r in y.results]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_repetitions(ExperimentConfig(), n=0)

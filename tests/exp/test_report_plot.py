@@ -1,0 +1,68 @@
+"""Tests for table and ASCII-plot rendering."""
+
+import math
+
+from repro.exp.asciiplot import render_cdf, render_heat_rows, render_series
+from repro.exp.events import EventLog
+from repro.exp.report import format_table
+
+
+class TestTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["x", 1.23456], ["longer", 2]])
+        lines = out.splitlines()
+        assert lines[0].index("value") == lines[2].index("1.235")
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.999499]])
+        assert "0.9995" in out
+
+
+class TestPlots:
+    def test_cdf_renders_all_series(self):
+        out = render_cdf(
+            {
+                "tree": ([0.1, 0.2, 0.3], [0.33, 0.66, 1.0]),
+                "line": ([0.5, 1.0], [0.5, 1.0]),
+            },
+            x_label="RTT [s]",
+        )
+        assert "a = tree" in out
+        assert "b = line" in out
+        assert "RTT [s]" in out
+
+    def test_cdf_empty(self):
+        assert render_cdf({}) == "(no data)"
+
+    def test_series_bounds(self):
+        out = render_series({"pdr": ([0, 10, 20], [1.0, 0.5, 0.75])})
+        assert "1.00|" in out
+        assert "0.00|" in out
+
+    def test_heat_rows_with_nan(self):
+        out = render_heat_rows({"node 1": [0.0, 0.5, 1.0, math.nan]})
+        assert "?" in out
+        assert "node 1" in out
+        assert "scale" in out
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit(10, "conn-loss", node=1, peer=2)
+        log.emit(20, "reconnect", node=1)
+        log.emit(30, "conn-loss", node=3, peer=4)
+        assert log.count("conn-loss") == 2
+        losses = list(log.of_kind("conn-loss"))
+        assert losses[0].get("node") == 1
+        assert losses[1].time_ns == 30
+        assert len(log) == 3
+
+    def test_get_default(self):
+        log = EventLog()
+        log.emit(1, "x", a=1)
+        assert next(iter(log)).get("missing", 42) == 42

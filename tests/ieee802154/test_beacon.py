@@ -1,0 +1,88 @@
+"""Tests for beacon-enabled PANs (the §8 shading generalization)."""
+
+import random
+
+import pytest
+
+from repro.ieee802154.beacon import BeaconedPan
+from repro.ieee802154.medium154 import CsmaMedium
+from repro.phy.medium import InterferenceModel
+from repro.sim import DriftingClock, Simulator
+from repro.sim.units import MSEC, SEC
+
+
+def make_pan(sim=None, medium=None, ppm=0.0, interval_ms=983, offset_ms=1, **kw):
+    sim = sim or Simulator()
+    medium = medium or CsmaMedium(sim, random.Random(1), InterferenceModel(base_ber=0.0))
+    pan = BeaconedPan(
+        sim, medium, DriftingClock(sim, ppm=ppm),
+        interval_ms * MSEC, offset_ns=offset_ms * MSEC, **kw
+    )
+    return sim, medium, pan
+
+
+def test_lone_pan_is_lossless():
+    sim, _, pan = make_pan()
+    pan.start()
+    sim.run(until=60 * SEC)
+    assert pan.stats.beacons_sent == 62  # 60 s / 0.983 s, first at 1 ms
+    assert pan.stats.beacon_pdr() == 1.0
+    assert pan.stats.frame_pdr() == 1.0
+    assert pan.stats.frames_sent == pan.stats.beacons_sent * pan.burst_frames
+
+
+def test_beacon_pacing_follows_drifting_clock():
+    sim, _, fast = make_pan(ppm=200.0, interval_ms=1000)
+    fast.start()
+    sim.run(until=100 * SEC)
+    # a +200 ppm clock squeezes in a hair more beacons over 100 s
+    expected = 100_000 / (1000 / (1 + 200e-6))
+    assert fast.stats.beacons_sent == pytest.approx(expected, abs=1)
+
+
+def test_overlapping_superframes_collide():
+    sim = Simulator()
+    medium = CsmaMedium(sim, random.Random(2), InterferenceModel(base_ber=0.0))
+    _, _, pan_a = make_pan(sim, medium, interval_ms=983, offset_ms=1)
+    _, _, pan_b = make_pan(sim, medium, interval_ms=983, offset_ms=4)  # inside A
+    pan_a.start()
+    pan_b.start()
+    sim.run(until=60 * SEC)
+    assert pan_a.stats.beacon_pdr() < 0.5 or pan_b.stats.beacon_pdr() < 0.5
+    assert medium.collisions > 0
+
+
+def test_separated_superframes_coexist():
+    sim = Simulator()
+    medium = CsmaMedium(sim, random.Random(2), InterferenceModel(base_ber=0.0))
+    _, _, pan_a = make_pan(sim, medium, offset_ms=1)
+    _, _, pan_b = make_pan(sim, medium, offset_ms=400)  # far apart
+    pan_a.start()
+    pan_b.start()
+    sim.run(until=60 * SEC)
+    assert pan_a.stats.beacon_pdr() == 1.0
+    assert pan_b.stats.beacon_pdr() == 1.0
+
+
+def test_stop_halts_superframes():
+    sim, _, pan = make_pan()
+    pan.start()
+    sim.run(until=10 * SEC)
+    count = pan.stats.beacons_sent
+    pan.stop()
+    sim.run(until=20 * SEC)
+    assert pan.stats.beacons_sent == count
+
+
+def test_missed_beacon_suppresses_burst():
+    sim = Simulator()
+    medium = CsmaMedium(
+        sim, random.Random(3), InterferenceModel(base_ber=0.0, channel_per={17: 1.0})
+    )
+    _, _, pan = make_pan(sim, medium)
+    pan.start()
+    sim.run(until=10 * SEC)
+    assert pan.stats.beacons_sent > 0
+    assert pan.stats.beacons_received == 0
+    assert pan.stats.frames_sent == 0
+    assert pan.stats.beacon_pdr() == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the 802.15.4 network interface."""
+
+from repro.ieee802154 import CsmaNetwork
+from repro.sim.units import SEC
+from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet, UdpDatagram
+
+
+def linked_net():
+    net = CsmaNetwork(2, seed=91)
+    net.apply_edges([(0, 1)])
+    return net
+
+
+def make_packet(src_id, dst_id, payload_len=60):
+    src = Ipv6Address.mesh_local(src_id)
+    dst = Ipv6Address.mesh_local(dst_id)
+    dgram = UdpDatagram(5683, 5683, bytes(payload_len - 8))
+    return Ipv6Packet(src=src, dst=dst, payload=dgram.encode(src, dst))
+
+
+def test_send_and_receive():
+    net = linked_net()
+    got = []
+    net.nodes[0].udp.bind(5683, lambda p, src, sport: got.append(p))
+    assert net.nodes[1].netif.send(make_packet(1, 0), next_hop_ll=0)
+    net.run(1 * SEC)
+    assert len(got) == 1
+    assert net.nodes[1].netif.tx_packets == 1
+    assert net.nodes[0].netif.rx_packets == 1
+
+
+def test_pktbuf_held_until_mac_completion():
+    net = linked_net()
+    netif = net.nodes[1].netif
+    assert netif.send(make_packet(1, 0), next_hop_ll=0)
+    assert net.nodes[1].pktbuf.used > 0
+    net.run(1 * SEC)
+    assert net.nodes[1].pktbuf.used == 0
+
+
+def test_mac_drop_frees_pktbuf_and_counts():
+    net = linked_net()
+    netif = net.nodes[1].netif
+    assert netif.send(make_packet(1, 99), next_hop_ll=99)  # nobody there
+    net.run(2 * SEC)
+    assert netif.drops_mac == 1
+    assert net.nodes[1].pktbuf.used == 0
+
+
+def test_oversize_packet_takes_fragmentation_path():
+    """Datagrams above the frame budget go through RFC 4944 fragments."""
+    net = linked_net()
+    got = []
+    net.nodes[0].udp.bind(5683, lambda p, src, sport: got.append(len(p)))
+    big = make_packet(1, 0, payload_len=200)  # 240-byte IP packet
+    assert net.nodes[1].netif.send(big, next_hop_ll=0)
+    net.run(2 * SEC)
+    assert got == [192]
+    assert net.nodes[1].netif.tx_fragmented_datagrams == 1
+
+
+def test_pktbuf_exhaustion():
+    net = CsmaNetwork(2, seed=92, pktbuf_capacity=128)
+    net.apply_edges([(0, 1)])
+    netif = net.nodes[1].netif
+    results = [netif.send(make_packet(1, 0), next_hop_ll=0) for _ in range(5)]
+    assert not all(results)
+    assert netif.drops_pktbuf > 0
+
+
+def test_compression_shared_with_ble_path():
+    """The same IPHC adaptation runs over 802.15.4 (fair comparison)."""
+    net = linked_net()
+    netif = net.nodes[1].netif
+    netif.send(make_packet(1, 0), next_hop_ll=0)
+    assert netif.adaptation.packets_down == 1
+    assert netif.adaptation.bytes_out < netif.adaptation.bytes_in

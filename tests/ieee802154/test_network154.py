@@ -1,0 +1,74 @@
+"""Integration tests: the CoAP workload over 802.15.4 (paper §5.3)."""
+
+from repro.ieee802154 import CsmaNetwork
+from repro.sim.units import MSEC, SEC
+from repro.testbed.topology import line_topology_edges, tree_topology_edges
+from repro.testbed.traffic import Consumer, Producer, TrafficConfig
+
+
+def test_single_hop_coap_over_154():
+    net = CsmaNetwork(2, seed=2)
+    net.apply_edges([(0, 1)])
+    consumer = Consumer(net.nodes[0])
+    producer = Producer(net.nodes[1], net.nodes[0].mesh_local)
+    producer.start()
+    net.sim.at(8 * SEC, producer.stop)
+    net.run(10 * SEC)
+    assert producer.requests_sent > 0
+    assert producer.pdr == 1.0
+    assert consumer.total_requests == producer.requests_sent
+
+
+def test_multi_hop_forwarding_over_154():
+    net = CsmaNetwork(4, seed=2)
+    net.apply_edges(line_topology_edges(4))
+    Consumer(net.nodes[0])
+    producer = Producer(net.nodes[3], net.nodes[0].mesh_local)
+    producer.start()
+    net.sim.at(12 * SEC, producer.stop)
+    net.run(15 * SEC)
+    # forwarding chains occasionally lose a frame to ACK/data collisions
+    # followed by retry exhaustion -- 802.15.4's §5.3 loss mode -- so only
+    # near-perfect delivery is guaranteed here
+    assert producer.pdr >= 0.9
+    assert net.nodes[1].ip.forwarded > 0
+
+
+def test_154_rtt_smaller_than_ble_on_idle_network():
+    """§5.3: 802.15.4 delays are backoff-sized, not interval-quantized."""
+    net = CsmaNetwork(4, seed=2)
+    net.apply_edges(line_topology_edges(4))
+    Consumer(net.nodes[0])
+    producer = Producer(net.nodes[3], net.nodes[0].mesh_local)
+    producer.start()
+    net.sim.at(12 * SEC, producer.stop)
+    net.run(15 * SEC)
+    rtts = [rtt for _, rtt in producer.rtt_samples]
+    mean_rtt = sum(rtts) / len(rtts)
+    # 3 hops, ~5 ms per hop incl. backoff: way below one BLE conn interval
+    assert mean_rtt < 75 * MSEC
+
+
+def test_contention_losses_on_tree_under_load():
+    """High offered load on the shared channel drops frames after retries
+    -- 802.15.4's signature failure mode in the comparison."""
+    net = CsmaNetwork(15, seed=4)
+    net.apply_edges(tree_topology_edges())
+    Consumer(net.nodes[0])
+    producers = [
+        Producer(
+            net.nodes[i],
+            net.nodes[0].mesh_local,
+            config=TrafficConfig(interval_ns=60 * MSEC, jitter_ns=30 * MSEC),
+        )
+        for i in range(1, 15)
+    ]
+    for producer in producers:
+        producer.start()
+    net.run(20 * SEC)
+    drops = sum(n.netif.drops_mac for n in net.nodes)
+    assert drops > 0
+    pdr = sum(p.acks_received for p in producers) / sum(
+        p.requests_sent for p in producers
+    )
+    assert pdr < 1.0

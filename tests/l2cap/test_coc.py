@@ -1,0 +1,160 @@
+"""Tests for the LE credit-based connection-oriented channel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ble.config import BleConfig, ConnParams
+from repro.l2cap import CocConfig, L2capCoc
+from repro.phy.medium import InterferenceBurst
+from repro.sim.units import MSEC, SEC
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from ble.conftest import BlePlane  # noqa: E402
+
+
+def make_coc(plane=None, coc_config=None, conn_params=None, **plane_kwargs):
+    plane = plane or BlePlane(**plane_kwargs)
+    conn = plane.connect(0, 1, params=conn_params, anchor0=MSEC)
+    coc = L2capCoc(conn, coc_config)
+    return plane, conn, coc
+
+
+def test_small_sdu_roundtrip():
+    plane, conn, coc = make_coc()
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    coc.send(plane.nodes[0], b"ipv6-packet-bytes")
+    plane.sim.run(until=200 * MSEC)
+    assert got == [b"ipv6-packet-bytes"]
+
+
+def test_sdu_larger_than_mps_is_segmented_and_reassembled():
+    plane, conn, coc = make_coc()
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    sdu = bytes(range(256)) * 4  # 1024 bytes > 247 MPS
+    coc.send(plane.nodes[0], sdu)
+    plane.sim.run(until=1 * SEC)
+    assert got == [sdu]
+    end = coc.end_of(plane.nodes[0])
+    assert end.sdus_sent == 1
+
+
+def test_mtu_enforced():
+    plane, conn, coc = make_coc()
+    with pytest.raises(ValueError):
+        coc.send(plane.nodes[0], b"x" * 1281)
+
+
+def test_bidirectional_traffic():
+    plane, conn, coc = make_coc()
+    got = {"up": [], "down": []}
+    coc.set_rx_handler(plane.nodes[1], got["down"].append)
+    coc.set_rx_handler(plane.nodes[0], got["up"].append)
+    coc.send(plane.nodes[0], b"request")
+    coc.send(plane.nodes[1], b"response")
+    plane.sim.run(until=500 * MSEC)
+    assert got["down"] == [b"request"]
+    assert got["up"] == [b"response"]
+
+
+def test_many_sdus_in_order():
+    plane, conn, coc = make_coc()
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    sdus = [bytes([i]) * (10 + i) for i in range(30)]
+    for sdu in sdus:
+        coc.send(plane.nodes[0], sdu)
+    plane.sim.run(until=5 * SEC)
+    assert got == sdus
+
+
+def test_credits_limit_inflight_frames():
+    """With 1 initial credit, the second SDU waits for a credit return."""
+    plane, conn, coc = make_coc(coc_config=CocConfig(initial_credits=1))
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    coc.send(plane.nodes[0], b"first")
+    coc.send(plane.nodes[0], b"second")
+    end = coc.end_of(plane.nodes[0])
+    assert end.credits == 0  # the single credit was spent immediately
+    plane.sim.run(until=1 * SEC)
+    assert got == [b"first", b"second"]  # credit return unblocked the second
+    assert coc.end_of(plane.nodes[1]).credits_returned >= 2
+
+
+def test_sdu_sent_callback_fires_after_ll_ack():
+    plane, conn, coc = make_coc()
+    sent = []
+    end = coc.end_of(plane.nodes[0])
+    end.on_sdu_sent = sent.append
+    coc.send(plane.nodes[0], b"payload", tag="cookie")
+    assert sent == []  # nothing acked before the first connection event
+    plane.sim.run(until=200 * MSEC)
+    assert sent == ["cookie"]
+
+
+def test_survives_interference_burst():
+    """Retransmissions below keep the channel lossless and in order."""
+    plane = BlePlane()
+    plane.medium.interference.bursts.append(
+        InterferenceBurst(100 * MSEC, 350 * MSEC, tuple(range(37)), 1.0)
+    )
+    plane, conn, coc = make_coc(plane=plane)
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    sdus = [bytes([i]) * 100 for i in range(10)]
+    for sdu in sdus:
+        coc.send(plane.nodes[0], sdu)
+    plane.sim.run(until=3 * SEC)
+    assert got == sdus
+    assert conn.open
+
+
+def test_queue_bytes_accounting():
+    plane, conn, coc = make_coc()
+    end = coc.end_of(plane.nodes[0])
+    # queue before any connection event has run
+    coc.send(plane.nodes[0], b"x" * 400)
+    assert end.queue_bytes() > 0
+    plane.sim.run(until=1 * SEC)
+    assert end.queue_bytes() == 0
+
+
+def test_throughput_stall_on_tiny_pool():
+    """A tiny LL buffer pool stalls the pump but never loses SDUs."""
+    plane = BlePlane(config_factory=lambda i: BleConfig(buffer_pool_bytes=300))
+    plane, conn, coc = make_coc(plane=plane)
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    sdus = [bytes([i]) * 150 for i in range(8)]
+    for sdu in sdus:
+        coc.send(plane.nodes[0], sdu)
+    plane.sim.run(until=3 * SEC)
+    assert got == sdus
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CocConfig(mps=10)
+    with pytest.raises(ValueError):
+        CocConfig(mtu=100, mps=200)
+    with pytest.raises(ValueError):
+        CocConfig(initial_credits=0)
+
+
+@given(
+    payload=st.binary(min_size=0, max_size=1280),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_sdu_roundtrips(payload):
+    """Property: any SDU within the MTU reassembles byte-identically."""
+    plane, conn, coc = make_coc()
+    got = []
+    coc.set_rx_handler(plane.nodes[1], got.append)
+    coc.send(plane.nodes[0], payload)
+    plane.sim.run(until=2 * SEC)
+    assert got == [payload]

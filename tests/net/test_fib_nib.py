@@ -1,0 +1,84 @@
+"""Tests for the forwarding table and neighbour cache."""
+
+from repro.net.fib import ForwardingTable
+from repro.net.nib import NeighborCache
+from repro.sixlowpan.ipv6 import Ipv6Address
+
+import pytest
+
+
+A1 = Ipv6Address.mesh_local(1)
+A2 = Ipv6Address.mesh_local(2)
+A3 = Ipv6Address.mesh_local(3)
+
+
+class TestFib:
+    def test_host_route_wins(self):
+        fib = ForwardingTable()
+        fib.set_default_route(A3)
+        fib.add_host_route(A1, A2)
+        assert fib.lookup(A1) == A2
+        assert fib.lookup(A2) == A3
+
+    def test_prefix_route(self):
+        fib = ForwardingTable()
+        fib.add_prefix_route(Ipv6Address.MESH_PREFIX, A2)
+        assert fib.lookup(A1) == A2
+        assert fib.lookup(Ipv6Address.link_local(9)) is None
+
+    def test_prefix_length_enforced(self):
+        fib = ForwardingTable()
+        with pytest.raises(ValueError):
+            fib.add_prefix_route(b"\x00" * 4, A2)
+
+    def test_no_match_returns_none(self):
+        assert ForwardingTable().lookup(A1) is None
+
+    def test_remove_host_route(self):
+        fib = ForwardingTable()
+        fib.add_host_route(A1, A2)
+        fib.remove_host_route(A1)
+        fib.remove_host_route(A1)  # idempotent
+        assert fib.lookup(A1) is None
+
+    def test_len(self):
+        fib = ForwardingTable()
+        fib.add_host_route(A1, A2)
+        fib.set_default_route(A3)
+        assert len(fib) == 2
+
+
+class TestNib:
+    def test_resolve(self):
+        nib = NeighborCache()
+        nib.add(A1, 1, "iface")
+        assert nib.resolve(A1) == (1, "iface")
+        assert nib.resolve(A2) is None
+
+    def test_capacity_limit(self):
+        nib = NeighborCache(max_entries=2)
+        assert nib.add(A1, 1, None)
+        assert nib.add(A2, 2, None)
+        assert not nib.add(A3, 3, None)
+        assert nib.full_rejections == 1
+        # refreshing an existing entry is always allowed
+        assert nib.add(A1, 9, None)
+        assert nib.resolve(A1) == (9, None)
+
+    def test_remove_ll_clears_all_addresses(self):
+        nib = NeighborCache()
+        nib.add(Ipv6Address.link_local(5), 5, None)
+        nib.add(Ipv6Address.mesh_local(5), 5, None)
+        nib.add(A1, 1, None)
+        nib.remove_ll(5)
+        assert len(nib) == 1
+        assert A1 in nib
+
+    def test_paper_configuration_holds_full_fleet(self):
+        """§4.2: the NIB is raised to 32 entries to reach all 15 nodes
+        (each neighbour needs a link-local and a mesh entry)."""
+        nib = NeighborCache(max_entries=32)
+        for peer in range(1, 15):
+            assert nib.add(Ipv6Address.link_local(peer), peer, None)
+            assert nib.add(Ipv6Address.mesh_local(peer), peer, None)
+        assert len(nib) == 28

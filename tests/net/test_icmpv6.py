@@ -1,0 +1,135 @@
+"""Tests for ICMPv6 (echo + demux)."""
+
+import pytest
+
+from repro.net.icmpv6 import (
+    ECHO_REQUEST,
+    Icmpv6Message,
+    RPL_CONTROL,
+)
+from repro.sim.units import SEC
+from repro.sixlowpan.ipv6 import Ipv6Address
+from repro.testbed.topology import BleNetwork, line_topology_edges
+
+
+def linked_net(n=2, seed=61):
+    net = BleNetwork(n, seed=seed, ppms=[0.0] * n)
+    net.apply_edges(line_topology_edges(n))
+    net.run(2 * SEC)
+    assert net.all_links_up()
+    return net
+
+
+SRC = Ipv6Address.mesh_local(1)
+DST = Ipv6Address.mesh_local(2)
+
+
+class TestCodec:
+    def test_roundtrip_with_checksum(self):
+        msg = Icmpv6Message(ECHO_REQUEST, 0, b"ping-body")
+        wire = msg.encode(SRC, DST)
+        back = Icmpv6Message.decode(wire, SRC, DST)
+        assert back == Icmpv6Message(ECHO_REQUEST, 0, b"ping-body")
+
+    def test_corruption_detected(self):
+        wire = bytearray(Icmpv6Message(ECHO_REQUEST, 0, b"x").encode(SRC, DST))
+        wire[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            Icmpv6Message.decode(bytes(wire), SRC, DST)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            Icmpv6Message.decode(b"\x80")
+
+
+class TestPing:
+    def test_single_hop_ping(self):
+        net = linked_net()
+        rtts = []
+        assert net.nodes[1].icmp.ping(
+            net.nodes[0].mesh_local, b"abc", on_reply=rtts.append
+        )
+        net.run(4 * SEC)
+        assert len(rtts) == 1
+        assert rtts[0] > 0
+        assert net.nodes[0].icmp.echo_requests_served == 1
+
+    def test_multi_hop_ping(self):
+        net = linked_net(4, seed=62)
+        rtts = []
+        net.nodes[3].icmp.ping(net.nodes[0].mesh_local, on_reply=rtts.append)
+        net.run(6 * SEC)
+        assert len(rtts) == 1
+        # 3 hops each way at 75 ms intervals
+        assert rtts[0] > 100_000_000
+
+    def test_ping_to_unreachable_gets_no_reply(self):
+        net = linked_net()
+        rtts = []
+        # routes towards the root exist, but node 42 does not: the request
+        # dies at the root's FIB and no reply ever comes
+        net.nodes[1].icmp.ping(Ipv6Address.mesh_local(42), on_reply=rtts.append)
+        net.run(6 * SEC)
+        assert rtts == []
+        assert net.nodes[0].ip.drops_no_route == 1
+
+    def test_duplicate_reply_ignored(self):
+        net = linked_net()
+        rtts = []
+        net.nodes[1].icmp.ping(net.nodes[0].mesh_local, on_reply=rtts.append)
+        net.run(4 * SEC)
+        # re-deliver a forged identical reply: no pending entry remains
+        assert len(rtts) == 1
+
+
+class TestDemux:
+    def test_registered_handler_called(self):
+        net = linked_net()
+        got = []
+        net.nodes[0].icmp.register(
+            RPL_CONTROL, lambda msg, src: got.append((msg.code, src))
+        )
+        net.nodes[1].icmp.send(
+            net.nodes[0].mesh_local, Icmpv6Message(RPL_CONTROL, 1, b"\x00" * 24)
+        )
+        net.run(4 * SEC)
+        assert got == [(1, net.nodes[1].mesh_local)]
+
+    def test_unhandled_type_counted(self):
+        net = linked_net()
+        net.nodes[1].icmp.send(
+            net.nodes[0].mesh_local, Icmpv6Message(200, 0, b"")
+        )
+        net.run(4 * SEC)
+        assert net.nodes[0].icmp.rx_unhandled == 1
+
+
+class TestMulticast:
+    def test_link_multicast_fans_out_to_all_neighbors(self):
+        net = BleNetwork(3, seed=63, ppms=[0.0] * 3)
+        net.apply_edges([(0, 1), (0, 2)])
+        net.run(2 * SEC)
+        got = []
+        for peer in (1, 2):
+            net.nodes[peer].icmp.register(
+                RPL_CONTROL, lambda msg, src, p=peer: got.append(p)
+            )
+        net.nodes[0].icmp.send(
+            Ipv6Address.from_string("ff02::1a"),
+            Icmpv6Message(RPL_CONTROL, 1, b"\x00" * 24),
+            hop_limit=255,
+        )
+        net.run(4 * SEC)
+        assert sorted(got) == [1, 2]
+
+    def test_multicast_is_not_forwarded(self):
+        """Link-scope multicast stays one hop (ff02::/16)."""
+        net = linked_net(3, seed=64)
+        got = []
+        net.nodes[2].icmp.register(RPL_CONTROL, lambda m, s: got.append(2))
+        net.nodes[0].icmp.send(
+            Ipv6Address.from_string("ff02::1a"),
+            Icmpv6Message(RPL_CONTROL, 1, b"\x00" * 24),
+        )
+        net.run(4 * SEC)
+        assert got == []  # node 2 is two hops away

@@ -1,0 +1,51 @@
+"""Tests for the BLE / 802.15.4 channel plans."""
+
+import pytest
+
+from repro.phy import BLE_ADV_CHANNELS, BLE_DATA_CHANNELS, IEEE802154_CHANNELS
+from repro.phy.channels import (
+    ble_index_to_rf,
+    ble_rf_to_frequency_mhz,
+    ieee802154_frequency_mhz,
+)
+
+
+def test_ble_has_37_data_and_3_adv_channels():
+    assert len(BLE_DATA_CHANNELS) == 37
+    assert BLE_ADV_CHANNELS == (37, 38, 39)
+
+
+def test_index_to_rf_is_a_permutation():
+    rfs = [ble_index_to_rf(i) for i in range(40)]
+    assert sorted(rfs) == list(range(40))
+
+
+def test_adv_channels_sit_at_band_edges_and_centre():
+    # RF 0 = 2402 MHz, RF 12 = 2426 MHz, RF 39 = 2480 MHz
+    assert ble_index_to_rf(37) == 0
+    assert ble_index_to_rf(38) == 12
+    assert ble_index_to_rf(39) == 39
+
+
+def test_rf_frequencies():
+    assert ble_rf_to_frequency_mhz(0) == 2402
+    assert ble_rf_to_frequency_mhz(39) == 2480
+
+
+def test_data_channel_0_is_rf_1():
+    assert ble_index_to_rf(0) == 1
+
+
+def test_out_of_range_raises():
+    with pytest.raises(ValueError):
+        ble_index_to_rf(40)
+    with pytest.raises(ValueError):
+        ble_rf_to_frequency_mhz(-1)
+
+
+def test_802154_channel_plan():
+    assert IEEE802154_CHANNELS == tuple(range(11, 27))
+    assert ieee802154_frequency_mhz(11) == 2405
+    assert ieee802154_frequency_mhz(26) == 2480
+    with pytest.raises(ValueError):
+        ieee802154_frequency_mhz(27)

@@ -1,0 +1,66 @@
+"""Tests for the statistical BLE medium."""
+
+import random
+
+from repro.phy import BleMedium, InterferenceModel
+from repro.phy.medium import InterferenceBurst
+from repro.sim import Simulator, SEC
+
+
+def make_medium(**kwargs):
+    sim = Simulator()
+    return sim, BleMedium(sim, random.Random(1), InterferenceModel(**kwargs))
+
+
+def test_zero_ber_never_loses():
+    _, medium = make_medium(base_ber=0.0)
+    assert not any(medium.packet_lost(5, 115) for _ in range(1000))
+
+
+def test_jammed_channel_always_loses():
+    _, medium = make_medium(base_ber=0.0, jammed_channels=(22,))
+    assert all(medium.packet_lost(22, 115) for _ in range(100))
+    assert not medium.packet_lost(21, 115)
+
+
+def test_per_increases_with_packet_length():
+    model = InterferenceModel(base_ber=1e-4)
+    short = model.packet_error_rate(0, 10, 0)
+    long = model.packet_error_rate(0, 250, 0)
+    assert long > short > 0
+
+
+def test_channel_per_is_additive():
+    model = InterferenceModel(base_ber=0.0, channel_per={7: 0.25})
+    assert model.packet_error_rate(7, 100, 0) == 0.25
+    assert model.packet_error_rate(8, 100, 0) == 0.0
+
+
+def test_per_capped_at_one():
+    model = InterferenceModel(base_ber=0.0, channel_per={7: 2.0})
+    assert model.packet_error_rate(7, 100, 0) == 1.0
+
+
+def test_burst_only_active_in_window_and_channels():
+    burst = InterferenceBurst(start_ns=SEC, end_ns=2 * SEC, channels=(3,), per=1.0)
+    model = InterferenceModel(base_ber=0.0, bursts=[burst])
+    assert model.packet_error_rate(3, 100, 0) == 0.0
+    assert model.packet_error_rate(3, 100, SEC) == 1.0
+    assert model.packet_error_rate(4, 100, SEC) == 0.0
+    assert model.packet_error_rate(3, 100, 2 * SEC) == 0.0
+
+
+def test_loss_rate_roughly_matches_per():
+    _, medium = make_medium(base_ber=0.0, channel_per={0: 0.3})
+    n = 20_000
+    losses = sum(medium.packet_lost(0, 100) for _ in range(n))
+    assert abs(losses / n - 0.3) < 0.02
+    assert medium.packets_sampled == n
+    assert medium.packets_lost == losses
+
+
+def test_usable_channels_excludes_jammed():
+    _, medium = make_medium(jammed_channels=(22,))
+    usable = medium.usable_channels(range(37))
+    assert 22 not in usable
+    assert len(usable) == 36

@@ -1,0 +1,110 @@
+"""Tests for the Trickle timer (RFC 6206)."""
+
+import random
+
+import pytest
+
+from repro.rpl.trickle import TrickleTimer
+from repro.sim import Simulator
+from repro.sim.units import MSEC, SEC
+
+
+def make(sim=None, imin_ms=100, doublings=4, k=2, seed=1):
+    sim = sim or Simulator()
+    fires = []
+    timer = TrickleTimer(
+        sim,
+        random.Random(seed),
+        on_transmit=lambda: fires.append(sim.now),
+        imin_ns=imin_ms * MSEC,
+        imax_doublings=doublings,
+        k=k,
+    )
+    return sim, timer, fires
+
+
+def test_first_transmission_in_second_half_of_imin():
+    sim, timer, fires = make()
+    timer.start()
+    sim.run(until=100 * MSEC)
+    assert len(fires) == 1
+    assert 50 * MSEC <= fires[0] < 100 * MSEC
+
+
+def test_interval_doubles_and_caps():
+    sim, timer, fires = make(imin_ms=100, doublings=3)
+    timer.start()
+    sim.run(until=100 * SEC)
+    assert timer.interval_ns == 800 * MSEC  # 100 << 3
+    # steady state: ~one transmission per capped interval
+    assert len(fires) > 50
+
+
+def test_suppression_when_enough_consistent_heard():
+    sim, timer, fires = make(k=2)
+    timer.start()
+
+    def chatter():
+        timer.hear_consistent()
+        timer.hear_consistent()
+        timer.hear_consistent()
+        sim.after(20 * MSEC, chatter)
+
+    sim.after(1, chatter)
+    sim.run(until=5 * SEC)
+    assert fires == []
+    assert timer.suppressions > 0
+
+
+def test_reset_shrinks_interval():
+    sim, timer, fires = make(imin_ms=100, doublings=5)
+    timer.start()
+    sim.run(until=20 * SEC)
+    assert timer.interval_ns > 100 * MSEC
+    timer.reset()
+    assert timer.interval_ns == 100 * MSEC
+    assert timer.resets == 1
+
+
+def test_reset_at_imin_does_not_restart_interval():
+    sim, timer, fires = make(imin_ms=100)
+    timer.start()
+    sim.run(until=10 * MSEC)
+    timer.reset()  # interval already Imin: keep running (RFC 6206 §4.2/6)
+    sim.run(until=100 * MSEC)
+    assert len(fires) == 1
+
+
+def test_stop_halts_everything():
+    sim, timer, fires = make()
+    timer.start()
+    sim.run(until=60 * MSEC)
+    timer.stop()
+    count = len(fires)
+    sim.run(until=10 * SEC)
+    assert len(fires) == count
+
+
+def test_start_is_idempotent():
+    sim, timer, fires = make()
+    timer.start()
+    timer.start()
+    sim.run(until=100 * MSEC)
+    assert len(fires) == 1
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, random.Random(1), lambda: None, imin_ns=0)
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, random.Random(1), lambda: None, imin_ns=1, k=0)
+
+
+def test_transmissions_spread_across_interval_halves():
+    """t is re-drawn each interval: firing offsets must vary."""
+    sim, timer, fires = make(imin_ms=100, doublings=0, seed=9)
+    timer.start()
+    sim.run(until=30 * SEC)
+    offsets = {t % (100 * MSEC) for t in fires}
+    assert len(offsets) > 10

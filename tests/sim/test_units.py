@@ -1,0 +1,41 @@
+"""Tests for time-unit conversions."""
+
+from repro.sim.units import (
+    MSEC,
+    NSEC,
+    SEC,
+    USEC,
+    ms_to_ns,
+    ns_to_ms,
+    ns_to_s,
+    ns_to_us,
+    s_to_ns,
+    us_to_ns,
+)
+
+
+def test_constants_relate():
+    assert NSEC == 1
+    assert USEC == 1000 * NSEC
+    assert MSEC == 1000 * USEC
+    assert SEC == 1000 * MSEC
+
+
+def test_ble_constants_exact_in_nanoseconds():
+    """The timing quantums the whole simulator relies on are exact."""
+    assert 150 * USEC == 150_000           # T_IFS
+    assert int(1.25 * MSEC) == 1_250_000   # connection interval unit
+    assert 625 * USEC == 625_000           # anchor offset unit
+
+
+def test_roundtrips():
+    assert s_to_ns(ns_to_s(123_456_789)) == 123_456_789
+    assert ms_to_ns(1.5) == 1_500_000
+    assert us_to_ns(2.5) == 2_500
+    assert ns_to_ms(75 * MSEC) == 75.0
+    assert ns_to_us(150 * USEC) == 150.0
+
+
+def test_rounding():
+    assert s_to_ns(1e-9) == 1
+    assert ms_to_ns(0.0000004) == 0

@@ -1,0 +1,77 @@
+"""Tests for the FIT IoT-LAB presets."""
+
+from repro.sim.units import SEC
+from repro.testbed.iotlab import (
+    IOTLAB_NODE_COUNT,
+    JAMMED_CHANNEL,
+    iotlab_interference,
+    iotlab_network,
+)
+from repro.testbed.topology import tree_topology_edges
+
+
+def test_fleet_size_matches_paper():
+    net = iotlab_network(seed=1)
+    assert len(net.nodes) == IOTLAB_NODE_COUNT == 15
+
+
+def test_channel_22_jammed_on_medium():
+    net = iotlab_network(seed=1)
+    assert JAMMED_CHANNEL in net.medium.interference.jammed_channels
+    assert net.medium.interference.packet_error_rate(22, 100, 0) == 1.0
+
+
+def test_channel_maps_exclude_jammed_by_default():
+    net = iotlab_network(seed=1)
+    for node in net.nodes:
+        assert not node.controller.config.chan_map.is_used(JAMMED_CHANNEL)
+
+
+def test_jammed_channel_can_be_exposed():
+    net = iotlab_network(seed=1, exclude_jammed_channel=False)
+    assert net.nodes[0].controller.config.chan_map.is_used(JAMMED_CHANNEL)
+
+
+def test_drift_spread_is_paper_like():
+    net = iotlab_network(seed=3)
+    ppms = [node.clock.ppm for node in net.nodes]
+    assert all(-3.0 <= p <= 3.0 for p in ppms)
+    assert len(set(ppms)) > 1  # boards differ
+
+
+def test_network_with_exclusion_runs_clean():
+    """With the exclusion, the jamming never bites: traffic flows."""
+    from repro.testbed.traffic import Consumer, Producer
+
+    net = iotlab_network(seed=4)
+    net.apply_edges(tree_topology_edges())
+    Consumer(net.nodes[0])
+    producer = Producer(net.nodes[14], net.nodes[0].mesh_local)
+    producer.start(delay_ns=2 * SEC)
+    net.run(10 * SEC)
+    assert producer.acks_received > 0
+
+
+def test_without_exclusion_jamming_costs_packets():
+    """1/37 of connection events land on the dead channel and abort."""
+    from repro.testbed.traffic import Consumer, Producer
+
+    net = iotlab_network(seed=4, exclude_jammed_channel=False)
+    net.apply_edges(tree_topology_edges())
+    Consumer(net.nodes[0])
+    producer = Producer(net.nodes[14], net.nodes[0].mesh_local)
+    producer.start(delay_ns=2 * SEC)
+    net.run(20 * SEC)
+    aborts = sum(
+        conn.coord.stats.events_crc_abort + conn.sub.stats.events_crc_abort
+        for node in net.nodes
+        for conn in node.controller.connections
+        if conn.coord.controller is node.controller
+    )
+    assert aborts > 0
+
+
+def test_interference_factory():
+    model = iotlab_interference(base_ber=0.0)
+    assert model.packet_error_rate(22, 10, 0) == 1.0
+    assert model.packet_error_rate(21, 10, 0) == 0.0

@@ -1,0 +1,83 @@
+"""Tests for topology construction."""
+
+import pytest
+
+from repro.testbed.topology import (
+    BleNetwork,
+    line_topology_edges,
+    star_topology_edges,
+    tree_topology_edges,
+)
+
+
+class TestEdgeSets:
+    def test_tree_shape_matches_paper(self):
+        """15 nodes, root with 3 children, max 3 hops, mean 2.14 (§5.1)."""
+        edges = tree_topology_edges()
+        assert len(edges) == 14
+        net = BleNetwork(15, seed=1, ppms=[0.0] * 15)
+        for parent, child in edges:
+            net._parent_of[child] = parent
+        hops = [net.hop_count(n) for n in range(1, 15)]
+        assert max(hops) == 3
+        assert sum(hops) / len(hops) == pytest.approx(2.14, abs=0.005)
+        root_children = [c for p, c in edges if p == 0]
+        assert len(root_children) == 3
+
+    def test_line_shape_matches_paper(self):
+        """14 hops end to end, mean producer distance 7.5 (§5.1)."""
+        edges = line_topology_edges()
+        net = BleNetwork(15, seed=1, ppms=[0.0] * 15)
+        for parent, child in edges:
+            net._parent_of[child] = parent
+        hops = [net.hop_count(n) for n in range(1, 15)]
+        assert max(hops) == 14
+        assert sum(hops) / len(hops) == 7.5
+
+    def test_star_edges(self):
+        edges = star_topology_edges(5)
+        assert edges == [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_topology_edges(10)
+        with pytest.raises(ValueError):
+            line_topology_edges(1)
+        with pytest.raises(ValueError):
+            star_topology_edges(1)
+
+
+class TestRouteInstallation:
+    def test_default_routes_point_at_parents(self):
+        from repro.sixlowpan.ipv6 import Ipv6Address
+
+        net = BleNetwork(15, seed=1, ppms=[0.0] * 15)
+        net.apply_edges(tree_topology_edges())
+        # node 10's parent is 4; its default route must say so
+        assert net.nodes[10].ip.fib.lookup(
+            Ipv6Address.mesh_local(0)
+        ) == Ipv6Address.mesh_local(4)
+
+    def test_downstream_host_routes(self):
+        from repro.sixlowpan.ipv6 import Ipv6Address
+
+        net = BleNetwork(15, seed=1, ppms=[0.0] * 15)
+        net.apply_edges(tree_topology_edges())
+        # the root reaches node 10 via child 1 (1 -> 4 -> 10)
+        assert net.nodes[0].ip.fib.lookup(
+            Ipv6Address.mesh_local(10)
+        ) == Ipv6Address.mesh_local(1)
+        # node 1 reaches node 10 via child 4
+        assert net.nodes[1].ip.fib.lookup(
+            Ipv6Address.mesh_local(10)
+        ) == Ipv6Address.mesh_local(4)
+
+    def test_hop_count_errors_on_disconnected(self):
+        net = BleNetwork(3, seed=1, ppms=[0.0] * 3)
+        net.apply_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            net.hop_count(2)
+
+    def test_ppm_list_length_validated(self):
+        with pytest.raises(ValueError):
+            BleNetwork(3, ppms=[0.0])
