@@ -6,14 +6,19 @@ panels: link-layer PDR, CoAP PDR, CoAP RTT, and connection losses.  We run
 one seed x a scaled duration per cell and print the same four grids.
 
 Base duration: 150 s per cell (60 cells; paper: 5 x 3600 s each).  This is
-the heaviest bench -- REPRO_DURATION_SCALE trades runtime for fidelity.
+the heaviest bench -- REPRO_DURATION_SCALE trades runtime for fidelity,
+and it is the flagship consumer of the parallel engine hookup:
+``REPRO_WORKERS=4 REPRO_CACHE_DIR=.repro-cache pytest
+benchmarks/test_fig15_full_grid.py`` shards the 60 cells across four
+worker processes and replays instantly on a second invocation.
 """
 
-from repro.exp import ExperimentConfig, run_experiment
+from repro.exp import ExperimentConfig
 from repro.exp.metrics import percentile
+from repro.exp.parallel import run_grid as engine_run_grid
 from repro.exp.report import format_table
 
-from conftest import banner, scaled
+from conftest import banner, engine_kwargs, scaled
 
 PRODUCER_INTERVALS_S = (0.1, 0.5, 1.0, 5.0, 10.0, 30.0)
 CONN_SPECS = (
@@ -23,10 +28,11 @@ CONN_SPECS = (
 
 
 def run_grid(duration_s: float):
-    cells = {}
+    keys, configs = [], []
     for producer_s in PRODUCER_INTERVALS_S:
         for spec in CONN_SPECS:
-            result = run_experiment(
+            keys.append((producer_s, spec))
+            configs.append(
                 ExperimentConfig(
                     name=f"fig15-{producer_s}-{spec}",
                     conn_interval=spec,
@@ -38,13 +44,20 @@ def run_grid(duration_s: float):
                     seed=15,
                 )
             )
-            rtts = result.rtts_s()
-            cells[(producer_s, spec)] = {
-                "ll_pdr": result.link_pdr_overall(),
-                "coap_pdr": result.coap_pdr(),
-                "rtt_p50": percentile(rtts, 0.5) if rtts else float("nan"),
-                "losses": result.num_connection_losses(),
-            }
+    outcomes, stats = engine_run_grid(configs, **engine_kwargs())
+    failed = [o for o in outcomes if not o.ok]
+    assert not failed, f"{len(failed)} grid runs failed, first: {failed[0].error}"
+    print(f"\n[engine] {stats.summary()}")
+    cells = {}
+    for key, outcome in zip(keys, outcomes):
+        result = outcome.result
+        rtts = result.rtts_s()
+        cells[key] = {
+            "ll_pdr": result.link_pdr_overall(),
+            "coap_pdr": result.coap_pdr(),
+            "rtt_p50": percentile(rtts, 0.5) if rtts else float("nan"),
+            "losses": result.num_connection_losses(),
+        }
     return cells
 
 

@@ -1,5 +1,11 @@
-"""``python -m repro`` -- see :mod:`repro.exp.cli`."""
+"""``python -m repro`` -- see :mod:`repro.exp.cli`.
+
+The ``__name__`` guard matters: ``multiprocessing`` re-imports ``__main__``
+in ``spawn``-mode workers (as ``__mp_main__``), and an unguarded
+``SystemExit`` here would re-run the CLI inside every worker.
+"""
 
 from repro.exp.cli import main
 
-raise SystemExit(main())
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,14 +11,22 @@ This package mirrors that pipeline in-process:
 * :mod:`repro.exp.metrics` -- CDFs, time-binned PDR series, per-channel
   PDRs, loss censuses,
 * :mod:`repro.exp.report` -- fixed-width tables for benchmark output,
-* :mod:`repro.exp.asciiplot` -- terminal renderings of the paper's figures.
+* :mod:`repro.exp.asciiplot` -- terminal renderings of the paper's figures,
+* :mod:`repro.exp.portable` -- the picklable result form,
+* :mod:`repro.exp.cache` -- the content-addressed on-disk result cache,
+* :mod:`repro.exp.parallel` -- the sharded multiprocess execution engine,
+* :mod:`repro.exp.sweep` -- config-grid expansion + aggregation on top.
 """
 
 from repro.exp.config import ExperimentConfig, parse_interval_spec
 from repro.exp.runner import ExperimentResult, ExperimentRunner, run_experiment
 from repro.exp.events import EventLog
 from repro.exp.artifacts import write_artifacts
-from repro.exp.repeat import RepeatedResult, run_repetitions
+from repro.exp.portable import PortableResult
+from repro.exp.cache import ResultCache
+from repro.exp.parallel import ParallelEngine, RunOutcome, run_grid
+from repro.exp.repeat import RepeatedResult, derive_seed, run_repetitions
+from repro.exp.sweep import SweepResult, expand_grid, run_sweep
 
 __all__ = [
     "ExperimentConfig",
@@ -28,6 +36,15 @@ __all__ = [
     "run_experiment",
     "EventLog",
     "write_artifacts",
+    "PortableResult",
+    "ResultCache",
+    "ParallelEngine",
+    "RunOutcome",
+    "run_grid",
     "RepeatedResult",
+    "derive_seed",
     "run_repetitions",
+    "SweepResult",
+    "expand_grid",
+    "run_sweep",
 ]

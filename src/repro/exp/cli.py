@@ -2,24 +2,48 @@
 
 Mirrors the paper's experimentation workflow (Appendix A): a static
 description file fully determines the run; the output directory receives
-the description, the raw results log, and the derived summary.
+the description, the raw results log, and the derived summary.  ``sweep``
+expands a config grid and runs it through the parallel sharded engine
+(:mod:`repro.exp.parallel`) with optional on-disk result caching.
 
 Usage::
 
     python -m repro describe > experiment.yml   # a template description
     python -m repro run experiment.yml -o out/  # execute + write artifacts
     python -m repro run experiment.yml --set duration_s=120 --set seed=7
+    python -m repro sweep experiment.yml \\
+        --grid conn_interval=75,[65:85] --grid producer_interval_s=0.1,1.0 \\
+        --seeds 5 --workers 4 --cache-dir .repro-cache -o out/
+
+``sweep`` honours ``REPRO_WORKERS`` and ``REPRO_CACHE_DIR`` when the
+corresponding flags are not given.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro.exp.artifacts import render_summary, write_artifacts
 from repro.exp.config import ExperimentConfig
 from repro.exp.runner import run_experiment
+
+
+def _coerce(config: ExperimentConfig, key: str, raw: str):
+    """Parse ``raw`` into the type of ``config.<key>``."""
+    if not hasattr(config, key):
+        raise SystemExit(f"unknown config field {key!r}")
+    current = getattr(config, key)
+    if isinstance(current, bool):
+        return raw.lower() in ("1", "true", "yes", "on")
+    if isinstance(current, int) and not isinstance(current, bool):
+        return int(raw)
+    if isinstance(current, float):
+        return float(raw)
+    return raw
 
 
 def _apply_overrides(config: ExperimentConfig, overrides: list[str]) -> ExperimentConfig:
@@ -29,23 +53,55 @@ def _apply_overrides(config: ExperimentConfig, overrides: list[str]) -> Experime
         if "=" not in item:
             raise SystemExit(f"--set expects key=value, got {item!r}")
         key, raw = item.split("=", 1)
-        if not hasattr(config, key):
-            raise SystemExit(f"unknown config field {key!r}")
-        current = getattr(config, key)
-        if isinstance(current, bool):
-            value = raw.lower() in ("1", "true", "yes", "on")
-        elif isinstance(current, int) and not isinstance(current, bool):
-            value = int(raw)
-        elif isinstance(current, float):
-            value = float(raw)
-        else:
-            value = raw
-        values[key] = value
+        values[key] = _coerce(config, key, raw)
     if not values:
         return config
-    from dataclasses import asdict, replace
+    from dataclasses import asdict
 
     return ExperimentConfig(**{**asdict(config), **values})
+
+
+def _parse_grid(config: ExperimentConfig, items: list[str]) -> dict:
+    """Parse repeated ``--grid KEY=V1,V2,...`` flags into a typed grid."""
+    grid: dict = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--grid expects key=v1,v2,..., got {item!r}")
+        key, raw = item.split("=", 1)
+        values = [v for v in raw.split(",") if v != ""]
+        if not values:
+            raise SystemExit(f"--grid axis {key!r} has no values")
+        grid[key] = [_coerce(config, key, v) for v in values]
+    return grid
+
+
+def _progress_printer(stream):
+    """A progress callback that writes one status line per engine event."""
+
+    def on_event(event) -> None:
+        name = f"{event.config.name} seed={event.config.seed}"
+        position = f"[{event.completed}/{event.total}]"
+        if event.kind == "cache-hit":
+            print(f"{position} cached   {name}", file=stream)
+        elif event.kind == "done":
+            print(
+                f"{position} done     {name} ({event.wall_time_s:.2f}s)",
+                file=stream,
+            )
+        elif event.kind == "retry":
+            print(
+                f"{position} retry    {name} (attempt {event.attempt} "
+                f"failed: {event.detail})",
+                file=stream,
+            )
+        elif event.kind == "failed":
+            print(
+                f"{position} FAILED   {name} after {event.attempt} attempts: "
+                f"{event.detail}",
+                file=stream,
+            )
+
+    return on_event
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -66,6 +122,28 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--set", dest="overrides", action="append", default=[],
                      metavar="KEY=VALUE", help="override a config field")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a config grid in parallel (sharded workers + result cache)",
+    )
+    sweep.add_argument("description", help="path to the base experiment YAML")
+    sweep.add_argument("--grid", dest="grid", action="append", default=[],
+                       metavar="KEY=V1,V2", help="one grid axis (repeatable)")
+    sweep.add_argument("--seeds", type=int, default=5,
+                       help="repetitions per cell (default 5, like the paper)")
+    sweep.add_argument("-j", "--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_WORKERS or CPU count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: $REPRO_CACHE_DIR)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock timeout in seconds")
+    sweep.add_argument("-o", "--outdir", default=None,
+                       help="write per-run Appendix-A artifacts here")
+    sweep.add_argument("--set", dest="overrides", action="append", default=[],
+                       metavar="KEY=VALUE", help="override a base config field")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-run progress lines")
+
     args = parser.parse_args(argv)
 
     if args.command == "describe":
@@ -74,15 +152,66 @@ def main(argv: list[str] | None = None) -> int:
 
     config = ExperimentConfig.from_yaml(Path(args.description).read_text())
     config = _apply_overrides(config, args.overrides)
-    print(f"running {config.name!r}: {config.topology} topology, "
-          f"{config.link_layer}, conn interval {config.conn_interval}, "
-          f"{config.duration_s:.0f}s ...", file=sys.stderr)
-    result = run_experiment(config)
-    print(render_summary(result), end="")
+
+    if args.command == "run":
+        print(f"running {config.name!r}: {config.topology} topology, "
+              f"{config.link_layer}, conn interval {config.conn_interval}, "
+              f"{config.duration_s:.0f}s ...", file=sys.stderr)
+        result = run_experiment(config)
+        print(render_summary(result), end="")
+        if args.outdir:
+            out = write_artifacts(result, args.outdir)
+            print(f"artifacts written to {out}/", file=sys.stderr)
+        return 0
+
+    # -- sweep ---------------------------------------------------------------
+    from repro.exp.sweep import render_sweep_table, run_sweep
+
+    grid = _parse_grid(config, args.grid)
+    workers = args.workers
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0")) or (os.cpu_count() or 1)
+    if workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+
+    n_cells = 1
+    for values in grid.values():
+        n_cells *= len(values)
+    print(
+        f"sweeping {config.name!r}: {n_cells} cells x {args.seeds} seeds = "
+        f"{n_cells * args.seeds} runs, {workers} workers"
+        + (f", cache at {cache_dir}" if cache_dir else ", no cache"),
+        file=sys.stderr,
+    )
+    started = time.monotonic()
+    try:
+        result = run_sweep(
+            config,
+            grid,
+            seeds=args.seeds,
+            max_workers=workers,
+            cache_dir=cache_dir,
+            timeout_s=args.timeout,
+            outdir=args.outdir,
+            progress=None if args.quiet else _progress_printer(sys.stderr),
+        )
+    except ValueError as exc:  # e.g. a grid value the config rejects
+        raise SystemExit(f"invalid sweep: {exc}")
+    wall = time.monotonic() - started
+    print(render_sweep_table(result))
+    print(result.stats.summary())
+    if result.stats.run_wall_s:
+        busy = sum(result.stats.run_wall_s)
+        print(
+            f"worker time {busy:.2f}s in {wall:.2f}s wall "
+            f"(effective concurrency x{busy / wall:.2f})"
+        )
     if args.outdir:
-        out = write_artifacts(result, args.outdir)
-        print(f"artifacts written to {out}/", file=sys.stderr)
-    return 0
+        print(f"artifacts written to {args.outdir}/", file=sys.stderr)
+    return 1 if result.total_failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,12 +9,43 @@ static 75 ms interval, ``"[65:85]"`` for the randomized window policy of
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 import re
 from dataclasses import asdict, dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 import yaml
+
+#: Bumped whenever a change to the simulator or the config schema makes
+#: previously produced results incomparable; part of every cache key, so
+#: stale on-disk results are invalidated wholesale instead of silently
+#: replayed (see :mod:`repro.exp.cache`).
+CONFIG_SCHEMA_VERSION = 1
+
+
+def canonical_value(value: Any) -> Any:
+    """A JSON-safe, canonical form of one config field value.
+
+    Floats are rendered via :meth:`float.hex` so the canonical form encodes
+    the exact IEEE-754 bits and never depends on ``repr`` shortest-float
+    behaviour; tuples become lists; dict keys are sorted.  The result feeds
+    :meth:`ExperimentConfig.canonical_json`, whose bytes must be identical
+    across processes, platforms, and Python versions for cache keys to be
+    stable.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(value).hex()
+    if isinstance(value, int):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical_value(value[k]) for k in sorted(value)}
+    return str(value)
 
 from repro.ble.config import SchedulerPolicy
 from repro.core.intervals import (
@@ -129,6 +160,38 @@ class ExperimentConfig:
     def uses_random_intervals(self) -> bool:
         """Whether the §6.3 mitigation is active."""
         return interval_spec_is_random(self.conn_interval)
+
+    # -- canonical serialization (cache keys, §A.3 reproducibility) ---------
+
+    def canonical_dict(self) -> dict:
+        """All fields in canonical form (sorted keys, hex floats)."""
+        plain = asdict(self)
+        return {key: canonical_value(plain[key]) for key in sorted(plain)}
+
+    def canonical_json(self) -> str:
+        """A byte-stable JSON rendering of the description.
+
+        Two configs are equal iff their canonical JSON is identical; the
+        bytes never depend on field declaration order, dict insertion
+        order, or float ``repr`` — the properties a content-addressed
+        result cache needs.
+        """
+        return json.dumps(
+            self.canonical_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        )
+
+    def stable_hash(self, extra: str = "") -> str:
+        """SHA-256 over the canonical JSON, schema version, and ``extra``.
+
+        This is the cache key of the run this config describes (the seed is
+        a config field, so it is covered).  ``extra`` lets callers mix in
+        an additional tag, e.g. the result-cache format version.
+        """
+        payload = f"schema={CONFIG_SCHEMA_VERSION};{extra};{self.canonical_json()}"
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
     # -- YAML round trip (the paper's static description files, §A.3) -------
 

@@ -48,5 +48,10 @@ class EventLog:
     def __len__(self) -> int:
         return len(self._records)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventLog):
+            return NotImplemented
+        return self._records == other._records
+
     def __iter__(self) -> Iterator[EventRecord]:
         return iter(self._records)

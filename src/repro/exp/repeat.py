@@ -2,25 +2,58 @@
 
 Runs an :class:`~repro.exp.config.ExperimentConfig` across derived seeds and
 aggregates the headline metrics, like the paper's Appendix B grid does for
-its 5x1 h cells.
+its 5x1 h cells.  With ``max_workers > 1`` or a ``cache_dir`` the
+repetitions go through :class:`~repro.exp.parallel.ParallelEngine`, which
+shards them across worker processes and serves previously computed runs
+from the on-disk result cache; the aggregated numbers are identical either
+way because the simulator is deterministic per ``(config, seed)``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass, field
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.exp.config import ExperimentConfig
 from repro.exp.metrics import percentile
 from repro.exp.runner import ExperimentResult, run_experiment
 
+#: Stride between repetition seed blocks.  Repetition ``k`` of base seed
+#: ``s`` uses ``s * SEED_STRIDE + k``, so the 5-seed sets of distinct base
+#: seeds can never collide as long as fewer than ``SEED_STRIDE`` repetitions
+#: are requested (tests/sim/test_kernel_determinism.py proves this).
+SEED_STRIDE = 1000
+
+
+def derive_seed(base_seed: int, k: int) -> int:
+    """The seed of repetition ``k`` for ``base_seed`` (see ``SEED_STRIDE``)."""
+    if not 0 <= k < SEED_STRIDE:
+        raise ValueError(f"repetition index {k} outside [0, {SEED_STRIDE})")
+    return base_seed * SEED_STRIDE + k
+
+
+def repetition_configs(config: ExperimentConfig, n: int) -> List[ExperimentConfig]:
+    """The ``n`` per-repetition configs (only the seed differs)."""
+    base = asdict(config)
+    return [
+        ExperimentConfig(**{**base, "seed": derive_seed(config.seed, k)})
+        for k in range(n)
+    ]
+
 
 @dataclass
 class RepeatedResult:
-    """Aggregate over N repetitions of one configuration."""
+    """Aggregate over N repetitions of one configuration.
+
+    ``results`` holds :class:`~repro.exp.runner.ExperimentResult`s on the
+    in-process path and picklable
+    :class:`~repro.exp.portable.PortableResult`s when the parallel engine
+    ran the repetitions; both expose the same metric methods.
+    """
 
     config: ExperimentConfig
-    results: List[ExperimentResult] = field(default_factory=list)
+    results: List = field(default_factory=list)
 
     @property
     def n(self) -> int:
@@ -49,17 +82,41 @@ class RepeatedResult:
         return percentile(pooled, q)
 
 
-def run_repetitions(config: ExperimentConfig, n: int = 5) -> RepeatedResult:
+def run_repetitions(
+    config: ExperimentConfig,
+    n: int = 5,
+    max_workers: int = 1,
+    cache_dir: Optional[str | os.PathLike] = None,
+    progress: Optional[Callable] = None,
+) -> RepeatedResult:
     """Run ``config`` ``n`` times with derived seeds and aggregate.
 
     Repetition ``k`` uses seed ``config.seed * 1000 + k`` so repetition sets
     never overlap between base seeds and every run stays reproducible.
+
+    :param max_workers: >1 shards repetitions across worker processes.
+    :param cache_dir: enables the on-disk result cache (also with 1 worker).
+    :param progress: forwarded to the engine when it is used.
     """
     if n < 1:
         raise ValueError("need at least one repetition")
     aggregate = RepeatedResult(config=config)
-    base = asdict(config)
-    for k in range(n):
-        rep_config = ExperimentConfig(**{**base, "seed": config.seed * 1000 + k})
-        aggregate.results.append(run_experiment(rep_config))
+    configs = repetition_configs(config, n)
+    if max_workers == 1 and cache_dir is None:
+        # classic path: full (non-portable) results, deep inspection allowed
+        for rep_config in configs:
+            aggregate.results.append(run_experiment(rep_config))
+        return aggregate
+
+    from repro.exp.parallel import ParallelEngine
+
+    engine = ParallelEngine(
+        max_workers=max_workers, cache=cache_dir, progress=progress
+    )
+    outcomes = engine.run(configs)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        details = "; ".join(f"seed={o.config.seed}: {o.error}" for o in failed)
+        raise RuntimeError(f"{len(failed)}/{n} repetitions failed: {details}")
+    aggregate.results = [o.result for o in outcomes]
     return aggregate

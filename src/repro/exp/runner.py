@@ -15,8 +15,8 @@ five connection generations still has one continuous time series.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.ble.config import BleConfig, SchedulerPolicy
 from repro.ble.chanmap import ChannelMap
@@ -25,6 +25,13 @@ from repro.core.statconn import StatconnConfig
 from repro.core.intervals import IntervalPolicy
 from repro.exp.config import ExperimentConfig, parse_interval_spec
 from repro.exp.events import EventLog
+from repro.exp.portable import (
+    DIRECTIONS,
+    LinkKey,
+    LinkSeries,
+    PortableResult,
+    ResultMetricsMixin,
+)
 from repro.phy.medium import InterferenceModel
 from repro.sim.units import SEC, s_to_ns
 from repro.testbed.iotlab import JAMMED_CHANNEL
@@ -36,42 +43,16 @@ from repro.testbed.topology import (
 )
 from repro.testbed.traffic import Consumer, Producer, TrafficConfig
 
-#: Link direction labels: ``up`` is coordinator -> subordinate (towards the
-#: consumer under our role convention), ``down`` the reverse.
-DIRECTIONS = ("up", "down")
-
-LinkKey = Tuple[int, int]  # (coordinator addr, subordinate addr)
-
-
 @dataclass
-class LinkSeries:
-    """Cumulative per-link statistics over time (one direction)."""
+class ExperimentResult(ResultMetricsMixin):
+    """Everything a run produced.
 
-    times_s: List[float] = field(default_factory=list)
-    tx_attempts: List[int] = field(default_factory=list)
-    tx_acked: List[int] = field(default_factory=list)
-
-    def binned_pdr(self) -> Tuple[List[float], List[float]]:
-        """Per-sample-bin link-layer PDR (acked/attempted deltas)."""
-        times, pdrs = [], []
-        for i in range(1, len(self.times_s)):
-            attempts = self.tx_attempts[i] - self.tx_attempts[i - 1]
-            acked = self.tx_acked[i] - self.tx_acked[i - 1]
-            if attempts > 0:
-                times.append(self.times_s[i])
-                pdrs.append(acked / attempts)
-        return times, pdrs
-
-    def overall_pdr(self) -> float:
-        """Whole-run link-layer PDR."""
-        if not self.tx_attempts or self.tx_attempts[-1] == 0:
-            return 1.0
-        return self.tx_acked[-1] / self.tx_attempts[-1]
-
-
-@dataclass
-class ExperimentResult:
-    """Everything a run produced."""
+    Holds live objects (the network, the producers) for deep inspection;
+    :meth:`to_portable` flattens it into the picklable
+    :class:`~repro.exp.portable.PortableResult` the parallel engine and the
+    result cache traffic in.  The metric methods are shared with the
+    portable form via :class:`~repro.exp.portable.ResultMetricsMixin`.
+    """
 
     config: ExperimentConfig
     producers: List[Producer]
@@ -84,65 +65,9 @@ class ExperimentResult:
     #: The network object (BleNetwork or CsmaNetwork) for deep inspection.
     network: object
 
-    # -- CoAP metrics -------------------------------------------------------
-
-    def coap_sent(self) -> int:
-        """Total CoAP requests sent."""
-        return sum(p.requests_sent for p in self.producers)
-
-    def coap_acked(self) -> int:
-        """Total CoAP acknowledgements received."""
-        return sum(p.acks_received for p in self.producers)
-
-    def coap_pdr(self) -> float:
-        """Overall CoAP packet delivery rate (the paper's headline metric)."""
-        sent = self.coap_sent()
-        return self.coap_acked() / sent if sent else 1.0
-
-    def coap_pdr_per_producer(self) -> Dict[int, float]:
-        """Per-producer PDR (the rows of Fig. 9's heatmap)."""
-        return {p.node.node_id: p.pdr for p in self.producers}
-
-    def rtts_s(self) -> List[float]:
-        """All CoAP round-trip times in seconds."""
-        return [rtt / SEC for p in self.producers for _, rtt in p.rtt_samples]
-
-    def coap_losses(self) -> int:
-        """Requests that never got acknowledged."""
-        return self.coap_sent() - self.coap_acked()
-
-    # -- link-layer metrics ------------------------------------------------------
-
-    def link_pdr_overall(self) -> float:
-        """Network-wide link-layer PDR over the whole run."""
-        attempts = acked = 0
-        for series in self.link_series.values():
-            if series.tx_attempts:
-                attempts += series.tx_attempts[-1]
-                acked += series.tx_acked[-1]
-        return acked / attempts if attempts else 1.0
-
-    def upstream_series(self, child: int) -> Optional[LinkSeries]:
-        """The child's upstream (towards-consumer) link series."""
-        for (key, direction), series in self.link_series.items():
-            if direction == "up" and key[0] == child:
-                return series
-        return None
-
-    def connection_losses(self) -> List[Tuple[float, int, int]]:
-        """(time_s, node, peer) per supervision-timeout loss (deduplicated:
-        one entry per loss, from the coordinator's point of view)."""
-        losses = []
-        for record in self.events.of_kind("conn-loss"):
-            if record.get("role") == "coordinator":
-                losses.append(
-                    (record.time_ns / SEC, record.get("node"), record.get("peer"))
-                )
-        return losses
-
-    def num_connection_losses(self) -> int:
-        """Count of connection losses in the run."""
-        return len(self.connection_losses())
+    def to_portable(self) -> PortableResult:
+        """Flatten into the picklable form (see :mod:`repro.exp.portable`)."""
+        return PortableResult.from_result(self)
 
     # -- energy metrics (§5.4 integration) -----------------------------------
 

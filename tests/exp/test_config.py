@@ -1,11 +1,12 @@
 """Tests for experiment descriptions."""
 
+import json
 import random
 
 import pytest
 
 from repro.core.intervals import RandomWindowIntervalPolicy, StaticIntervalPolicy
-from repro.exp.config import ExperimentConfig, parse_interval_spec
+from repro.exp.config import ExperimentConfig, canonical_value, parse_interval_spec
 from repro.sim.units import MSEC
 
 
@@ -69,3 +70,56 @@ class TestConfig:
     def test_yaml_missing_key(self):
         with pytest.raises(ValueError):
             ExperimentConfig.from_yaml("foo: bar")
+
+
+class TestCanonicalSerialization:
+    """Cache keys must be bit-stable (see repro.exp.cache)."""
+
+    #: The default config's hash, pinned.  If this changes, either a config
+    #: field changed (bump CONFIG_SCHEMA_VERSION and re-pin) or canonical
+    #: serialization regressed (fix it): every on-disk cache is invalidated
+    #: either way, which must be a deliberate decision.
+    GOLDEN_DEFAULT_HASH = (
+        "d8ce27bb56feadecb48a0646d208c9aed2245574d4952e3c07947090be3489a0"
+    )
+
+    def test_default_config_hash_is_golden_constant(self):
+        assert ExperimentConfig().stable_hash() == self.GOLDEN_DEFAULT_HASH
+
+    def test_hash_is_stable_across_instances(self):
+        a = ExperimentConfig(name="x", seed=3, duration_s=30.0)
+        b = ExperimentConfig(name="x", seed=3, duration_s=30.0)
+        assert a.stable_hash() == b.stable_hash()
+
+    def test_canonical_json_sorts_keys(self):
+        keys = list(json.loads(ExperimentConfig().canonical_json()))
+        assert keys == sorted(keys)
+
+    def test_floats_are_hex_encoded(self):
+        # 0.1 has no short decimal form; hex encodes the exact bits
+        data = json.loads(
+            ExperimentConfig(producer_interval_s=0.1).canonical_json()
+        )
+        assert data["producer_interval_s"] == (0.1).hex()
+
+    def test_canonical_value_handles_containers(self):
+        assert canonical_value((1, 2.5)) == [1, (2.5).hex()]
+        assert canonical_value({"b": 1, "a": None}) == {"a": None, "b": 1}
+        assert canonical_value(True) is True
+
+    def test_extra_tag_changes_hash(self):
+        cfg = ExperimentConfig()
+        assert cfg.stable_hash() != cfg.stable_hash(extra="v2")
+
+    def test_seed_changes_hash(self):
+        assert (
+            ExperimentConfig(seed=1).stable_hash()
+            != ExperimentConfig(seed=2).stable_hash()
+        )
+
+    def test_drift_ppms_covered(self):
+        ppms = tuple(float(i) for i in range(15))
+        assert (
+            ExperimentConfig(drift_ppms=ppms).stable_hash()
+            != ExperimentConfig().stable_hash()
+        )

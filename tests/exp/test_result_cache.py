@@ -1,0 +1,133 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.exp import ExperimentConfig, run_experiment
+from repro.exp.cache import RESULT_CACHE_VERSION, ResultCache
+from repro.exp.portable import PortableResult
+
+SHORT = dict(duration_s=10.0, warmup_s=4.0, drain_s=3.0)
+
+
+@pytest.fixture(scope="module")
+def portable():
+    """One short run, flattened (module-scoped: the run is the slow part)."""
+    return run_experiment(ExperimentConfig(name="cache", seed=7, **SHORT)).to_portable()
+
+
+class TestRoundTrip:
+    def test_disk_round_trip_is_equal(self, tmp_path, portable):
+        cache = ResultCache(tmp_path)
+        cache.put(portable.config, portable)
+        loaded = cache.get(portable.config)
+        assert loaded == portable  # dataclass equality, all fields deep
+
+    def test_round_trip_preserves_metrics(self, tmp_path, portable):
+        cache = ResultCache(tmp_path)
+        cache.put(portable.config, portable)
+        loaded = cache.get(portable.config)
+        assert loaded.coap_pdr() == portable.coap_pdr()
+        assert loaded.rtts_s() == portable.rtts_s()
+        assert loaded.link_pdr_overall() == portable.link_pdr_overall()
+        assert loaded.num_connection_losses() == portable.num_connection_losses()
+        assert loaded.fleet_current_ua() == portable.fleet_current_ua()
+
+    def test_pickle_stability(self, portable):
+        clone = pickle.loads(pickle.dumps(portable))
+        assert clone == portable
+
+
+class TestAccounting:
+    def test_hit_miss_counters(self, tmp_path, portable):
+        cache = ResultCache(tmp_path)
+        config = portable.config
+        assert cache.get(config) is None
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        cache.put(config, portable)
+        assert cache.stats.stores == 1
+        assert cache.get(config) is not None
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.stats.hit_rate == 0.5
+        assert "1 hits / 1 misses" in cache.stats.summary()
+
+    def test_contains_and_entry_count(self, tmp_path, portable):
+        cache = ResultCache(tmp_path)
+        assert portable.config not in cache
+        assert cache.entry_count() == 0
+        cache.put(portable.config, portable)
+        assert portable.config in cache
+        assert cache.entry_count() == 1
+
+    def test_corrupt_entry_is_a_miss_and_deleted(self, tmp_path, portable):
+        cache = ResultCache(tmp_path)
+        path = cache.put(portable.config, portable)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(portable.config) is None
+        assert not path.exists()
+        assert cache.stats.misses == 1
+
+
+class TestKeyInvalidation:
+    def test_every_config_field_changes_the_key(self, tmp_path):
+        """Mutating *any* field must address a different cache entry."""
+        base = ExperimentConfig()
+        cache = ResultCache(tmp_path)
+        base_key = cache.key_for(base)
+        # a distinct, still-valid replacement value per field
+        replacements = {
+            "name": "other",
+            "topology": "line",
+            "n_nodes": 7,
+            "link_layer": "802154",
+            "conn_interval": "[65:85]",
+            "producer_interval_s": 2.5,
+            "producer_jitter_s": 0.25,
+            "payload_len": 64,
+            "confirmable": True,
+            "duration_s": 123.0,
+            "warmup_s": 6.0,
+            "drain_s": 4.0,
+            "seed": 999,
+            "scheduler_policy": "alternate",
+            "drift_ppm_span": 5.0,
+            "pktbuf_bytes": 8192,
+            "base_ber": 1e-6,
+            "sample_period_s": 20.0,
+            "subordinate_latency": 1,
+            "max_event_len_ms": 4.0,
+            "drift_ppms": tuple(float(i) for i in range(15)),
+            "abort_event_on_crc_error": False,
+        }
+        fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+        assert fields == set(replacements), (
+            "new config fields must get a replacement value here so key "
+            "coverage stays exhaustive"
+        )
+        for field_name, value in replacements.items():
+            changed = dataclasses.replace(base, **{field_name: value})
+            assert cache.key_for(changed) != base_key, (
+                f"changing {field_name!r} must invalidate the cache key"
+            )
+
+    def test_version_tag_changes_the_key(self, tmp_path):
+        config = ExperimentConfig()
+        old = ResultCache(tmp_path, version=RESULT_CACHE_VERSION)
+        new = ResultCache(tmp_path, version="result-v2")
+        assert old.key_for(config) != new.key_for(config)
+
+    def test_same_config_same_key_across_instances(self, tmp_path):
+        a = ResultCache(tmp_path)
+        b = ResultCache(tmp_path)
+        assert a.key_for(ExperimentConfig(seed=5)) == b.key_for(
+            ExperimentConfig(seed=5)
+        )
+
+    def test_key_shards_into_subdirectories(self, tmp_path, portable):
+        cache = ResultCache(tmp_path)
+        path = cache.put(portable.config, portable)
+        key = cache.key_for(portable.config)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.pkl"

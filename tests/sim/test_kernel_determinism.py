@@ -1,0 +1,111 @@
+"""Determinism properties the parallel engine's cacheability rests on.
+
+The result cache replays a run's output without re-executing it, which is
+only sound if the kernel is strictly deterministic: same seed, same
+schedule, same callback firing order -- including ties, where several
+timers share one timestamp.  These are property-style tests over randomized
+schedules, plus the seed-derivation non-collision guarantee from
+``repro.exp.repeat``.
+"""
+
+import random
+
+import pytest
+
+from repro.exp.repeat import SEED_STRIDE, derive_seed
+from repro.sim.kernel import Simulator
+
+
+def _random_schedule_trace(seed: int) -> list:
+    """Build a randomized schedule (with deliberate timestamp ties and
+    nested scheduling) on a fresh kernel and return the firing trace."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    trace = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        # some callbacks schedule more work, sometimes at the *same* time
+        if rng.random() < 0.3:
+            sim.after(rng.choice([0, 5, 10]), fire, f"{tag}/child")
+
+    # cluster timers on few distinct timestamps to force heavy tie-breaking
+    timestamps = [rng.randrange(0, 50) * 10 for _ in range(40)]
+    for i, when in enumerate(timestamps):
+        sim.at(when, fire, f"t{i}")
+    sim.run(until=10_000)
+    return trace
+
+
+class TestTieBreakDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_identical_seeds_fire_in_identical_order(self, seed):
+        assert _random_schedule_trace(seed) == _random_schedule_trace(seed)
+
+    def test_same_timestamp_timers_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(20):
+            sim.at(1000, order.append, i)
+        sim.run()
+        assert order == list(range(20))
+
+    def test_interleaved_same_timestamp_scheduling(self):
+        """Timers scheduled from inside a callback at the current timestamp
+        run after already-queued same-timestamp timers (seq order)."""
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.after(0, order.append, "nested")
+
+        sim.at(500, first)
+        sim.at(500, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_cancellation_does_not_disturb_order(self):
+        sim = Simulator()
+        order = []
+        timers = [sim.at(100, order.append, i) for i in range(10)]
+        timers[3].cancel()
+        timers[7].cancel()
+        sim.run()
+        assert order == [0, 1, 2, 4, 5, 6, 8, 9]
+
+
+class TestSeedDerivation:
+    def test_five_seed_sets_never_collide_across_base_seeds(self):
+        """The paper's 5-repetition sets must be disjoint for every pair of
+        distinct base seeds (this is what makes cached runs addressable by
+        config alone)."""
+        all_derived = {}
+        for base in range(1, 200):
+            for k in range(5):
+                seed = derive_seed(base, k)
+                assert seed not in all_derived, (
+                    f"seed {seed} collides: base {base}/rep {k} vs "
+                    f"{all_derived[seed]}"
+                )
+                all_derived[seed] = (base, k)
+
+    def test_derivation_is_disjoint_up_to_stride(self):
+        a = {derive_seed(1, k) for k in range(SEED_STRIDE)}
+        b = {derive_seed(2, k) for k in range(SEED_STRIDE)}
+        assert not a & b
+
+    def test_out_of_range_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(1, SEED_STRIDE)
+        with pytest.raises(ValueError):
+            derive_seed(1, -1)
+
+    def test_derivation_matches_repeat_configs(self):
+        from repro.exp import ExperimentConfig
+        from repro.exp.repeat import repetition_configs
+
+        base = ExperimentConfig(seed=9)
+        seeds = [c.seed for c in repetition_configs(base, 5)]
+        assert seeds == [derive_seed(9, k) for k in range(5)]
+        assert len(set(seeds)) == 5
