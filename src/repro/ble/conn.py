@@ -34,6 +34,7 @@ from repro.ble.csa import Csa1, Csa2, ChannelSelection
 from repro.ble.pdu import DataPdu, Llid
 from repro.phy.frames import T_IFS_NS, ble_air_time_ns
 from repro.sim.kernel import Simulator, Timer
+from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.ble.controller import BleController
@@ -184,8 +185,23 @@ class Endpoint:
             self.stats.tx_empty += 1
         return pdu
 
+    def _trace_tx(self, pdu: DataPdu, t: int, retx: bool) -> None:
+        """Emit one ``ble.ll_tx`` record (caller checks ``TRACE.enabled``)."""
+        TRACE.emit(
+            t, "ble", "ll_tx",
+            conn=self.conn.conn_id, role=self.role.value,
+            sn=pdu.sn, nesn=pdu.nesn, len=len(pdu.payload), retx=retx,
+        )
+
     def process_rx(self, pdu: DataPdu, now_ns: int, channel: int) -> None:
         """Handle one CRC-valid received packet (ack + accept logic)."""
+        if TRACE.enabled:
+            TRACE.emit(
+                now_ns, "ble", "ll_rx",
+                conn=self.conn.conn_id, role=self.role.value,
+                sn=pdu.sn, nesn=pdu.nesn, len=len(pdu.payload),
+                my_sn=self.sn, my_nesn=self.nesn,
+            )
         self.last_rx_valid = now_ns
         # Acknowledgement: the peer advanced its NESN past our SN.
         if pdu.nesn != self.sn:
@@ -303,6 +319,16 @@ class Connection:
         self._timer = sim.at(anchor0_true, self._run_event)
         self.coord.last_rx_valid = anchor0_true
         self.sub.last_rx_valid = anchor0_true
+        if TRACE.enabled:
+            TRACE.emit(
+                sim.now, "ble", "conn_open",
+                conn=self.conn_id,
+                coordinator=coordinator.name,
+                subordinate=subordinate.name,
+                interval_ns=params.interval_ns,
+                anchor0=anchor0_true,
+                timeout_ns=params.effective_supervision_timeout_ns(),
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -358,6 +384,11 @@ class Connection:
         if not self.open:
             return
         self.open = False
+        if TRACE.enabled:
+            TRACE.emit(
+                None, "ble", "conn_close",
+                conn=self.conn_id, reason=reason.value,
+            )
         if self._timer is not None:
             self._timer.cancel()
         self.coord.drain_queue()
@@ -516,6 +547,15 @@ class Connection:
             sub_free and not sub_yield and window_hit and not latency_skip
         )
 
+        if TRACE.enabled:
+            TRACE.emit(
+                t0, "ble", "conn_event",
+                conn=self.conn_id, event=self.event_counter, anchor=t0,
+                channel=channel, interval_ns=self.params.interval_ns,
+                widening=widening, window_hit=window_hit,
+                coord_runs=coord_runs, sub_listens=sub_listens,
+            )
+
         if not coord_free:
             self.coord.stats.events_skipped_radio += 1
             coord_ctrl.scheduler.deny(self._coord_activity)
@@ -531,26 +571,33 @@ class Connection:
         elif not window_hit:
             self.sub.stats.events_missed_window += 1
 
+        event_end = t0
         if coord_runs and sub_listens:
             end = self._exchange_loop(t0, channel, interval_true)
             coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
             sub_ctrl.scheduler.claim(self._sub_activity, t0, end)
             coord_ctrl.note_conn_event(Role.COORDINATOR, end - t0)
             sub_ctrl.note_conn_event(Role.SUBORDINATE, end - t0)
+            event_end = end
         elif coord_runs:
             # TX into the void: one unanswered packet, then the event closes.
+            retx = TRACE.enabled and self.coord._outstanding is not None
             pdu = self.coord.build_tx_pdu()
+            if TRACE.enabled:
+                self.coord._trace_tx(pdu, t0, retx)
             dur = ble_air_time_ns(len(pdu.payload), self.phy)
             if not pdu.is_empty:
                 self.coord.stats.per_channel[channel][0] += 1
             end = t0 + dur + T_IFS_NS + ble_air_time_ns(0, self.phy)
             coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
             coord_ctrl.note_conn_event(Role.COORDINATOR, end - t0)
+            event_end = end
         elif sub_listens:
             # Subordinate listens but the coordinator never transmits.
             listen_end = min(pred + widening, t0 + interval_true // 2)
             sub_ctrl.scheduler.claim(self._sub_activity, t0, max(t0, listen_end))
             sub_ctrl.note_conn_event(Role.SUBORDINATE, max(0, listen_end - t0))
+            event_end = max(t0, listen_end)
 
         if not self.open:
             return  # torn down by a control procedure during the event
@@ -558,6 +605,12 @@ class Connection:
         # --- supervision timeout (both sides judge independently) ----------
         timeout = self.params.effective_supervision_timeout_ns()
         now = sim.now if sim.now > t0 else t0
+        if TRACE.enabled:
+            TRACE.emit(
+                now, "ble", "conn_event_end",
+                conn=self.conn_id, event=self.event_counter,
+                end=event_end, now=now, timeout_ns=timeout,
+            )
         if (
             now - self.coord.last_rx_valid >= timeout
             or now - self.sub.last_rx_valid >= timeout
@@ -573,6 +626,11 @@ class Connection:
             self.params = self._pending_params
             self._pending_params = None
             interval_true = self._interval_true_coord()
+            if TRACE.enabled:
+                TRACE.emit(
+                    None, "ble", "param_update",
+                    conn=self.conn_id, interval_ns=self.params.interval_ns,
+                )
             # Parameter updates re-anchor the link: both sides agree on the
             # instant, so the subordinate is synced by definition.
             self._sync_true = t0 + interval_true
@@ -613,13 +671,22 @@ class Connection:
             # connection drops and "beneficial reconnects").  Additional
             # exchanges are only *started* while they fit the budget (the
             # `needed` check below).
+            retx_c = TRACE.enabled and coord._outstanding is not None
             pdu_c = coord.build_tx_pdu()
+            if TRACE.enabled:
+                coord._trace_tx(pdu_c, t, retx_c)
             if not pdu_c.is_empty:
                 coord.stats.per_channel[channel][0] += 1
             dur_c = ble_air_time_ns(len(pdu_c.payload), self.phy)
             lost_c = medium.packet_lost(channel, len(pdu_c.payload) + 10)
             t += dur_c
             if lost_c:
+                if TRACE.enabled:
+                    TRACE.emit(
+                        t, "ble", "crc_loss",
+                        conn=self.conn_id, role=sub.role.value,
+                        channel=channel, len=len(pdu_c.payload),
+                    )
                 coord.stats.events_crc_abort += 1
                 if coord.controller.config.abort_event_on_crc_error:
                     break
@@ -634,13 +701,22 @@ class Connection:
             sub_active = True
 
             t += T_IFS_NS
+            retx_s = TRACE.enabled and sub._outstanding is not None
             pdu_s = sub.build_tx_pdu()
+            if TRACE.enabled:
+                sub._trace_tx(pdu_s, t, retx_s)
             if not pdu_s.is_empty:
                 sub.stats.per_channel[channel][0] += 1
             dur_s = ble_air_time_ns(len(pdu_s.payload), self.phy)
             lost_s = medium.packet_lost(channel, len(pdu_s.payload) + 10)
             t += dur_s
             if lost_s:
+                if TRACE.enabled:
+                    TRACE.emit(
+                        t, "ble", "crc_loss",
+                        conn=self.conn_id, role=coord.role.value,
+                        channel=channel, len=len(pdu_s.payload),
+                    )
                 sub.stats.events_crc_abort += 1
                 if coord.controller.config.abort_event_on_crc_error:
                     break

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Protocol, Tuple
 
+from repro.trace.tracer import TRACE
+
 
 class RadioActivity(Protocol):
     """Anything that periodically needs the node's radio."""
@@ -81,6 +83,11 @@ class RadioScheduler:
             )
         if end_ns < start_ns:
             raise RuntimeError(f"radio {self.name}: negative claim duration")
+        if TRACE.enabled:
+            TRACE.emit(
+                start_ns, "ble", "radio_claim",
+                node=self.name, start=start_ns, end=end_ns,
+            )
         self._busy_until = end_ns
         self._busy_owner = owner
         self.busy_ns_total += end_ns - start_ns
@@ -91,6 +98,8 @@ class RadioScheduler:
         """Record that ``activity`` was denied the radio (skip streak +1)."""
         activity.consec_skips += 1
         self.denials += 1
+        if TRACE.enabled:
+            TRACE.emit(None, "ble", "radio_deny", node=self.name)
 
     def next_demand_after(
         self, after_ns: int, exclude: Optional[RadioActivity] = None

@@ -22,6 +22,7 @@ from repro.coap.message import (
 from repro.sim.kernel import Timer
 from repro.sim.units import SEC
 from repro.sixlowpan.ipv6 import Ipv6Address
+from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import Node
@@ -125,6 +126,12 @@ class CoapEndpoint:
         if not self._transmit(message, dst):
             return False
         self.requests_sent += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                self.node.sim.now, "coap", "request",
+                node=self.node.node_id, mid=mid, token=token.hex(),
+                path=path, confirmable=confirmable,
+            )
         self._pending[(token, mid)] = pending
         if confirmable:
             timeout = int(
@@ -148,11 +155,22 @@ class CoapEndpoint:
         if pending.retransmits_left <= 0:
             del self._pending[key]
             self.timeouts += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.node.sim.now, "coap", "timeout",
+                    node=self.node.node_id, mid=key[1],
+                )
             if pending.on_timeout is not None:
                 pending.on_timeout()
             return
         pending.retransmits_left -= 1
         self.retransmissions += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                self.node.sim.now, "coap", "retransmit",
+                node=self.node.node_id, mid=key[1],
+                retransmits_left=pending.retransmits_left,
+            )
         self._transmit(pending.message, pending.dst)
         pending.timeout_ns *= 2  # binary exponential backoff
         pending.timer = self.node.sim.after(
@@ -209,5 +227,11 @@ class CoapEndpoint:
         if pending.timer is not None:
             pending.timer.cancel()
         self.responses_received += 1
+        rtt_ns = self.node.sim.now - pending.sent_at
+        if TRACE.enabled:
+            TRACE.emit(
+                self.node.sim.now, "coap", "response",
+                node=self.node.node_id, mid=message.mid, rtt_ns=rtt_ns,
+            )
         if pending.on_response is not None:
-            pending.on_response(message, self.node.sim.now - pending.sent_at)
+            pending.on_response(message, rtt_ns)

@@ -8,6 +8,7 @@ derived metrics/plots.  :func:`write_artifacts` mirrors that layout::
       experiment.yml       the description (reproduces the run bit-exactly)
       results.jsonl        raw per-event records (requests, RTTs, losses,
                            link-statistics samples)
+      events.jsonl         the run's structured event log, verbatim
       summary.txt          derived tables + terminal plots
 """
 
@@ -125,5 +126,6 @@ def write_artifacts(result: ExperimentResult, outdir: str) -> Path:
     out.mkdir(parents=True, exist_ok=True)
     (out / "experiment.yml").write_text(result.config.to_yaml())
     write_results_log(result, out / "results.jsonl")
+    (out / "events.jsonl").write_text(result.events.to_jsonl())
     (out / "summary.txt").write_text(render_summary(result))
     return out

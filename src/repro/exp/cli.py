@@ -11,6 +11,7 @@ Usage::
     python -m repro describe > experiment.yml   # a template description
     python -m repro run experiment.yml -o out/  # execute + write artifacts
     python -m repro run experiment.yml --set duration_s=120 --set seed=7
+    python -m repro trace -o trace-out/         # traced run + invariant check
     python -m repro sweep experiment.yml \\
         --grid conn_interval=75,[65:85] --grid producer_interval_s=0.1,1.0 \\
         --seeds 5 --workers 4 --cache-dir .repro-cache -o out/
@@ -122,6 +123,20 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--set", dest="overrides", action="append", default=[],
                      metavar="KEY=VALUE", help="override a config field")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced scenario, write trace artifacts, check invariants",
+    )
+    trace.add_argument("description", nargs="?", default=None,
+                       help="experiment YAML (default: a short 4-node line)")
+    trace.add_argument("-o", "--outdir", default="trace-out",
+                       help="trace + artifact directory (default: trace-out)")
+    trace.add_argument("--set", dest="overrides", action="append", default=[],
+                       metavar="KEY=VALUE", help="override a config field")
+    trace.add_argument("--layers", default="",
+                       help="comma-separated layer filter for the trace files "
+                            "(checkers always see every layer)")
+
     sweep = sub.add_parser(
         "sweep",
         help="run a config grid in parallel (sharded workers + result cache)",
@@ -149,6 +164,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "describe":
         print(ExperimentConfig(name=args.name).to_yaml(), end="")
         return 0
+
+    if args.command == "trace":
+        from repro.exp.tracecmd import (
+            example_config,
+            render_trace_summary,
+            run_traced,
+        )
+
+        if args.description:
+            config = ExperimentConfig.from_yaml(
+                Path(args.description).read_text()
+            )
+        else:
+            config = example_config()
+        config = _apply_overrides(config, args.overrides)
+        print(f"tracing {config.name!r}: {config.topology} topology, "
+              f"{config.n_nodes} nodes, {config.duration_s:.0f}s ...",
+              file=sys.stderr)
+        report = run_traced(config, args.outdir, layers=args.layers)
+        print(render_trace_summary(report), end="")
+        return 0 if report.ok else 1
 
     config = ExperimentConfig.from_yaml(Path(args.description).read_text())
     config = _apply_overrides(config, args.overrides)

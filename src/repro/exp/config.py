@@ -22,7 +22,7 @@ import yaml
 #: previously produced results incomparable; part of every cache key, so
 #: stale on-disk results are invalidated wholesale instead of silently
 #: replayed (see :mod:`repro.exp.cache`).
-CONFIG_SCHEMA_VERSION = 1
+CONFIG_SCHEMA_VERSION = 2
 
 
 def canonical_value(value: Any) -> Any:
@@ -134,6 +134,13 @@ class ExperimentConfig:
     #: BT-mandated event abort on CRC error; ablation knob (see
     #: :class:`repro.ble.config.BleConfig`).
     abort_event_on_crc_error: bool = True
+    #: Capture a cross-layer trace of the run (see :mod:`repro.trace`).
+    #: Off by default: tracing-enabled runs pay per-record overhead and the
+    #: records ride along in results, so only diagnostic runs turn it on.
+    trace: bool = False
+    #: Comma-separated layer filter for the trace (``"ble,ip"``); empty
+    #: means all layers.  Ignored unless ``trace`` is set.
+    trace_layers: str = ""
 
     def __post_init__(self) -> None:
         if self.drift_ppms is not None:

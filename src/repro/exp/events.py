@@ -1,14 +1,17 @@
 """Structured event log.
 
 The paper's firmware dumps carefully rate-limited events to STDIO (§4.2);
-here the runner records them in memory.  Records are cheap tuples, filtered
-by kind on read.
+here the runner records them in memory.  Records are cheap tuples; a
+per-kind index keeps :meth:`EventLog.of_kind` / :meth:`EventLog.count`
+O(matches) instead of O(all records), which matters once hour-long runs
+log tens of thousands of events and analysis code filters them per metric.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,22 +31,45 @@ class EventRecord:
 
 
 class EventLog:
-    """An append-only event recorder."""
+    """An append-only event recorder with a per-kind index."""
 
     def __init__(self) -> None:
         self._records: List[EventRecord] = []
+        self._by_kind: Dict[str, List[EventRecord]] = {}
 
     def emit(self, time_ns: int, kind: str, **fields: Any) -> None:
         """Record one event."""
-        self._records.append(EventRecord(time_ns, kind, tuple(fields.items())))
+        record = EventRecord(time_ns, kind, tuple(fields.items()))
+        self._records.append(record)
+        self._by_kind.setdefault(kind, []).append(record)
 
     def of_kind(self, kind: str) -> Iterator[EventRecord]:
         """All records of ``kind`` in time order."""
-        return (r for r in self._records if r.kind == kind)
+        return iter(self._by_kind.get(kind, ()))
 
     def count(self, kind: str) -> int:
         """Number of records of ``kind``."""
-        return sum(1 for r in self._records if r.kind == kind)
+        return len(self._by_kind.get(kind, ()))
+
+    def kinds(self) -> List[str]:
+        """All record kinds seen, in first-seen order."""
+        return list(self._by_kind)
+
+    def to_jsonl(self) -> str:
+        """The log as JSON lines (one ``{"t", "kind", ...fields}`` each).
+
+        Bytes-valued fields are hex-encoded; everything else must already
+        be JSON-representable (the emitters only log scalars).
+        """
+        lines = []
+        for record in self._records:
+            obj: Dict[str, Any] = {"t": record.time_ns, "kind": record.kind}
+            for key, value in record.fields:
+                if isinstance(value, (bytes, bytearray)):
+                    value = bytes(value).hex()
+                obj[key] = value
+            lines.append(json.dumps(obj, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:
         return len(self._records)
@@ -55,3 +81,12 @@ class EventLog:
 
     def __iter__(self) -> Iterator[EventRecord]:
         return iter(self._records)
+
+    def __setstate__(self, state: dict) -> None:
+        # Logs pickled before the per-kind index existed (cached results
+        # from earlier schema versions) rebuild it on load.
+        self.__dict__.update(state)
+        if "_by_kind" not in state:
+            self._by_kind = {}
+            for record in self._records:
+                self._by_kind.setdefault(record.kind, []).append(record)

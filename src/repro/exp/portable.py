@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.exp.config import ExperimentConfig
 from repro.exp.events import EventLog
 from repro.sim.units import SEC
+from repro.trace.record import TraceRecord
 
 #: Link direction labels: ``up`` is coordinator -> subordinate (towards the
 #: consumer under our role convention), ``down`` the reverse.
@@ -187,6 +188,10 @@ class PortableResult(ResultMetricsMixin):
     link_channels: Dict[Tuple[LinkKey, str], List[List[int]]]
     #: Precomputed per-node average BLE current (µA); None for 802.15.4.
     node_currents_ua: Optional[Dict[int, float]]
+    #: Cross-layer trace records (empty unless the config enabled tracing).
+    #: TraceRecords are plain frozen dataclasses of scalars/strings/bytes,
+    #: so they pickle across the worker pipe unchanged.
+    trace_records: List[TraceRecord] = field(default_factory=list)
 
     @classmethod
     def from_result(cls, result) -> "PortableResult":
@@ -201,6 +206,7 @@ class PortableResult(ResultMetricsMixin):
             link_series=result.link_series,
             link_channels=result.link_channels,
             node_currents_ua=result.fleet_current_ua(),
+            trace_records=list(getattr(result, "trace_records", ())),
         )
 
     # -- energy metrics (precomputed in the worker) --------------------------

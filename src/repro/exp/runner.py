@@ -15,7 +15,7 @@ five connection generations still has one continuous time series.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.ble.config import BleConfig, SchedulerPolicy
@@ -42,6 +42,9 @@ from repro.testbed.topology import (
     tree_topology_edges,
 )
 from repro.testbed.traffic import Consumer, Producer, TrafficConfig
+from repro.trace.record import TraceRecord
+from repro.trace.sinks import RingBufferSink
+from repro.trace.tracer import TRACE
 
 @dataclass
 class ExperimentResult(ResultMetricsMixin):
@@ -64,6 +67,10 @@ class ExperimentResult(ResultMetricsMixin):
     link_channels: Dict[Tuple[LinkKey, str], List[List[int]]]
     #: The network object (BleNetwork or CsmaNetwork) for deep inspection.
     network: object
+    #: Cross-layer trace records, when the config asked for them (or the
+    #: caller pre-configured :data:`repro.trace.TRACE` with its own sinks,
+    #: in which case this stays empty and the sinks hold the trace).
+    trace_records: List[TraceRecord] = field(default_factory=list)
 
     def to_portable(self) -> PortableResult:
         """Flatten into the picklable form (see :mod:`repro.exp.portable`)."""
@@ -247,7 +254,27 @@ class ExperimentRunner:
     # -- execution ------------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
-        """Execute the experiment and collect results."""
+        """Execute the experiment and collect results.
+
+        When ``config.trace`` is set and the global tracer is idle, the run
+        captures its trace into a ring buffer and returns the records on the
+        result.  A caller that already configured :data:`TRACE` (e.g. the
+        ``repro trace`` CLI, which streams to files) keeps its own sinks;
+        the runner then only late-binds the simulator clock.
+        """
+        cfg = self.config
+        ring = None
+        if cfg.trace and not TRACE.enabled:
+            layers = {s.strip() for s in cfg.trace_layers.split(",") if s.strip()}
+            ring = RingBufferSink()
+            TRACE.configure(sinks=[ring], layers=layers or None)
+        try:
+            return self._run(ring)
+        finally:
+            if ring is not None:
+                TRACE.reset()
+
+    def _run(self, ring) -> ExperimentResult:
         cfg = self.config
         is_ble = cfg.link_layer == "ble"
         if cfg.topology == "dynamic":
@@ -256,6 +283,8 @@ class ExperimentRunner:
             net = self._build_ble()
         else:
             net = self._build_802154()
+        if TRACE.enabled:
+            TRACE.attach_sim(net.sim)
         events = EventLog()
 
         # connection-loss hooks (BLE only; 802.15.4 has no connections)
@@ -303,6 +332,7 @@ class ExperimentRunner:
             link_series=link_series,
             link_channels=link_channels,
             network=net,
+            trace_records=list(ring.records()) if ring is not None else [],
         )
 
     def _hook_losses(self, node, events: EventLog) -> None:

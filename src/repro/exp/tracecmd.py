@@ -1,0 +1,134 @@
+"""The ``python -m repro trace`` subcommand: trace a run, check invariants.
+
+Runs one experiment with the global tracer streaming into three sinks at
+once -- a JSONL file (the human/tooling-readable trace), a packet dump (the
+binary capture of everything that went over a 6LoWPAN link, decodable with
+:func:`repro.trace.sinks.read_packet_dump`), and the live invariant
+checkers -- then writes the usual artifacts next to them and reports any
+violations.  The process exits non-zero when a checker fired, which is what
+lets CI use a traced run as a conformance gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.exp.artifacts import render_summary, write_artifacts
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import ExperimentResult, run_experiment
+from repro.sim.units import SEC
+from repro.trace.invariants import CheckerSink, Violation, default_checkers
+from repro.trace.sinks import JsonlSink, PacketDumpSink
+from repro.trace.tracer import TRACE
+
+
+def example_config(description: str = "") -> ExperimentConfig:
+    """The default scenario for ``repro trace``: a short 4-node line.
+
+    A line is the smallest topology that exercises every traced layer --
+    multi-hop forwarding, fragmentation-capable SDUs, supervision windows
+    and the shared-radio scheduler on the relay nodes.
+    """
+    cfg = ExperimentConfig(
+        name=description or "trace",
+        topology="line",
+        n_nodes=4,
+        duration_s=10.0,
+        warmup_s=2.0,
+        drain_s=1.0,
+        producer_interval_s=1.0,
+        seed=3,
+    )
+    return cfg
+
+
+@dataclass
+class TraceReport:
+    """What one traced run produced."""
+
+    result: ExperimentResult
+    outdir: Path
+    records: int
+    by_layer: Dict[str, int]
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether all invariants held."""
+        return not self.violations
+
+
+def run_traced(
+    config: ExperimentConfig,
+    outdir: str,
+    layers: str = "",
+) -> TraceReport:
+    """Run ``config`` with full tracing + invariant checking into ``outdir``.
+
+    The checkers always see every layer; the ``layers`` filter only narrows
+    what lands in the trace files (a filtered trace would blind the
+    supervision/anchor checkers otherwise).
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    layer_set = {s.strip() for s in str(layers).split(",") if s.strip()}
+
+    jsonl = JsonlSink(out / "trace.jsonl")
+    pdump = PacketDumpSink(out / "trace.pdump")
+    checkers = CheckerSink(default_checkers())
+    by_layer: Dict[str, int] = {}
+
+    class _Counting:
+        """Fan-out shim: per-layer tally + layer-filtered file sinks."""
+
+        def accept(self, record) -> None:
+            by_layer[record.layer] = by_layer.get(record.layer, 0) + 1
+            if not layer_set or record.layer in layer_set:
+                jsonl.accept(record)
+                pdump.accept(record)
+
+        def close(self) -> None:
+            jsonl.close()
+            pdump.close()
+
+    TRACE.configure(sinks=[_Counting(), checkers])
+    try:
+        result = run_experiment(config)
+    finally:
+        records = TRACE.records_emitted
+        TRACE.reset()
+        jsonl.close()
+        pdump.close()
+        checkers.finish()
+
+    write_artifacts(result, out)
+    return TraceReport(
+        result=result,
+        outdir=out,
+        records=records,
+        by_layer=by_layer,
+        violations=list(checkers.violations),
+    )
+
+
+def render_trace_summary(report: TraceReport) -> str:
+    """The trace report as one text block (printed by the CLI)."""
+    lines = [
+        f"trace: {report.records} records "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(report.by_layer.items()))})",
+        f"artifacts: {report.outdir}/trace.jsonl, trace.pdump, events.jsonl",
+        "",
+    ]
+    if report.ok:
+        lines.append("invariants: all checks passed")
+    else:
+        lines.append(f"invariants: {len(report.violations)} VIOLATION(S)")
+        for violation in report.violations:
+            lines.append(
+                f"  [{violation.time_ns / SEC:.6f}s] "
+                f"{violation.checker}: {violation.message}"
+            )
+    lines += ["", render_summary(report.result)]
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.ble.conn import Connection, Endpoint
 from repro.ble.pdu import DataPdu, Llid
+from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ble.controller import BleController
@@ -162,6 +163,14 @@ class _CocEnd:
             self.bytes_sent += len(frame)
             if is_last:
                 rec.complete = True
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.coc.conn.sim.now, "l2cap", "kframe_tx",
+                    conn=self.coc.conn.conn_id,
+                    node=self.ll_end.controller.name,
+                    frame_len=len(frame), credits_left=self.credits,
+                    last=is_last,
+                )
 
     def _build_kframe(self, rec: _SduRecord) -> tuple[bytes, bool]:
         """Produce the next K-frame of ``rec`` (without sending it)."""
@@ -187,6 +196,13 @@ class _CocEnd:
                 if self.tx_sdus and self.tx_sdus[0] is rec:
                     self.tx_sdus.popleft()
                 self.sdus_sent += 1
+                if TRACE.enabled:
+                    TRACE.emit(
+                        self.coc.conn.sim.now, "l2cap", "sdu_sent",
+                        conn=self.coc.conn.conn_id,
+                        node=self.ll_end.controller.name,
+                        len=len(rec.data),
+                    )
                 if self.on_sdu_sent is not None:
                     self.on_sdu_sent(rec.tag)
         # acked PDUs free LL buffer space: resume stalled grants and pumps
@@ -249,6 +265,13 @@ class _CocEnd:
             self._rx_buf.clear()
             self._rx_frames = 0
             self.sdus_received += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.coc.conn.sim.now, "l2cap", "sdu_rx",
+                    conn=self.coc.conn.conn_id,
+                    node=self.ll_end.controller.name,
+                    len=len(sdu), frames=frames,
+                )
             self._return_credits(frames)
             if self.on_sdu is not None:
                 self.on_sdu(sdu)
@@ -283,6 +306,13 @@ class _CocEnd:
             self._sig_identifier += 1
             self.credits_returned += n
             self._pending_credit_grant = 0
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.coc.conn.sim.now, "l2cap", "credits",
+                    conn=self.coc.conn.conn_id,
+                    node=self.ll_end.controller.name,
+                    granted=n,
+                )
 
 
 class L2capCoc:

@@ -13,6 +13,17 @@ from typing import Callable, List
 from repro.net.fib import ForwardingTable
 from repro.net.nib import NeighborCache
 from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet
+from repro.trace.tracer import TRACE
+
+
+def _addr_ref(addr: Ipv6Address):
+    """Compact, deterministic address form for trace fields.
+
+    Derived addresses reduce to the node id; anything else is the hex of
+    the packed 16 bytes.
+    """
+    node_id = addr.node_id()
+    return node_id if node_id is not None else addr.packed.hex()
 
 
 class Ipv6Stack:
@@ -70,6 +81,11 @@ class Ipv6Stack:
     def send(self, packet: Ipv6Packet) -> bool:
         """Originate a packet from this node."""
         self.originated += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                None, "ip", "originate",
+                node=self.node_id, dst=_addr_ref(packet.dst),
+            )
         if packet.dst in self.addresses:
             self._deliver(packet)
             return True
@@ -92,18 +108,48 @@ class Ipv6Stack:
         # forward (every node is a 6LoWPAN router, §4.2)
         if packet.hop_limit <= 1:
             self.drops_hop_limit += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    None, "ip", "drop",
+                    node=self.node_id, cause="hop-limit",
+                    dst=_addr_ref(packet.dst),
+                )
             return
         packet.hop_limit -= 1
         if self._route(packet):
             self.forwarded += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    None, "ip", "forward",
+                    node=self.node_id, dst=_addr_ref(packet.dst),
+                    hop_limit=packet.hop_limit,
+                )
 
     def _deliver(self, packet: Ipv6Packet) -> None:
         handler = self._proto_handlers.get(packet.next_header)
         if handler is None:
             self.drops_no_handler += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    None, "ip", "drop",
+                    node=self.node_id, cause="no-handler",
+                    dst=_addr_ref(packet.dst),
+                )
             return
         self.delivered += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                None, "ip", "deliver",
+                node=self.node_id, proto=packet.next_header,
+            )
         handler(packet)
+
+    def _drop(self, packet: Ipv6Packet, cause: str) -> None:
+        if TRACE.enabled:
+            TRACE.emit(
+                None, "ip", "drop",
+                node=self.node_id, cause=cause, dst=_addr_ref(packet.dst),
+            )
 
     def _route(self, packet: Ipv6Packet) -> bool:
         """Pick the next hop and hand the packet to its interface."""
@@ -112,13 +158,16 @@ class Ipv6Stack:
             next_hop = self.fib.lookup(packet.dst)
             if next_hop is None:
                 self.drops_no_route += 1
+                self._drop(packet, "no-route")
                 return False
             entry = self.nib.resolve(next_hop)
             if entry is None:
                 self.drops_no_neighbor += 1
+                self._drop(packet, "no-neighbor")
                 return False
         ll_addr, netif = entry
         if not netif.send(packet, ll_addr):
             self.drops_link += 1
+            self._drop(packet, "link")
             return False
         return True

@@ -23,6 +23,7 @@ from repro.l2cap import CocConfig, L2capCoc
 from repro.net.pktbuf import PacketBuffer
 from repro.sixlowpan.adapt import BleAdaptation
 from repro.sixlowpan.ipv6 import Ipv6Packet
+from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.ip import Ipv6Stack
@@ -126,6 +127,12 @@ class BleNetif:
         if not self.pktbuf.try_alloc(len(wire)):
             self.drops_pktbuf += 1
             return False
+        if TRACE.enabled:
+            TRACE.emit(
+                self.controller.sim.now, "sixlo", "tx",
+                node=self.ll_addr, peer=next_hop_ll,
+                in_len=packet.total_len, out_len=len(wire), data=wire,
+            )
         self._outstanding[conn] = self._outstanding.get(conn, 0) + len(wire)
         coc_of(conn, self.coc_config).send(
             self.controller, wire, tag=(conn, len(wire))
@@ -167,5 +174,10 @@ class BleNetif:
             self.rx_decode_errors += 1
             return
         self.rx_packets += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                self.controller.sim.now, "sixlo", "rx",
+                node=self.ll_addr, peer=peer_ll, len=len(sdu), data=sdu,
+            )
         if self.ip is not None:
             self.ip.receive(packet, self)

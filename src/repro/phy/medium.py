@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.kernel import Simulator
+from repro.trace.tracer import TRACE
 
 
 @dataclass
@@ -117,10 +118,16 @@ class BleMedium:
         per = self.interference.packet_error_rate(channel, nbytes, self.sim.now)
         self.packets_sampled += 1
         if per <= 0.0:
-            return False
-        lost = self.rng.random() < per
-        if lost:
-            self.packets_lost += 1
+            lost = False
+        else:
+            lost = self.rng.random() < per
+            if lost:
+                self.packets_lost += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                self.sim.now, "phy", "packet",
+                channel=channel, nbytes=nbytes, lost=lost,
+            )
         return lost
 
     def usable_channels(self, channels: Iterable[int]) -> List[int]:

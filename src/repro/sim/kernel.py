@@ -13,6 +13,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.trace.record import callback_name
+from repro.trace.tracer import TRACE
+
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling in the past, running twice, ...)."""
@@ -119,6 +122,14 @@ class Simulator:
                     break
                 heapq.heappop(queue)
                 self._now = timer.when
+                if TRACE.enabled:
+                    TRACE.emit(
+                        timer.when,
+                        "kernel",
+                        "dispatch",
+                        timer_seq=timer.seq,
+                        callback=callback_name(timer.callback),
+                    )
                 timer.callback(*timer.args)
                 executed += 1
             if until is not None and not self._stopped and self._now < until:

@@ -25,11 +25,18 @@ compressed-first-fragment offset rules.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.units import SEC
+from repro.trace.tracer import TRACE
+
+
+def _digest(datagram: bytes) -> str:
+    """CRC32 content digest used to pair frag_tx / reassembled records."""
+    return f"{zlib.crc32(datagram) & 0xFFFFFFFF:08x}"
 
 #: Dispatch prefixes (first byte, upper bits).
 FRAG1_DISPATCH = 0b11000_000
@@ -87,6 +94,12 @@ def fragment(datagram: bytes, tag: int, max_fragment_payload: int) -> List[bytes
             + chunk
         )
         offset += len(chunk)
+    if TRACE.enabled:
+        TRACE.emit(
+            None, "sixlo", "frag_tx",
+            tag=tag, size=len(datagram), n_frags=len(fragments),
+            digest=_digest(datagram),
+        )
     return fragments
 
 
@@ -165,6 +178,11 @@ class Reassembler:
             self.parse_errors += 1
             return
         self.fragments_received += 1
+        if TRACE.enabled:
+            TRACE.emit(
+                self.sim.now, "sixlo", "frag_rx",
+                sender=sender, tag=tag, offset=offset, len=len(payload),
+            )
         key = (sender, tag)
         buffer = self._buffers.get(key)
         if buffer is None or buffer.size != size:
@@ -175,7 +193,14 @@ class Reassembler:
         if buffer.complete():
             del self._buffers[key]
             self.datagrams_reassembled += 1
-            self.on_datagram(buffer.assemble(), sender)
+            datagram = buffer.assemble()
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.sim.now, "sixlo", "reassembled",
+                    sender=sender, tag=tag, size=len(datagram),
+                    digest=_digest(datagram),
+                )
+            self.on_datagram(datagram, sender)
 
     def pending(self) -> int:
         """Number of in-progress reassemblies."""
@@ -186,3 +211,8 @@ class Reassembler:
         if buffer is not None and self.sim.now >= buffer.deadline_ns:
             del self._buffers[key]
             self.timeouts += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.sim.now, "sixlo", "reasm_timeout",
+                    sender=key[0], tag=key[1],
+                )

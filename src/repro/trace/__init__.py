@@ -1,0 +1,67 @@
+"""Cross-layer structured tracing and invariant checking.
+
+The paper's central observation -- connection shading -- was only found
+because the authors' firmware dumped structured per-connection-event
+timelines (§4.2).  This package is the simulation counterpart: every layer
+of the stack emits typed :class:`~repro.trace.record.TraceRecord` s through
+the process-wide :data:`~repro.trace.tracer.TRACE` singleton into pluggable
+sinks, and streaming invariant checkers assert spec-level properties over
+the stream.
+
+The package depends only on the standard library so that even
+``repro.sim.kernel`` can import it without cycles.
+"""
+
+from repro.trace.record import SCHEMAS, TraceRecord, callback_name, schema_version
+from repro.trace.tracer import TRACE, Tracer
+from repro.trace.sinks import (
+    JsonlSink,
+    PacketDumpSink,
+    RingBufferSink,
+    jsonl_header,
+    read_jsonl,
+    read_packet_dump,
+    record_to_json,
+    record_to_jsonl_line,
+    records_to_jsonl,
+)
+from repro.trace.invariants import (
+    AnchorSpacingChecker,
+    Checker,
+    CheckerSink,
+    FragmentReassemblyChecker,
+    RadioExclusiveChecker,
+    SeqAckChecker,
+    SupervisionChecker,
+    Violation,
+    check_records,
+    default_checkers,
+)
+
+__all__ = [
+    "SCHEMAS",
+    "TraceRecord",
+    "callback_name",
+    "schema_version",
+    "TRACE",
+    "Tracer",
+    "JsonlSink",
+    "PacketDumpSink",
+    "RingBufferSink",
+    "jsonl_header",
+    "read_jsonl",
+    "read_packet_dump",
+    "record_to_json",
+    "record_to_jsonl_line",
+    "records_to_jsonl",
+    "AnchorSpacingChecker",
+    "Checker",
+    "CheckerSink",
+    "FragmentReassemblyChecker",
+    "RadioExclusiveChecker",
+    "SeqAckChecker",
+    "SupervisionChecker",
+    "Violation",
+    "check_records",
+    "default_checkers",
+]

@@ -1,0 +1,358 @@
+"""Streaming invariant checkers over the trace.
+
+Each checker consumes a small set of record kinds and asserts one
+spec-level property of the simulated stack:
+
+* :class:`RadioExclusiveChecker` -- a node's single radio never services
+  two overlapping claims (BT 5.2 Vol 6 Part B §4.5: one air interface);
+* :class:`AnchorSpacingChecker` -- consecutive connection-event anchors are
+  spaced by the negotiated interval, within window widening plus clock
+  drift (§4.5.1 / paper §6.1);
+* :class:`SeqAckChecker` -- the 1-bit SN/NESN acknowledgement scheme never
+  skips: SN advances only on acknowledgement, NESN only on acceptance
+  (§4.5.9);
+* :class:`SupervisionChecker` -- the supervision timeout fires iff no
+  CRC-valid PDU arrived for the timeout window (§4.5.2);
+* :class:`FragmentReassemblyChecker` -- every reassembled 6LoWPAN datagram
+  is byte-identical (by CRC32) to a previously fragmented original
+  (RFC 4944 §5.3).
+
+Checkers are streaming: they hold O(active connections) state, never the
+trace itself, so they run inline as a sink (:class:`CheckerSink`) during
+hour-long simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.trace.record import TraceRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure."""
+
+    time_ns: int
+    checker: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"[{self.time_ns}ns] {self.checker}: {self.message}"
+
+
+class Checker:
+    """Base class: collects violations, declares consumed record kinds."""
+
+    name = "checker"
+    #: Schema keys (``layer.kind``) this checker wants to observe.
+    consumes: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.records_seen = 0
+
+    def observe(self, record: TraceRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """End-of-trace hook (default: nothing)."""
+
+    def fail(self, record: TraceRecord, message: str) -> None:
+        self.violations.append(Violation(record.time_ns, self.name, message))
+
+
+class RadioExclusiveChecker(Checker):
+    """A node's radio claims never overlap."""
+
+    name = "radio-exclusive"
+    consumes = ("ble.radio_claim",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._busy_until: Dict[str, int] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        node = record.get("node")
+        start = record.get("start")
+        end = record.get("end")
+        busy = self._busy_until.get(node, 0)
+        if start < busy:
+            self.fail(
+                record,
+                f"radio {node}: claim [{start}, {end}) overlaps previous "
+                f"claim ending at {busy}",
+            )
+        if end < start:
+            self.fail(record, f"radio {node}: negative claim [{start}, {end})")
+        self._busy_until[node] = max(busy, end)
+
+
+class AnchorSpacingChecker(Checker):
+    """Consecutive anchors are one negotiated interval apart.
+
+    The tolerance is the event's window widening (the spec's allowance for
+    accumulated sleep-clock error) plus a 100 ppm drift term and a 1 µs
+    slack for integer rounding in the drifting-clock conversion.
+    """
+
+    name = "anchor-spacing"
+    consumes = ("ble.conn_event", "ble.conn_close")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Dict[int, Tuple[int, int]] = {}  # conn -> (event, anchor)
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        conn = record.get("conn")
+        if record.kind == "conn_close":
+            self._last.pop(conn, None)
+            return
+        event = record.get("event")
+        anchor = record.get("anchor")
+        prev = self._last.get(conn)
+        self._last[conn] = (event, anchor)
+        if prev is None:
+            return
+        prev_event, prev_anchor = prev
+        if event != prev_event + 1:
+            self.fail(
+                record,
+                f"conn {conn}: event counter jumped {prev_event} -> {event}",
+            )
+            return
+        interval = record.get("interval_ns")
+        widening = record.get("widening", 0)
+        spacing = anchor - prev_anchor
+        tolerance = widening + interval // 10_000 + 1_000
+        if abs(spacing - interval) > tolerance:
+            self.fail(
+                record,
+                f"conn {conn} event {event}: anchor spacing {spacing}ns "
+                f"deviates from interval {interval}ns by more than "
+                f"{tolerance}ns",
+            )
+
+
+class SeqAckChecker(Checker):
+    """The 1-bit SN/NESN handshake never skips a sequence number.
+
+    Mirrors the spec's acknowledgement state machine per (connection,
+    role): a transmitted PDU must carry exactly the model's SN/NESN; SN
+    toggles only when the peer's NESN acknowledged it; NESN toggles only
+    when a new-SN PDU was accepted.
+    """
+
+    name = "seq-ack"
+    consumes = ("ble.conn_open", "ble.ll_tx", "ble.ll_rx", "ble.conn_close")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (conn, role) -> [sn, nesn] model state.
+        self._state: Dict[Tuple[int, str], List[int]] = {}
+
+    def _model(self, conn: int, role: str) -> List[int]:
+        return self._state.setdefault((conn, role), [0, 0])
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        conn = record.get("conn")
+        if record.kind == "conn_open":
+            self._state[(conn, "coordinator")] = [0, 0]
+            self._state[(conn, "subordinate")] = [0, 0]
+            return
+        if record.kind == "conn_close":
+            self._state.pop((conn, "coordinator"), None)
+            self._state.pop((conn, "subordinate"), None)
+            return
+        role = record.get("role")
+        model = self._model(conn, role)
+        if record.kind == "ll_tx":
+            if record.get("sn") != model[0]:
+                self.fail(
+                    record,
+                    f"conn {conn} {role}: transmitted SN {record.get('sn')} "
+                    f"but the acknowledgement state machine expects "
+                    f"{model[0]} (SN advanced without an ack)",
+                )
+                model[0] = record.get("sn")  # resync to keep reporting useful
+            if record.get("nesn") != model[1]:
+                self.fail(
+                    record,
+                    f"conn {conn} {role}: transmitted NESN "
+                    f"{record.get('nesn')} but the state machine expects "
+                    f"{model[1]} (NESN moved without accepting a PDU)",
+                )
+                model[1] = record.get("nesn")
+            return
+        # ll_rx: the receiving role observed a CRC-valid peer PDU and will
+        # update its SN/NESN exactly as the spec prescribes.
+        pdu_sn = record.get("sn")
+        pdu_nesn = record.get("nesn")
+        my_sn = record.get("my_sn")
+        my_nesn = record.get("my_nesn")
+        if my_sn != model[0] or my_nesn != model[1]:
+            self.fail(
+                record,
+                f"conn {conn} {role}: receiver state (sn={my_sn}, "
+                f"nesn={my_nesn}) diverged from the model ({model[0]}, "
+                f"{model[1]})",
+            )
+            model[0], model[1] = my_sn, my_nesn
+        if pdu_nesn != model[0]:  # peer acknowledged our outstanding PDU
+            model[0] ^= 1
+        if pdu_sn == model[1]:  # new data accepted
+            model[1] ^= 1
+
+
+class SupervisionChecker(Checker):
+    """Supervision timeout fires iff no valid PDU for the timeout window."""
+
+    name = "supervision"
+    consumes = (
+        "ble.conn_open",
+        "ble.ll_rx",
+        "ble.conn_event",
+        "ble.conn_event_end",
+        "ble.conn_close",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (conn, role) -> true time of the last CRC-valid reception.
+        self._last_rx: Dict[Tuple[int, str], int] = {}
+        #: conns whose last event ended with a timeout-sized silence; the
+        #: connection MUST close before its next event.
+        self._pending_close: Set[int] = set()
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        conn = record.get("conn")
+        kind = record.kind
+        if kind == "conn_open":
+            anchor0 = record.get("anchor0")
+            self._last_rx[(conn, "coordinator")] = anchor0
+            self._last_rx[(conn, "subordinate")] = anchor0
+            return
+        if kind == "ll_rx":
+            self._last_rx[(conn, record.get("role"))] = record.time_ns
+            return
+        if kind == "conn_event":
+            if conn in self._pending_close:
+                self.fail(
+                    record,
+                    f"conn {conn}: connection event ran although the "
+                    f"supervision timeout expired at the previous event",
+                )
+                self._pending_close.discard(conn)
+            return
+        if kind == "conn_event_end":
+            now = record.get("now")
+            timeout = record.get("timeout_ns")
+            gaps = [
+                now - self._last_rx.get((conn, role), now)
+                for role in ("coordinator", "subordinate")
+            ]
+            if max(gaps) >= timeout:
+                self._pending_close.add(conn)
+            return
+        if kind == "conn_close":
+            if record.get("reason") == "supervision-timeout":
+                if conn not in self._pending_close:
+                    self.fail(
+                        record,
+                        f"conn {conn}: closed for supervision timeout "
+                        f"without a timeout-sized silence in the trace",
+                    )
+            self._pending_close.discard(conn)
+            self._last_rx.pop((conn, "coordinator"), None)
+            self._last_rx.pop((conn, "subordinate"), None)
+
+
+class FragmentReassemblyChecker(Checker):
+    """Reassembled datagrams match a fragmented original byte-for-byte."""
+
+    name = "frag-reassembly"
+    consumes = ("sixlo.frag_tx", "sixlo.reassembled")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: tag -> list of (size, digest) of fragmented originals.
+        self._sent: Dict[int, List[Tuple[int, str]]] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        tag = record.get("tag")
+        if record.kind == "frag_tx":
+            self._sent.setdefault(tag, []).append(
+                (record.get("size"), record.get("digest"))
+            )
+            return
+        originals = self._sent.get(tag)
+        if originals is None:
+            return  # origin outside the traced window; nothing to compare
+        entry = (record.get("size"), record.get("digest"))
+        if entry not in originals:
+            self.fail(
+                record,
+                f"tag {tag}: reassembled datagram (size={entry[0]}, "
+                f"crc32={entry[1]}) matches no fragmented original",
+            )
+
+
+def default_checkers() -> List[Checker]:
+    """A fresh instance of every built-in checker."""
+    return [
+        RadioExclusiveChecker(),
+        AnchorSpacingChecker(),
+        SeqAckChecker(),
+        SupervisionChecker(),
+        FragmentReassemblyChecker(),
+    ]
+
+
+class CheckerSink:
+    """A sink that dispatches records to a suite of checkers."""
+
+    def __init__(self, checkers: Optional[List[Checker]] = None) -> None:
+        self.checkers = default_checkers() if checkers is None else checkers
+        self._dispatch: Dict[str, List[Checker]] = {}
+        for checker in self.checkers:
+            for key in checker.consumes:
+                self._dispatch.setdefault(key, []).append(checker)
+        self._finished = False
+
+    def accept(self, record: TraceRecord) -> None:
+        for checker in self._dispatch.get(record.key, ()):
+            checker.observe(record)
+
+    def finish(self) -> None:
+        """Run every checker's end-of-trace hook (idempotent)."""
+        if not self._finished:
+            self._finished = True
+            for checker in self.checkers:
+                checker.finish()
+
+    def close(self) -> None:
+        self.finish()
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All violations, in detection order across checkers."""
+        out: List[Violation] = []
+        for checker in self.checkers:
+            out.extend(checker.violations)
+        out.sort(key=lambda v: v.time_ns)
+        return out
+
+
+def check_records(records) -> List[Violation]:
+    """Run the default checker suite over an in-memory record sequence."""
+    sink = CheckerSink()
+    for record in records:
+        sink.accept(record)
+    sink.finish()
+    return sink.violations

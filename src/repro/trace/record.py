@@ -1,0 +1,119 @@
+"""Typed trace records with stable schemas.
+
+A :class:`TraceRecord` is one structured observation from inside the
+simulator: a timer dispatch, a connection event, a K-frame, an IP hop.
+Records carry a ``(layer, kind)`` pair that identifies their schema in
+:data:`SCHEMAS`; every schema has an explicit version so downstream
+consumers (golden traces, invariant checkers, external tooling) can detect
+incompatible producers instead of silently misreading fields.
+
+This module -- like the whole ``repro.trace`` package -- depends only on
+the standard library: the kernel itself imports it, so it must sit below
+every other layer of the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: Schema registry: ``"layer.kind" -> version``.  Bump a version whenever a
+#: record's field set or meaning changes; golden traces embed the versions
+#: through :func:`repro.trace.sinks.record_to_json`.
+SCHEMAS = {
+    # -- kernel -----------------------------------------------------------
+    "kernel.dispatch": 1,  # timer_seq, callback
+    # -- PHY --------------------------------------------------------------
+    "phy.packet": 1,  # channel, nbytes, lost
+    # -- BLE link layer ---------------------------------------------------
+    "ble.conn_open": 1,  # conn, coordinator, subordinate, interval_ns,
+    #                      anchor0, timeout_ns
+    "ble.conn_event": 1,  # conn, event, anchor, channel, interval_ns,
+    #                       widening, window_hit, coord_runs, sub_listens
+    "ble.conn_event_end": 1,  # conn, event, end, now, timeout_ns
+    "ble.conn_close": 1,  # conn, reason
+    "ble.param_update": 1,  # conn, interval_ns
+    "ble.ll_tx": 1,  # conn, role, sn, nesn, len, retx
+    "ble.ll_rx": 1,  # conn, role, sn, nesn, len, my_sn, my_nesn
+    "ble.crc_loss": 1,  # conn, role, channel, len
+    "ble.radio_claim": 1,  # node, start, end
+    "ble.radio_deny": 1,  # node
+    # -- L2CAP ------------------------------------------------------------
+    "l2cap.kframe_tx": 1,  # conn, node, frame_len, credits_left, last
+    "l2cap.credits": 1,  # conn, node, granted
+    "l2cap.sdu_rx": 1,  # conn, node, len, frames
+    "l2cap.sdu_sent": 1,  # conn, node, len
+    # -- 6LoWPAN ----------------------------------------------------------
+    "sixlo.tx": 1,  # node, peer, in_len, out_len, data
+    "sixlo.rx": 1,  # node, peer, len, data
+    "sixlo.frag_tx": 1,  # tag, size, n_frags, digest
+    "sixlo.frag_rx": 1,  # sender, tag, offset, len
+    "sixlo.reassembled": 1,  # sender, tag, size, digest
+    "sixlo.reasm_timeout": 1,  # sender, tag
+    # -- IP ---------------------------------------------------------------
+    "ip.originate": 1,  # node, dst
+    "ip.forward": 1,  # node, dst, hop_limit
+    "ip.deliver": 1,  # node, proto
+    "ip.drop": 1,  # node, cause, dst
+    # -- CoAP -------------------------------------------------------------
+    "coap.request": 1,  # node, mid, token, path, confirmable
+    "coap.response": 1,  # node, mid, rtt_ns
+    "coap.retransmit": 1,  # node, mid, retransmits_left
+    "coap.timeout": 1,  # node, mid
+}
+
+
+def schema_version(layer: str, kind: str) -> int:
+    """Version of the ``layer.kind`` schema (0 for unregistered kinds)."""
+    return SCHEMAS.get(f"{layer}.{kind}", 0)
+
+
+def callback_name(callback: Any) -> str:
+    """A deterministic, address-free label for a timer callback.
+
+    ``repr(bound_method)`` embeds the object's memory address, which would
+    make otherwise identical traces differ between runs; the qualified name
+    is stable across processes.
+    """
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        func = getattr(callback, "func", None)  # functools.partial
+        if func is not None:
+            return callback_name(func)
+        name = type(callback).__name__
+    return name
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured observation.
+
+    :param time_ns: true simulation time of the observation.
+    :param layer: producing layer (``kernel``, ``phy``, ``ble``, ...).
+    :param kind: record kind within the layer.
+    :param seq: dense per-run emission index (total order tie-breaker).
+    :param fields: the schema-specific payload as an ordered tuple.
+    """
+
+    time_ns: int
+    layer: str
+    kind: str
+    seq: int
+    fields: Tuple[Tuple[str, Any], ...]
+
+    @property
+    def key(self) -> str:
+        """The schema key, ``layer.kind``."""
+        return f"{self.layer}.{self.kind}"
+
+    @property
+    def version(self) -> int:
+        """Schema version of this record."""
+        return schema_version(self.layer, self.kind)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Field lookup by name."""
+        for k, v in self.fields:
+            if k == name:
+                return v
+        return default

@@ -80,7 +80,7 @@ class TestCanonicalSerialization:
     #: serialization regressed (fix it): every on-disk cache is invalidated
     #: either way, which must be a deliberate decision.
     GOLDEN_DEFAULT_HASH = (
-        "d8ce27bb56feadecb48a0646d208c9aed2245574d4952e3c07947090be3489a0"
+        "6b31c6b38e3ba394d62577f2e5ced28b65c620097bc356b95de2dd9c832eeacf"
     )
 
     def test_default_config_hash_is_golden_constant(self):

@@ -100,6 +100,8 @@ class TestKeyInvalidation:
             "max_event_len_ms": 4.0,
             "drift_ppms": tuple(float(i) for i in range(15)),
             "abort_event_on_crc_error": False,
+            "trace": True,
+            "trace_layers": "ble,ip",
         }
         fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
         assert fields == set(replacements), (

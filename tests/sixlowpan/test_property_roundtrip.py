@@ -1,0 +1,285 @@
+"""Seeded-random round-trip properties for the 6LoWPAN codecs.
+
+The hand-written tests in ``test_iphc.py`` / ``test_frag.py`` pin known
+vectors; these tests sweep the input space instead: a few hundred
+randomly generated packets per run, drawn from a ``random.Random`` with a
+fixed seed so failures replay exactly.  Every supported combination of
+IPHC address mode, TF mode, HLIM mode, and NHC-UDP port mode must
+survive ``decompress(compress(p)) == p``, and every fragment split must
+reassemble byte-identically regardless of arrival order.
+
+(No hypothesis dependency on purpose -- plain seeded randomness keeps the
+suite runnable on the bare container and the failures reproducible.)
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sixlowpan.frag import (
+    FragmentError,
+    Reassembler,
+    fragment,
+    is_fragment,
+    parse_fragment,
+)
+from repro.sixlowpan.iphc import IPHC_DISPATCH, compress, decompress
+from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet, PROTO_UDP
+
+N_PACKETS = 200
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+def _unicast(rng: random.Random):
+    """A unicast address plus the link-layer IID that elides it (or None)."""
+    form = rng.randrange(4)
+    if form == 0:  # link-local, derived IID -- fully elidable
+        node = rng.randrange(0, 1 << 16)
+        return Ipv6Address.link_local(node), Ipv6Address.iid_from_node_id(node)
+    if form == 1:  # link-local, 16-bit compressible IID (000000fffe00xxxx)
+        iid = bytes.fromhex("000000fffe00") + rng.randbytes(2)
+        return Ipv6Address(Ipv6Address.LINK_LOCAL_PREFIX + iid), None
+    if form == 2:  # link-local, arbitrary 64-bit IID inline
+        return Ipv6Address(Ipv6Address.LINK_LOCAL_PREFIX + rng.randbytes(8)), None
+    # routable (mesh or foreign global) -- always full inline
+    if rng.random() < 0.5:
+        return Ipv6Address.mesh_local(rng.randrange(0, 1 << 16)), None
+    return Ipv6Address(bytes([0x20]) + rng.randbytes(15)), None
+
+
+def _multicast(rng: random.Random) -> Ipv6Address:
+    form = rng.randrange(4)
+    if form == 0:  # ff02::00XX
+        return Ipv6Address(
+            bytes.fromhex("ff02") + b"\x00" * 13 + bytes([rng.randrange(1, 256)])
+        )
+    if form == 1:  # ffXX::00XX:XXXX (4 inline bytes)
+        return Ipv6Address(
+            b"\xff" + rng.randbytes(1) + b"\x00" * 11 + rng.randbytes(3)
+        )
+    if form == 2:  # ffXX::00XX:XXXX:XXXX (6 inline bytes)
+        return Ipv6Address(
+            b"\xff" + rng.randbytes(1) + b"\x00" * 9 + rng.randbytes(5)
+        )
+    # no compact form: force a nonzero byte inside the would-be-zero run
+    body = bytearray(rng.randbytes(15))
+    body[4] |= 0x01
+    return Ipv6Address(b"\xff" + bytes(body))
+
+
+def _traffic_class_and_flow(rng: random.Random):
+    mode = rng.randrange(4)
+    if mode == 0:  # TF=11: both elided
+        return 0, 0
+    if mode == 1:  # TF=10: class inline, no flow label
+        return rng.randrange(1, 256), 0
+    if mode == 2:  # TF=01: ECN only (DSCP zero) + flow label
+        return rng.randrange(4) << 6, rng.randrange(1, 1 << 20)
+    # TF=00: full class (nonzero DSCP) + flow label
+    return (rng.randrange(1, 64)) | (rng.randrange(4) << 6), rng.randrange(
+        1, 1 << 20
+    )
+
+
+def _hop_limit(rng: random.Random) -> int:
+    return rng.choice([1, 64, 255, rng.randrange(2, 254)])
+
+
+def _udp_port(rng: random.Random) -> int:
+    mode = rng.randrange(3)
+    if mode == 0:  # 4-bit compressible (0xF0Bx)
+        return 0xF0B0 | rng.randrange(16)
+    if mode == 1:  # 8-bit compressible (0xF0xx)
+        return 0xF000 | rng.randrange(256)
+    return rng.randrange(0, 1 << 16)
+
+
+def _udp_payload(rng: random.Random) -> bytes:
+    """A well-formed UDP datagram (length field consistent with the data)."""
+    data = rng.randbytes(rng.randrange(0, 64))
+    return (
+        struct.pack(
+            ">HHHH",
+            _udp_port(rng),
+            _udp_port(rng),
+            8 + len(data),
+            rng.randrange(0, 1 << 16),
+        )
+        + data
+    )
+
+
+def _packet(rng: random.Random):
+    """One random packet plus the link-layer IIDs to hand the codec."""
+    src, src_iid = _unicast(rng)
+    if rng.random() < 0.3:
+        dst, dst_iid = _multicast(rng), None
+    else:
+        dst, dst_iid = _unicast(rng)
+    traffic_class, flow_label = _traffic_class_and_flow(rng)
+    if rng.random() < 0.7:
+        next_header, payload = PROTO_UDP, _udp_payload(rng)
+    elif rng.random() < 0.5:
+        # UDP but too short for NHC: takes the inline next-header path
+        next_header, payload = PROTO_UDP, rng.randbytes(rng.randrange(0, 8))
+    else:
+        next_header = rng.choice([0, 6, 58, 254])
+        payload = rng.randbytes(rng.randrange(0, 80))
+    packet = Ipv6Packet(
+        src=src,
+        dst=dst,
+        payload=payload,
+        next_header=next_header,
+        hop_limit=_hop_limit(rng),
+        traffic_class=traffic_class,
+        flow_label=flow_label,
+    )
+    return packet, src_iid, dst_iid
+
+
+# ---------------------------------------------------------------------------
+# IPHC round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_iphc_random_round_trips():
+    rng = random.Random(0x6C6F)
+    for i in range(N_PACKETS):
+        packet, src_iid, dst_iid = _packet(rng)
+        wire = compress(packet, src_ll_iid=src_iid, dst_ll_iid=dst_iid)
+        assert wire[0] >> 5 == IPHC_DISPATCH >> 5, f"packet {i}: bad dispatch"
+        back = decompress(wire, src_ll_iid=src_iid, dst_ll_iid=dst_iid)
+        assert back == packet, f"packet {i} did not round-trip"
+
+
+def test_iphc_round_trips_without_iid_hints():
+    """With no link-layer IIDs, nothing is elided -- still lossless."""
+    rng = random.Random(0xBEEF)
+    for i in range(N_PACKETS // 2):
+        packet, _, _ = _packet(rng)
+        back = decompress(compress(packet))
+        assert back == packet, f"packet {i} did not round-trip"
+
+
+def test_iphc_never_inflates_beyond_dispatch_overhead():
+    """Worst case is everything inline: 2 IPHC bytes + the 40-byte header
+    fields + payload.  The compressed form must never exceed the raw
+    encoding plus one dispatch byte."""
+    rng = random.Random(0xCAFE)
+    for _ in range(N_PACKETS // 2):
+        packet, src_iid, dst_iid = _packet(rng)
+        wire = compress(packet, src_ll_iid=src_iid, dst_ll_iid=dst_iid)
+        assert len(wire) <= len(packet.encode()) + 1
+
+
+def test_iphc_full_elision_head_is_tiny():
+    """Link-local derived-IID traffic with defaults: the 48 bytes of
+    IPv6+UDP headers compress to single digits (the RFC 6282 showcase)."""
+    rng = random.Random(7)
+    src = Ipv6Address.link_local(1)
+    dst = Ipv6Address.link_local(2)
+    data = rng.randbytes(32)
+    udp = struct.pack(">HHHH", 0xF0B1, 0xF0B2, 8 + len(data), 0x1234) + data
+    packet = Ipv6Packet(src=src, dst=dst, payload=udp)
+    wire = compress(
+        packet,
+        src_ll_iid=Ipv6Address.iid_from_node_id(1),
+        dst_ll_iid=Ipv6Address.iid_from_node_id(2),
+    )
+    # 2 IPHC + 1 NHC + 1 ports + 2 checksum = 6 bytes of header
+    assert len(wire) == 6 + len(data)
+    back = decompress(
+        wire,
+        src_ll_iid=Ipv6Address.iid_from_node_id(1),
+        dst_ll_iid=Ipv6Address.iid_from_node_id(2),
+    )
+    assert back == packet
+
+
+# ---------------------------------------------------------------------------
+# fragmentation round-trips
+# ---------------------------------------------------------------------------
+
+
+def _reassemble(fragments, rng: random.Random, sender: int = 3):
+    """Feed shuffled fragments through a Reassembler, return the result."""
+    sim = Simulator()
+    out = []
+    reasm = Reassembler(sim, lambda datagram, who: out.append((datagram, who)))
+    order = list(fragments)
+    rng.shuffle(order)
+    for frag in order:
+        reasm.accept(frag, sender)
+    return out, reasm
+
+
+def test_fragment_random_round_trips():
+    rng = random.Random(0xF4A6)
+    for i in range(N_PACKETS):
+        datagram = rng.randbytes(rng.randrange(60, 1200))
+        tag = rng.randrange(0, 1 << 16)
+        budget = rng.randrange(14, 200)
+        fragments = fragment(datagram, tag, budget)
+        assert all(len(f) <= budget for f in fragments), f"case {i}"
+        assert all(is_fragment(f) for f in fragments), f"case {i}"
+        out, reasm = _reassemble(fragments, rng)
+        assert out == [(datagram, 3)], f"case {i} did not reassemble"
+        assert reasm.pending() == 0
+        assert reasm.datagrams_reassembled == 1
+
+
+def test_fragment_headers_are_consistent():
+    rng = random.Random(0x0FF5)
+    for _ in range(N_PACKETS // 2):
+        datagram = rng.randbytes(rng.randrange(60, 1200))
+        tag = rng.randrange(0, 1 << 16)
+        budget = rng.randrange(14, 200)
+        fragments = fragment(datagram, tag, budget)
+        pieces = {}
+        for j, frag in enumerate(fragments):
+            size, got_tag, offset, payload = parse_fragment(frag)
+            assert size == len(datagram)
+            assert got_tag == tag
+            assert offset % 8 == 0
+            if j == 0:
+                assert offset == 0  # FRAG1 carries no offset field
+            pieces[offset] = payload
+        rebuilt = bytearray(len(datagram))
+        for offset, payload in pieces.items():
+            rebuilt[offset : offset + len(payload)] = payload
+        assert bytes(rebuilt) == datagram
+
+
+def test_fragment_rejects_oversized_and_starved_inputs():
+    rng = random.Random(1)
+    with pytest.raises(FragmentError, match="11-bit"):
+        fragment(rng.randbytes(2048), tag=1, max_fragment_payload=100)
+    with pytest.raises(FragmentError, match="budget"):
+        fragment(rng.randbytes(100), tag=1, max_fragment_payload=13)
+    # 2047 bytes is the exact ceiling and must still round-trip
+    datagram = rng.randbytes(2047)
+    fragments = fragment(datagram, tag=9, max_fragment_payload=120)
+    out, _ = _reassemble(fragments, rng)
+    assert out == [(datagram, 3)]
+
+
+def test_interleaved_datagrams_reassemble_independently():
+    """Two senders and two tags in flight at once: per-(sender, tag)
+    buffers must not bleed into each other."""
+    rng = random.Random(0xD1CE)
+    sim = Simulator()
+    out = []
+    reasm = Reassembler(sim, lambda datagram, who: out.append((datagram, who)))
+    d1, d2 = rng.randbytes(400), rng.randbytes(500)
+    stream = [(f, 1) for f in fragment(d1, tag=5, max_fragment_payload=60)]
+    stream += [(f, 2) for f in fragment(d2, tag=5, max_fragment_payload=60)]
+    rng.shuffle(stream)
+    for frag, sender in stream:
+        reasm.accept(frag, sender)
+    assert sorted(out, key=lambda pair: pair[1]) == [(d1, 1), (d2, 2)]

@@ -1,0 +1,78 @@
+"""Trace-driven conformance: the simulator upholds spec invariants.
+
+Full experiment scenarios (different topologies, loss regimes, and the
+802.15.4 link layer for the fragmentation path) run with tracing on; the
+complete record stream then flows through the default checker suite, and
+a healthy simulator must produce zero violations.  This is the
+behavioural complement of the unit tests: every BLE connection event,
+acknowledgement, supervision window, and reassembly in these runs is
+checked against the spec-level model.
+"""
+
+import pytest
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_experiment
+from repro.trace.invariants import check_records
+
+SHORT = dict(duration_s=8.0, warmup_s=3.0, drain_s=1.0, trace=True)
+
+SCENARIOS = [
+    ExperimentConfig(name="conf-2node", topology="line", n_nodes=2,
+                     seed=21, **SHORT),
+    ExperimentConfig(name="conf-line4", topology="line", n_nodes=4,
+                     seed=22, producer_interval_s=0.5, **SHORT),
+    ExperimentConfig(name="conf-star5", topology="star", n_nodes=5,
+                     seed=23, **SHORT),
+    # the paper's full 15-node tree: multi-hop + shared-radio relays
+    ExperimentConfig(name="conf-tree15", topology="tree", n_nodes=15,
+                     seed=27, **SHORT),
+    # lossy regime: CRC errors force retransmissions and event aborts, the
+    # hardest case for the SN/NESN and supervision models
+    ExperimentConfig(name="conf-lossy", topology="line", n_nodes=3,
+                     seed=24, base_ber=4e-4, **SHORT),
+    # randomized-interval policy (§6.3) changes anchor/widening behaviour
+    ExperimentConfig(name="conf-random-iv", topology="line", n_nodes=3,
+                     seed=25, conn_interval="[65:85]", **SHORT),
+    # 802.15.4: exercises the fragmentation/reassembly checker (the BLE
+    # path has no 6LoWPAN fragmentation, RFC 7668)
+    ExperimentConfig(name="conf-154", topology="line", n_nodes=4,
+                     seed=26, link_layer="802154", payload_len=256, **SHORT),
+]
+
+
+@pytest.mark.parametrize(
+    "config", SCENARIOS, ids=[c.name for c in SCENARIOS]
+)
+def test_scenario_upholds_all_invariants(config):
+    result = run_experiment(config)
+    assert result.trace_records, "traced run produced no records"
+    violations = check_records(result.trace_records)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_lossy_scenario_actually_exercised_retransmissions():
+    """The loss regime is real: retransmitted PDUs and CRC losses appear,
+    so the zero-violation verdicts above were earned on the hard path."""
+    config = ExperimentConfig(name="conf-lossy-probe", topology="line",
+                              n_nodes=3, seed=24, base_ber=4e-4, **SHORT)
+    result = run_experiment(config)
+    kinds = {}
+    for record in result.trace_records:
+        kinds[record.key] = kinds.get(record.key, 0) + 1
+    assert kinds.get("ble.crc_loss", 0) > 0
+    retx = sum(
+        1 for r in result.trace_records
+        if r.key == "ble.ll_tx" and r.get("retx")
+    )
+    assert retx > 0
+
+
+def test_154_scenario_actually_fragmented():
+    config = ExperimentConfig(name="conf-154-probe", topology="line",
+                              n_nodes=4, seed=26, link_layer="802154",
+                              payload_len=256, **SHORT)
+    result = run_experiment(config)
+    kinds = {r.key for r in result.trace_records}
+    assert "sixlo.frag_tx" in kinds
+    assert "sixlo.reassembled" in kinds

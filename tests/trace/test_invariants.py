@@ -1,0 +1,286 @@
+"""Invariant-checker unit tests over synthetic record streams.
+
+Each checker gets a minimal legal stream (must stay silent) and a minimal
+illegal one (must produce exactly the expected violation) -- the streams
+are hand-built `TraceRecord`s, so these tests pin the checker semantics
+independently of the simulator.
+"""
+
+from repro.trace.invariants import (
+    AnchorSpacingChecker,
+    CheckerSink,
+    FragmentReassemblyChecker,
+    RadioExclusiveChecker,
+    SeqAckChecker,
+    SupervisionChecker,
+    check_records,
+    default_checkers,
+)
+from repro.trace.record import TraceRecord
+
+MS = 1_000_000
+
+
+def rec(t, layer, kind, **fields):
+    return TraceRecord(t, layer, kind, 0, tuple(fields.items()))
+
+
+class TestRadioExclusive:
+    def test_sequential_claims_pass(self):
+        checker = RadioExclusiveChecker()
+        checker.observe(rec(0, "ble", "radio_claim", node="a", start=0, end=10))
+        checker.observe(rec(10, "ble", "radio_claim", node="a", start=10, end=20))
+        assert checker.violations == []
+
+    def test_overlap_fails(self):
+        checker = RadioExclusiveChecker()
+        checker.observe(rec(0, "ble", "radio_claim", node="a", start=0, end=10))
+        checker.observe(rec(5, "ble", "radio_claim", node="a", start=5, end=15))
+        assert len(checker.violations) == 1
+        assert "overlaps" in checker.violations[0].message
+
+    def test_different_nodes_never_conflict(self):
+        checker = RadioExclusiveChecker()
+        checker.observe(rec(0, "ble", "radio_claim", node="a", start=0, end=10))
+        checker.observe(rec(0, "ble", "radio_claim", node="b", start=0, end=10))
+        assert checker.violations == []
+
+    def test_negative_claim_fails(self):
+        checker = RadioExclusiveChecker()
+        checker.observe(rec(0, "ble", "radio_claim", node="a", start=10, end=5))
+        assert any("negative" in v.message for v in checker.violations)
+
+
+def _event(t, conn, event, anchor, interval=75 * MS, widening=32000):
+    return rec(
+        t, "ble", "conn_event",
+        conn=conn, event=event, anchor=anchor, channel=0,
+        interval_ns=interval, widening=widening,
+        window_hit=True, coord_runs=True, sub_listens=True,
+    )
+
+
+class TestAnchorSpacing:
+    def test_exact_interval_passes(self):
+        checker = AnchorSpacingChecker()
+        checker.observe(_event(0, 0, 0, 0))
+        checker.observe(_event(75 * MS, 0, 1, 75 * MS))
+        assert checker.violations == []
+
+    def test_drift_within_widening_passes(self):
+        checker = AnchorSpacingChecker()
+        checker.observe(_event(0, 0, 0, 0))
+        checker.observe(_event(75 * MS, 0, 1, 75 * MS + 30_000))
+        assert checker.violations == []
+
+    def test_gross_misplacement_fails(self):
+        checker = AnchorSpacingChecker()
+        checker.observe(_event(0, 0, 0, 0))
+        checker.observe(_event(80 * MS, 0, 1, 80 * MS))  # 5 ms late
+        assert len(checker.violations) == 1
+        assert "anchor spacing" in checker.violations[0].message
+
+    def test_event_counter_jump_fails(self):
+        checker = AnchorSpacingChecker()
+        checker.observe(_event(0, 0, 0, 0))
+        checker.observe(_event(150 * MS, 0, 2, 150 * MS))
+        assert any("jumped" in v.message for v in checker.violations)
+
+    def test_interval_change_uses_current_records_interval(self):
+        """A param update changes the negotiated interval; the new record
+        carries it, so the checker follows without special-casing."""
+        checker = AnchorSpacingChecker()
+        checker.observe(_event(0, 0, 0, 0))
+        checker.observe(_event(100 * MS, 0, 1, 100 * MS, interval=100 * MS))
+        assert checker.violations == []
+
+    def test_close_resets_per_conn_state(self):
+        checker = AnchorSpacingChecker()
+        checker.observe(_event(0, 0, 7, 0))
+        checker.observe(rec(10 * MS, "ble", "conn_close", conn=0, reason="local"))
+        # a new connection reusing the normalized id restarts cleanly
+        checker.observe(_event(500 * MS, 0, 0, 500 * MS))
+        assert checker.violations == []
+
+
+def _open(t, conn):
+    return rec(
+        t, "ble", "conn_open",
+        conn=conn, coordinator="a", subordinate="b",
+        interval_ns=75 * MS, anchor0=t, timeout_ns=450 * MS,
+    )
+
+
+def _tx(t, conn, role, sn, nesn):
+    return rec(t, "ble", "ll_tx", conn=conn, role=role, sn=sn, nesn=nesn,
+               len=0, retx=False)
+
+
+def _rx(t, conn, role, sn, nesn, my_sn, my_nesn):
+    return rec(t, "ble", "ll_rx", conn=conn, role=role, sn=sn, nesn=nesn,
+               len=0, my_sn=my_sn, my_nesn=my_nesn)
+
+
+class TestSeqAck:
+    def test_clean_exchange_passes(self):
+        checker = SeqAckChecker()
+        checker.observe(_open(0, 0))
+        # event: coordinator sends SN0/NESN0, sub receives and replies
+        checker.observe(_tx(1, 0, "coordinator", 0, 0))
+        checker.observe(_rx(2, 0, "subordinate", 0, 0, 0, 0))
+        checker.observe(_tx(3, 0, "subordinate", 0, 1))
+        checker.observe(_rx(4, 0, "coordinator", 0, 1, 0, 0))
+        # next event: coordinator advanced SN (acked) and NESN (accepted)
+        checker.observe(_tx(5, 0, "coordinator", 1, 1))
+        assert checker.violations == []
+
+    def test_sn_skip_fails(self):
+        checker = SeqAckChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_tx(1, 0, "coordinator", 1, 0))  # SN jumped with no ack
+        assert len(checker.violations) == 1
+        assert "SN advanced without an ack" in checker.violations[0].message
+
+    def test_nesn_skip_fails(self):
+        checker = SeqAckChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_tx(1, 0, "coordinator", 0, 1))  # NESN moved, no PDU
+        assert any("NESN moved" in v.message for v in checker.violations)
+
+    def test_retransmission_keeps_sn(self):
+        """An unacked PDU is retransmitted with the same SN -- legal."""
+        checker = SeqAckChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_tx(1, 0, "coordinator", 0, 0))
+        checker.observe(_tx(2, 0, "coordinator", 0, 0))  # lost, resent
+        assert checker.violations == []
+
+    def test_receiver_divergence_fails(self):
+        checker = SeqAckChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_rx(1, 0, "subordinate", 0, 0, 1, 0))  # my_sn wrong
+        assert any("diverged" in v.message for v in checker.violations)
+
+    def test_close_clears_state(self):
+        checker = SeqAckChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_tx(1, 0, "coordinator", 0, 0))
+        checker.observe(rec(2, "ble", "conn_close", conn=0, reason="local"))
+        checker.observe(_open(3, 0))
+        checker.observe(_tx(4, 0, "coordinator", 0, 0))
+        assert checker.violations == []
+
+
+def _event_end(t, conn, now, timeout=450 * MS):
+    return rec(t, "ble", "conn_event_end", conn=conn, event=0, end=t,
+               now=now, timeout_ns=timeout)
+
+
+class TestSupervision:
+    def test_live_connection_passes(self):
+        checker = SupervisionChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_rx(75 * MS, 0, "coordinator", 0, 0, 0, 0))
+        checker.observe(_rx(75 * MS, 0, "subordinate", 0, 0, 0, 0))
+        checker.observe(_event_end(75 * MS, 0, now=75 * MS))
+        checker.observe(_event(150 * MS, 0, 1, 150 * MS))
+        assert checker.violations == []
+
+    def test_timeout_then_close_passes(self):
+        checker = SupervisionChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_event_end(460 * MS, 0, now=460 * MS))  # silent > 450ms
+        checker.observe(
+            rec(460 * MS, "ble", "conn_close", conn=0,
+                reason="supervision-timeout")
+        )
+        assert checker.violations == []
+
+    def test_timeout_without_close_fails(self):
+        checker = SupervisionChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_event_end(460 * MS, 0, now=460 * MS))
+        checker.observe(_event(535 * MS, 0, 1, 535 * MS))  # kept running!
+        assert len(checker.violations) == 1
+        assert "although the supervision timeout expired" in (
+            checker.violations[0].message
+        )
+
+    def test_close_without_silence_fails(self):
+        checker = SupervisionChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(_rx(75 * MS, 0, "coordinator", 0, 0, 0, 0))
+        checker.observe(_rx(75 * MS, 0, "subordinate", 0, 0, 0, 0))
+        checker.observe(
+            rec(80 * MS, "ble", "conn_close", conn=0,
+                reason="supervision-timeout")
+        )
+        assert len(checker.violations) == 1
+        assert "without a timeout-sized silence" in checker.violations[0].message
+
+    def test_local_close_is_never_checked(self):
+        checker = SupervisionChecker()
+        checker.observe(_open(0, 0))
+        checker.observe(rec(10 * MS, "ble", "conn_close", conn=0, reason="local"))
+        assert checker.violations == []
+
+
+class TestFragmentReassembly:
+    def test_matching_digest_passes(self):
+        checker = FragmentReassemblyChecker()
+        checker.observe(rec(0, "sixlo", "frag_tx", tag=1, size=200,
+                            n_frags=3, digest="aabbccdd"))
+        checker.observe(rec(5, "sixlo", "reassembled", sender=2, tag=1,
+                            size=200, digest="aabbccdd"))
+        assert checker.violations == []
+
+    def test_corrupted_reassembly_fails(self):
+        checker = FragmentReassemblyChecker()
+        checker.observe(rec(0, "sixlo", "frag_tx", tag=1, size=200,
+                            n_frags=3, digest="aabbccdd"))
+        checker.observe(rec(5, "sixlo", "reassembled", sender=2, tag=1,
+                            size=200, digest="00000000"))
+        assert len(checker.violations) == 1
+        assert "matches no fragmented original" in checker.violations[0].message
+
+    def test_unknown_tag_is_skipped(self):
+        checker = FragmentReassemblyChecker()
+        checker.observe(rec(5, "sixlo", "reassembled", sender=2, tag=99,
+                            size=200, digest="aabbccdd"))
+        assert checker.violations == []
+
+
+class TestCheckerSink:
+    def test_dispatch_routes_only_consumed_kinds(self):
+        sink = CheckerSink([RadioExclusiveChecker()])
+        sink.accept(rec(0, "ble", "radio_claim", node="a", start=0, end=10))
+        sink.accept(rec(1, "phy", "packet", channel=0, nbytes=10, lost=False))
+        assert sink.checkers[0].records_seen == 1
+
+    def test_violations_are_time_sorted_across_checkers(self):
+        sink = CheckerSink()
+        sink.accept(rec(10 * MS, "ble", "conn_close", conn=0,
+                        reason="supervision-timeout"))
+        sink.accept(rec(0, "ble", "radio_claim", node="a", start=10, end=5))
+        sink.finish()
+        times = [v.time_ns for v in sink.violations]
+        assert times == sorted(times)
+        assert len(times) == 2
+
+    def test_check_records_convenience(self):
+        records = [
+            rec(0, "ble", "radio_claim", node="a", start=0, end=10),
+            rec(5, "ble", "radio_claim", node="a", start=5, end=15),
+        ]
+        violations = check_records(records)
+        assert len(violations) == 1
+
+    def test_default_suite_is_complete(self):
+        names = {type(c).__name__ for c in default_checkers()}
+        assert names == {
+            "RadioExclusiveChecker",
+            "AnchorSpacingChecker",
+            "SeqAckChecker",
+            "SupervisionChecker",
+            "FragmentReassemblyChecker",
+        }

@@ -1,0 +1,109 @@
+"""Mutation smoke tests: prove the invariant checkers actually fire.
+
+A checker suite that never fires on a healthy simulator proves little by
+itself -- these tests break the stack on purpose (mis-schedule an anchor,
+corrupt the acknowledgement state, fake a supervision close) and assert
+the matching checker reports exactly that defect.
+"""
+
+import pytest
+
+from repro.ble.conn import DisconnectReason
+from repro.sim.units import MSEC, SEC
+from repro.testbed.topology import BleNetwork
+from repro.trace.invariants import CheckerSink
+from repro.trace.sinks import RingBufferSink
+from repro.trace.tracer import TRACE
+
+
+@pytest.fixture(autouse=True)
+def _clean_singleton():
+    TRACE.reset()
+    yield
+    TRACE.reset()
+
+
+def _traced_pair(seed=5):
+    """A 2-node network with the tracer armed (checkers + ring)."""
+    checkers = CheckerSink()
+    ring = RingBufferSink()
+    TRACE.configure(sinks=[ring, checkers])
+    net = BleNetwork(2, seed=seed, ppms=[0.0, 0.0])
+    TRACE.attach_sim(net.sim)
+    net.apply_edges([(0, 1)])
+    net.run(2 * SEC)
+    assert net.all_links_up()
+    conn = net.nodes[1].controller.connection_to(0)
+    assert conn is not None
+    return net, conn, checkers
+
+
+def _violations(checkers, name):
+    checkers.finish()
+    return [v for v in checkers.violations if v.checker == name]
+
+
+def test_healthy_run_is_silent():
+    net, conn, checkers = _traced_pair()
+    net.run(6 * SEC)
+    checkers.finish()
+    assert checkers.violations == []
+    assert TRACE.records_emitted > 0
+
+
+def test_misscheduled_anchor_trips_the_spacing_checker():
+    net, conn, checkers = _traced_pair()
+
+    def shift_anchor():
+        conn.anchor_true += 5 * MSEC  # well past widening + drift tolerance
+
+    net.sim.at(net.sim.now + SEC, shift_anchor)
+    net.run(net.sim.now + 3 * SEC)
+    found = _violations(checkers, "anchor-spacing")
+    assert found, "5 ms anchor shift went undetected"
+    assert "anchor spacing" in found[0].message
+
+
+def test_corrupted_sn_trips_the_seq_ack_checker():
+    net, conn, checkers = _traced_pair()
+
+    def corrupt_sn():
+        # flip the coordinator's SN outside any acknowledged handshake;
+        # only meaningful while no PDU is in flight (otherwise the flip
+        # mimics a legal ack-advance)
+        if conn.coord._outstanding is None:
+            conn.coord.sn ^= 1
+
+    net.sim.at(net.sim.now + SEC, corrupt_sn)
+    net.run(net.sim.now + 3 * SEC)
+    found = _violations(checkers, "seq-ack")
+    assert found, "SN corruption went undetected"
+
+
+def test_corrupted_nesn_trips_the_seq_ack_checker():
+    net, conn, checkers = _traced_pair()
+
+    def corrupt_nesn():
+        # an uncaused NESN toggle is illegal whatever is in flight: NESN
+        # may only move after accepting a new-SN PDU, which the checker
+        # sees (or doesn't) in the ll_rx stream
+        conn.sub.nesn ^= 1
+
+    net.sim.at(net.sim.now + SEC, corrupt_nesn)
+    net.run(net.sim.now + 3 * SEC)
+    assert _violations(checkers, "seq-ack"), "NESN corruption went undetected"
+
+
+def test_fake_supervision_close_trips_the_supervision_checker():
+    net, conn, checkers = _traced_pair()
+
+    def fake_timeout_close():
+        # the link is perfectly healthy: a supervision close here violates
+        # the "fires iff silent for the timeout window" contract
+        conn.close(DisconnectReason.SUPERVISION_TIMEOUT)
+
+    net.sim.at(net.sim.now + SEC, fake_timeout_close)
+    net.run(net.sim.now + 2 * SEC)
+    found = _violations(checkers, "supervision")
+    assert found, "fake supervision close went undetected"
+    assert "without a timeout-sized silence" in found[0].message
