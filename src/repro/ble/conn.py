@@ -32,6 +32,7 @@ from repro.ble.chanmap import ChannelMap
 from repro.ble.config import BleConfig, ConnParams, CsaVariant, SchedulerPolicy
 from repro.ble.csa import Csa1, Csa2, ChannelSelection
 from repro.ble.pdu import DataPdu, Llid
+from repro.obs.registry import METRICS
 from repro.phy.frames import T_IFS_NS, ble_air_time_ns
 from repro.sim.kernel import Simulator, Timer
 from repro.trace.tracer import TRACE
@@ -177,6 +178,8 @@ class Endpoint:
                 pdu = DataPdu(payload=b"", llid=Llid.DATA_CONT)
             pdu.sn = self.sn
             self._outstanding = pdu
+        elif pdu.payload and METRICS.enabled:
+            METRICS.inc(self.controller.name, "ble.retransmissions")
         pdu.nesn = self.nesn
         pdu.md = len(self.tx_queue) > (1 if pdu.payload else 0)
         if pdu.payload:
@@ -389,6 +392,9 @@ class Connection:
                 None, "ble", "conn_close",
                 conn=self.conn_id, reason=reason.value,
             )
+        if METRICS.enabled and reason is DisconnectReason.SUPERVISION_TIMEOUT:
+            METRICS.inc(self.coord.controller.name, "ble.supervision_resets")
+            METRICS.inc(self.sub.controller.name, "ble.supervision_resets")
         if self._timer is not None:
             self._timer.cancel()
         self.coord.drain_queue()
@@ -559,20 +565,33 @@ class Connection:
         if not coord_free:
             self.coord.stats.events_skipped_radio += 1
             coord_ctrl.scheduler.deny(self._coord_activity)
+            if METRICS.enabled:
+                METRICS.inc(coord_ctrl.name, "ble.conn_events_skipped_radio")
         elif coord_yield:
             self.coord.stats.events_skipped_policy += 1
             coord_ctrl.scheduler.deny(self._coord_activity)
+            if METRICS.enabled:
+                METRICS.inc(coord_ctrl.name, "ble.conn_events_skipped_policy")
         if not sub_free:
             self.sub.stats.events_skipped_radio += 1
             sub_ctrl.scheduler.deny(self._sub_activity)
+            if METRICS.enabled:
+                METRICS.inc(sub_ctrl.name, "ble.conn_events_skipped_radio")
         elif sub_yield:
             self.sub.stats.events_skipped_policy += 1
             sub_ctrl.scheduler.deny(self._sub_activity)
+            if METRICS.enabled:
+                METRICS.inc(sub_ctrl.name, "ble.conn_events_skipped_policy")
         elif not window_hit:
             self.sub.stats.events_missed_window += 1
+            if METRICS.enabled:
+                METRICS.inc(sub_ctrl.name, "ble.conn_events_missed_window")
 
         event_end = t0
         if coord_runs and sub_listens:
+            if METRICS.enabled:
+                METRICS.inc(coord_ctrl.name, "ble.conn_events_served")
+                METRICS.inc(sub_ctrl.name, "ble.conn_events_served")
             end = self._exchange_loop(t0, channel, interval_true)
             coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
             sub_ctrl.scheduler.claim(self._sub_activity, t0, end)
@@ -588,6 +607,11 @@ class Connection:
             dur = ble_air_time_ns(len(pdu.payload), self.phy)
             if not pdu.is_empty:
                 self.coord.stats.per_channel[channel][0] += 1
+                if METRICS.enabled:
+                    METRICS.inc_vec(
+                        coord_ctrl.name, "ble.pdus_by_channel", channel,
+                        label_key="channel",
+                    )
             end = t0 + dur + T_IFS_NS + ble_air_time_ns(0, self.phy)
             coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
             coord_ctrl.note_conn_event(Role.COORDINATOR, end - t0)
@@ -677,6 +701,11 @@ class Connection:
                 coord._trace_tx(pdu_c, t, retx_c)
             if not pdu_c.is_empty:
                 coord.stats.per_channel[channel][0] += 1
+                if METRICS.enabled:
+                    METRICS.inc_vec(
+                        coord.controller.name, "ble.pdus_by_channel", channel,
+                        label_key="channel",
+                    )
             dur_c = ble_air_time_ns(len(pdu_c.payload), self.phy)
             lost_c = medium.packet_lost(channel, len(pdu_c.payload) + 10)
             t += dur_c
@@ -688,6 +717,10 @@ class Connection:
                         channel=channel, len=len(pdu_c.payload),
                     )
                 coord.stats.events_crc_abort += 1
+                if METRICS.enabled:
+                    METRICS.inc(
+                        coord.controller.name, "ble.conn_events_crc_abort"
+                    )
                 if coord.controller.config.abort_event_on_crc_error:
                     break
                 # ablation: keep the event open and retry after one IFS
@@ -707,6 +740,11 @@ class Connection:
                 sub._trace_tx(pdu_s, t, retx_s)
             if not pdu_s.is_empty:
                 sub.stats.per_channel[channel][0] += 1
+                if METRICS.enabled:
+                    METRICS.inc_vec(
+                        sub.controller.name, "ble.pdus_by_channel", channel,
+                        label_key="channel",
+                    )
             dur_s = ble_air_time_ns(len(pdu_s.payload), self.phy)
             lost_s = medium.packet_lost(channel, len(pdu_s.payload) + 10)
             t += dur_s
@@ -718,6 +756,10 @@ class Connection:
                         channel=channel, len=len(pdu_s.payload),
                     )
                 sub.stats.events_crc_abort += 1
+                if METRICS.enabled:
+                    METRICS.inc(
+                        sub.controller.name, "ble.conn_events_crc_abort"
+                    )
                 if coord.controller.config.abort_event_on_crc_error:
                     break
                 if t + T_IFS_NS + MIN_EXCHANGE_NS > budget_end:

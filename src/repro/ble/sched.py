@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Protocol, Tuple
 
+from repro.obs.registry import METRICS
 from repro.trace.tracer import TRACE
 
 
@@ -93,6 +94,9 @@ class RadioScheduler:
         self.busy_ns_total += end_ns - start_ns
         self.claims += 1
         owner.consec_skips = 0
+        if METRICS.enabled:
+            METRICS.inc(self.name, "radio.claims")
+            METRICS.inc(self.name, "radio.busy_ns", end_ns - start_ns)
 
     def deny(self, activity: RadioActivity) -> None:
         """Record that ``activity`` was denied the radio (skip streak +1)."""
@@ -100,6 +104,8 @@ class RadioScheduler:
         self.denials += 1
         if TRACE.enabled:
             TRACE.emit(None, "ble", "radio_deny", node=self.name)
+        if METRICS.enabled:
+            METRICS.inc(self.name, "radio.denials")
 
     def next_demand_after(
         self, after_ns: int, exclude: Optional[RadioActivity] = None

@@ -19,6 +19,7 @@ from repro.coap.message import (
     CoapMessage,
     CoapType,
 )
+from repro.obs.registry import METRICS, RTT_BUCKETS_S
 from repro.sim.kernel import Timer
 from repro.sim.units import SEC
 from repro.sixlowpan.ipv6 import Ipv6Address
@@ -126,6 +127,8 @@ class CoapEndpoint:
         if not self._transmit(message, dst):
             return False
         self.requests_sent += 1
+        if METRICS.enabled:
+            METRICS.inc(f"node{self.node.node_id}", "coap.requests")
         if TRACE.enabled:
             TRACE.emit(
                 self.node.sim.now, "coap", "request",
@@ -155,6 +158,8 @@ class CoapEndpoint:
         if pending.retransmits_left <= 0:
             del self._pending[key]
             self.timeouts += 1
+            if METRICS.enabled:
+                METRICS.inc(f"node{self.node.node_id}", "coap.timeouts")
             if TRACE.enabled:
                 TRACE.emit(
                     self.node.sim.now, "coap", "timeout",
@@ -165,6 +170,8 @@ class CoapEndpoint:
             return
         pending.retransmits_left -= 1
         self.retransmissions += 1
+        if METRICS.enabled:
+            METRICS.inc(f"node{self.node.node_id}", "coap.retransmissions")
         if TRACE.enabled:
             TRACE.emit(
                 self.node.sim.now, "coap", "retransmit",
@@ -228,6 +235,11 @@ class CoapEndpoint:
             pending.timer.cancel()
         self.responses_received += 1
         rtt_ns = self.node.sim.now - pending.sent_at
+        if METRICS.enabled:
+            METRICS.observe(
+                f"node{self.node.node_id}", "coap.rtt_seconds",
+                rtt_ns / SEC, RTT_BUCKETS_S,
+            )
         if TRACE.enabled:
             TRACE.emit(
                 self.node.sim.now, "coap", "response",

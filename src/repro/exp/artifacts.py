@@ -10,6 +10,8 @@ derived metrics/plots.  :func:`write_artifacts` mirrors that layout::
                            link-statistics samples)
       events.jsonl         the run's structured event log, verbatim
       summary.txt          derived tables + terminal plots
+      metrics.json         runtime metrics document (only when the run
+                           collected metrics; see :mod:`repro.obs`)
 """
 
 from __future__ import annotations
@@ -126,6 +128,18 @@ def write_artifacts(result: ExperimentResult, outdir: str) -> Path:
     out.mkdir(parents=True, exist_ok=True)
     (out / "experiment.yml").write_text(result.config.to_yaml())
     write_results_log(result, out / "results.jsonl")
-    (out / "events.jsonl").write_text(result.events.to_jsonl())
+    with (out / "events.jsonl").open("w") as fh:
+        result.events.write_jsonl(fh)
     (out / "summary.txt").write_text(render_summary(result))
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None:
+        from repro.obs.export import (
+            build_metrics_document,
+            dumps_metrics_document,
+        )
+
+        doc = build_metrics_document(
+            result.config.name, [metrics], seeds=[result.config.seed]
+        )
+        (out / "metrics.json").write_text(dumps_metrics_document(doc))
     return out

@@ -12,6 +12,7 @@ Usage::
     python -m repro run experiment.yml -o out/  # execute + write artifacts
     python -m repro run experiment.yml --set duration_s=120 --set seed=7
     python -m repro trace -o trace-out/         # traced run + invariant check
+    python -m repro metrics -o metrics-out/     # metered + profiled run
     python -m repro sweep experiment.yml \\
         --grid conn_interval=75,[65:85] --grid producer_interval_s=0.1,1.0 \\
         --seeds 5 --workers 4 --cache-dir .repro-cache -o out/
@@ -122,6 +123,34 @@ def main(argv: list[str] | None = None) -> int:
                      help="write Appendix-A artifacts here")
     run.add_argument("--set", dest="overrides", action="append", default=[],
                      metavar="KEY=VALUE", help="override a config field")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect runtime metrics; writes metrics.json "
+                          "with the artifacts")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run with the metrics registry + profiler, write metrics.json",
+    )
+    metrics.add_argument("description", nargs="?", default=None,
+                         help="experiment YAML (default: a short 3-hop line)")
+    metrics.add_argument("-o", "--outdir", default="metrics-out",
+                         help="metrics artifact directory "
+                              "(default: metrics-out)")
+    metrics.add_argument("--set", dest="overrides", action="append",
+                         default=[], metavar="KEY=VALUE",
+                         help="override a config field")
+    metrics.add_argument("--repetitions", type=int, default=1,
+                         help="derived-seed repetitions merged into the "
+                              "document (default 1)")
+    metrics.add_argument("-j", "--workers", type=int, default=1,
+                         help="worker processes for the repetitions "
+                              "(default 1; the document bytes are identical "
+                              "either way)")
+    metrics.add_argument("--cache-dir", default=None,
+                         help="result cache directory for the repetitions")
+    metrics.add_argument("--no-profile", action="store_true",
+                         help="skip the wall-clock profiler pass "
+                              "(no profile.json)")
 
     trace = sub.add_parser(
         "trace",
@@ -158,11 +187,46 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="KEY=VALUE", help="override a base config field")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-run progress lines")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="collect runtime metrics on every run; with "
+                            "-o, also writes a merged metrics.json")
 
     args = parser.parse_args(argv)
 
     if args.command == "describe":
         print(ExperimentConfig(name=args.name).to_yaml(), end="")
+        return 0
+
+    if args.command == "metrics":
+        from repro.exp.metricscmd import (
+            example_config,
+            render_metrics_summary,
+            run_metrics,
+        )
+
+        if args.description:
+            config = ExperimentConfig.from_yaml(
+                Path(args.description).read_text()
+            )
+        else:
+            config = example_config()
+        config = _apply_overrides(config, args.overrides)
+        if args.repetitions < 1:
+            raise SystemExit("--repetitions must be >= 1")
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        print(f"metering {config.name!r}: {config.topology} topology, "
+              f"{config.n_nodes} nodes, {config.duration_s:.0f}s, "
+              f"{args.repetitions} repetition(s) ...", file=sys.stderr)
+        report = run_metrics(
+            config,
+            args.outdir,
+            repetitions=args.repetitions,
+            max_workers=args.workers,
+            cache_dir=args.cache_dir,
+            profile=not args.no_profile,
+        )
+        print(render_metrics_summary(report), end="")
         return 0
 
     if args.command == "trace":
@@ -188,6 +252,11 @@ def main(argv: list[str] | None = None) -> int:
 
     config = ExperimentConfig.from_yaml(Path(args.description).read_text())
     config = _apply_overrides(config, args.overrides)
+
+    if getattr(args, "metrics", False):
+        from dataclasses import replace
+
+        config = replace(config, metrics=True)
 
     if args.command == "run":
         print(f"running {config.name!r}: {config.topology} topology, "
@@ -246,6 +315,27 @@ def main(argv: list[str] | None = None) -> int:
             f"(effective concurrency x{busy / wall:.2f})"
         )
     if args.outdir:
+        if args.metrics:
+            payloads = [
+                getattr(o.result, "metrics", None)
+                for o in result.outcomes
+                if o.ok
+            ]
+            payloads = [p for p in payloads if p is not None]
+            if payloads:
+                from repro.obs.export import (
+                    build_metrics_document,
+                    dumps_metrics_document,
+                )
+
+                doc = build_metrics_document(
+                    config.name,
+                    payloads,
+                    seeds=[o.config.seed for o in result.outcomes if o.ok],
+                )
+                merged = Path(args.outdir) / "metrics.json"
+                merged.write_text(dumps_metrics_document(doc))
+                print(f"merged metrics written to {merged}", file=sys.stderr)
         print(f"artifacts written to {args.outdir}/", file=sys.stderr)
     return 1 if result.total_failures else 0
 

@@ -22,7 +22,7 @@ import yaml
 #: previously produced results incomparable; part of every cache key, so
 #: stale on-disk results are invalidated wholesale instead of silently
 #: replayed (see :mod:`repro.exp.cache`).
-CONFIG_SCHEMA_VERSION = 2
+CONFIG_SCHEMA_VERSION = 3
 
 
 def canonical_value(value: Any) -> Any:
@@ -141,6 +141,11 @@ class ExperimentConfig:
     #: Comma-separated layer filter for the trace (``"ble,ip"``); empty
     #: means all layers.  Ignored unless ``trace`` is set.
     trace_layers: str = ""
+    #: Collect runtime metrics (see :mod:`repro.obs`): per-node counters,
+    #: gauges, and RTT histograms, snapshotted each ``sample_period_s`` and
+    #: attached to the result as a ``metrics`` payload.  Off by default for
+    #: the same reason as ``trace``.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.drift_ppms is not None:

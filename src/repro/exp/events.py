@@ -9,9 +9,10 @@ log tens of thousands of events and analysis code filters them per metric.
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, TextIO, Tuple
 
 
 @dataclass(frozen=True)
@@ -55,21 +56,38 @@ class EventLog:
         """All record kinds seen, in first-seen order."""
         return list(self._by_kind)
 
-    def to_jsonl(self) -> str:
-        """The log as JSON lines (one ``{"t", "kind", ...fields}`` each).
+    def write_jsonl(self, fh: TextIO) -> int:
+        """Stream the log as JSON lines into a writable text file object.
 
-        Bytes-valued fields are hex-encoded; everything else must already
-        be JSON-representable (the emitters only log scalars).
+        One ``{"t", "kind", ...fields}`` object per line; bytes-valued
+        fields are hex-encoded; everything else must already be
+        JSON-representable (the emitters only log scalars).  Writes line by
+        line, so exporting a multi-hour log never materializes the whole
+        text in memory.
+
+        :returns: the number of records written.
         """
-        lines = []
+        written = 0
         for record in self._records:
             obj: Dict[str, Any] = {"t": record.time_ns, "kind": record.kind}
             for key, value in record.fields:
                 if isinstance(value, (bytes, bytearray)):
                     value = bytes(value).hex()
                 obj[key] = value
-            lines.append(json.dumps(obj, separators=(",", ":")))
-        return "\n".join(lines) + ("\n" if lines else "")
+            fh.write(json.dumps(obj, separators=(",", ":")))
+            fh.write("\n")
+            written += 1
+        return written
+
+    def to_jsonl(self) -> str:
+        """The log as one JSON-lines string (see :meth:`write_jsonl`).
+
+        Thin wrapper for small logs and tests; prefer :meth:`write_jsonl`
+        with a real file when exporting long runs.
+        """
+        buffer = io.StringIO()
+        self.write_jsonl(buffer)
+        return buffer.getvalue()
 
     def __len__(self) -> int:
         return len(self._records)

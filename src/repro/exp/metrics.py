@@ -14,6 +14,16 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.sim.units import SEC
 
 
+class EmptySampleError(ValueError):
+    """Raised when a statistic is requested over zero samples.
+
+    A :class:`ValueError` subclass so existing ``except ValueError``
+    handlers keep working; summary-building paths catch this specifically
+    and degrade to NaN fields instead of crashing a whole sweep cell when
+    one run (e.g. a fully shaded cell) delivered no packets.
+    """
+
+
 def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
     """Empirical CDF: sorted values and cumulative probabilities."""
     ordered = sorted(samples)
@@ -24,7 +34,7 @@ def cdf(samples: Sequence[float]) -> Tuple[List[float], List[float]]:
 def percentile(samples: Sequence[float], q: float) -> float:
     """The q-quantile (0..1) by linear interpolation."""
     if not samples:
-        raise ValueError("no samples")
+        raise EmptySampleError("no samples")
     if not 0.0 <= q <= 1.0:
         raise ValueError("q must be within [0, 1]")
     ordered = sorted(samples)
@@ -40,7 +50,7 @@ def percentile(samples: Sequence[float], q: float) -> float:
 def mean(samples: Sequence[float]) -> float:
     """Arithmetic mean."""
     if not samples:
-        raise ValueError("no samples")
+        raise EmptySampleError("no samples")
     return sum(samples) / len(samples)
 
 
@@ -110,7 +120,19 @@ def per_channel_pdr(channel_counts: Sequence[Sequence[int]]) -> List[float]:
 
 
 def summarize_rtt(rtts_s: Sequence[float]) -> Dict[str, float]:
-    """The RTT summary row used by several benches."""
+    """The RTT summary row used by several benches.
+
+    All-NaN when there are no samples (a zero-packet run must not crash
+    the report of a whole sweep).
+    """
+    if not rtts_s:
+        return {
+            "mean": math.nan,
+            "p50": math.nan,
+            "p90": math.nan,
+            "p99": math.nan,
+            "max": math.nan,
+        }
     return {
         "mean": mean(rtts_s),
         "p50": percentile(rtts_s, 0.50),

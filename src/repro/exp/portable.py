@@ -192,6 +192,10 @@ class PortableResult(ResultMetricsMixin):
     #: TraceRecords are plain frozen dataclasses of scalars/strings/bytes,
     #: so they pickle across the worker pipe unchanged.
     trace_records: List[TraceRecord] = field(default_factory=list)
+    #: Runtime metrics payload (see :mod:`repro.obs`): plain dicts of
+    #: counters/histogram states, picklable and deterministic, so metric
+    #: snapshots merge identically whatever ``max_workers`` produced them.
+    metrics: Optional[dict] = None
 
     @classmethod
     def from_result(cls, result) -> "PortableResult":
@@ -207,6 +211,7 @@ class PortableResult(ResultMetricsMixin):
             link_channels=result.link_channels,
             node_currents_ua=result.fleet_current_ua(),
             trace_records=list(getattr(result, "trace_records", ())),
+            metrics=getattr(result, "metrics", None),
         )
 
     # -- energy metrics (precomputed in the worker) --------------------------

@@ -11,6 +11,7 @@ way because the simulator is deterministic per ``(config, seed)``.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import asdict, dataclass, field
 from typing import Callable, List, Optional
@@ -77,8 +78,14 @@ class RepeatedResult:
         return sum(r.num_connection_losses() for r in self.results)
 
     def rtt_percentile(self, q: float) -> float:
-        """A pooled RTT quantile across all repetitions (seconds)."""
+        """A pooled RTT quantile across all repetitions (seconds).
+
+        NaN when no repetition delivered a single packet (e.g. fully
+        shaded cells) -- aggregation must not crash a whole sweep.
+        """
         pooled = [rtt for r in self.results for rtt in r.rtts_s()]
+        if not pooled:
+            return math.nan
         return percentile(pooled, q)
 
 

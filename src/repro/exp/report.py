@@ -2,7 +2,22 @@
 
 from __future__ import annotations
 
+import re
 from typing import Any, List, Sequence
+
+#: Strings that read as numbers for alignment purposes (optionally signed
+#: decimal/scientific, optionally %-suffixed).
+_NUMERIC_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?%?$")
+#: Cells that neither prove nor disprove a column is numeric.
+_NEUTRAL = {"", "-", "nan"}
+
+
+def _is_numeric_cell(cell: Any) -> bool:
+    if isinstance(cell, bool):
+        return False
+    if isinstance(cell, (int, float)):
+        return True
+    return isinstance(cell, str) and bool(_NUMERIC_RE.match(cell.strip()))
 
 
 def format_table(
@@ -12,26 +27,46 @@ def format_table(
 ) -> str:
     """Render an aligned ASCII table.
 
-    Cells are stringified; floats get 4 significant digits unless they are
-    already strings.
+    Cells are stringified; floats get a fixed 4-decimal format unless they
+    are already strings.  A column whose cells are all numeric (ignoring
+    empty/``-``/``nan`` placeholders, with at least one actual number) is
+    right-aligned -- header included -- so columns of RTT/PDR values line
+    up by magnitude.
     """
 
     def fmt(cell: Any) -> str:
         if isinstance(cell, float):
-            return f"{cell:.4g}"
+            return f"{cell:.4f}"
         return str(cell)
+
+    numeric_col = [False] * len(headers)
+    for col in range(len(headers)):
+        cells = [row[col] for row in rows if col < len(row)]
+        judged = [
+            c for c in cells
+            if not (isinstance(c, str) and c.strip().lower() in _NEUTRAL)
+        ]
+        numeric_col[col] = bool(judged) and all(
+            _is_numeric_cell(c) for c in judged
+        )
 
     str_rows = [[fmt(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+
+    def align(text: str, col: int) -> str:
+        if numeric_col[col]:
+            return text.rjust(widths[col])
+        return text.ljust(widths[col])
+
     lines: List[str] = []
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(align(h, i) for i, h in enumerate(headers)))
     lines.append(sep)
     for row in str_rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(align(c, i) for i, c in enumerate(row)))
     return "\n".join(lines)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.ble.config import BleConfig, SchedulerPolicy
 from repro.ble.chanmap import ChannelMap
@@ -32,6 +32,8 @@ from repro.exp.portable import (
     PortableResult,
     ResultMetricsMixin,
 )
+from repro.obs.registry import METRICS
+from repro.obs.sampler import MetricsSnapshotter
 from repro.phy.medium import InterferenceModel
 from repro.sim.units import SEC, s_to_ns
 from repro.testbed.iotlab import JAMMED_CHANNEL
@@ -71,6 +73,9 @@ class ExperimentResult(ResultMetricsMixin):
     #: caller pre-configured :data:`repro.trace.TRACE` with its own sinks,
     #: in which case this stays empty and the sinks hold the trace).
     trace_records: List[TraceRecord] = field(default_factory=list)
+    #: Runtime metrics payload (``{"sim_time_ns", "scopes", "series"}``)
+    #: when the config asked for metrics collection; ``None`` otherwise.
+    metrics: Optional[dict] = None
 
     def to_portable(self) -> PortableResult:
         """Flatten into the picklable form (see :mod:`repro.exp.portable`)."""
@@ -268,11 +273,16 @@ class ExperimentRunner:
             layers = {s.strip() for s in cfg.trace_layers.split(",") if s.strip()}
             ring = RingBufferSink()
             TRACE.configure(sinks=[ring], layers=layers or None)
+        own_metrics = cfg.metrics and not METRICS.enabled
+        if own_metrics:
+            METRICS.configure()
         try:
             return self._run(ring)
         finally:
             if ring is not None:
                 TRACE.reset()
+            if own_metrics:
+                METRICS.reset()
 
     def _run(self, ring) -> ExperimentResult:
         cfg = self.config
@@ -320,10 +330,33 @@ class ExperimentRunner:
 
         link_series: Dict[Tuple[LinkKey, str], LinkSeries] = {}
         link_channels: Dict[Tuple[LinkKey, str], List[List[int]]] = {}
+        flush_sampler = None
         if is_ble:
-            self._start_sampler(net, link_series, link_channels)
+            flush_sampler = self._start_sampler(net, link_series, link_channels)
+
+        snapper = None
+        if METRICS.enabled:
+            snapper = MetricsSnapshotter(
+                net.sim,
+                METRICS,
+                s_to_ns(cfg.sample_period_s),
+                network=net if is_ble else None,
+            )
+            snapper.start()
 
         net.sim.run(until=s_to_ns(cfg.total_runtime_s))
+        if flush_sampler is not None:
+            # final partial window: the kernel stops *before* the horizon's
+            # events, so the last periodic sample never lands at the end
+            flush_sampler()
+        metrics_payload = None
+        if snapper is not None:
+            snapper.finish()
+            metrics_payload = {
+                "sim_time_ns": net.sim.now,
+                "scopes": METRICS.snapshot(),
+                "series": snapper.series(),
+            }
         return ExperimentResult(
             config=cfg,
             producers=producers,
@@ -333,6 +366,7 @@ class ExperimentRunner:
             link_channels=link_channels,
             network=net,
             trace_records=list(ring.records()) if ring is not None else [],
+            metrics=metrics_payload,
         )
 
     def _hook_losses(self, node, events: EventLog) -> None:
@@ -351,16 +385,25 @@ class ExperimentRunner:
 
         node.controller.conn_close_listeners.append(on_close)
 
-    def _start_sampler(self, net, link_series, link_channels) -> None:
+    def _start_sampler(self, net, link_series, link_channels):
+        """Schedule periodic link sampling; returns a final-flush closure.
+
+        The returned closure takes one extra sample at the current sim time
+        (the end of the run) unless the last periodic sample already landed
+        there -- without it the final partial window would be dropped,
+        because the kernel never dispatches events at the horizon itself.
+        """
         cfg = self.config
         period = s_to_ns(cfg.sample_period_s)
         # per-(conn-generation, direction) last-seen snapshots
         last_seen: Dict[Tuple[int, str], Tuple[int, ...]] = {}
         last_channels: Dict[Tuple[int, str], List[Tuple[int, int]]] = {}
         totals: Dict[Tuple[LinkKey, str], List[int]] = {}
+        last_sample_ns = [-1]
 
-        def sample() -> None:
+        def collect() -> None:
             now_s = net.sim.now / SEC
+            last_sample_ns[0] = net.sim.now
             for node in net.nodes:
                 for conn in node.controller.connections:
                     if conn.coord.controller is not node.controller:
@@ -396,9 +439,17 @@ class ExperimentRunner:
                         for ch in range(37):
                             chan_total[ch][0] += chan_now[ch][0] - chan_prev[ch][0]
                             chan_total[ch][1] += chan_now[ch][1] - chan_prev[ch][1]
+
+        def sample() -> None:
+            collect()
             net.sim.after(period, sample)
 
+        def flush() -> None:
+            if last_sample_ns[0] != net.sim.now:
+                collect()
+
         net.sim.after(period, sample)
+        return flush
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:

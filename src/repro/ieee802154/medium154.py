@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.registry import METRICS
 from repro.phy.medium import InterferenceModel
 from repro.sim.kernel import Simulator
 
@@ -87,15 +88,22 @@ class CsmaMedium:
             on_delivered=on_delivered,
         )
         self.frames_sent += 1
+        if METRICS.enabled:
+            METRICS.inc("phy", "phy.frames_sent")
+            METRICS.inc("phy", "phy.airtime_ns", duration_ns)
         # collision: any concurrent same-channel transmission corrupts both
         for other in self._active:
             if other.channel == channel and other.end_ns > now:
                 if not other.corrupted:
                     other.corrupted = True
                     self.collisions += 1
+                    if METRICS.enabled:
+                        METRICS.inc("phy", "phy.collisions")
                 if not frame.corrupted:
                     frame.corrupted = True
                     self.collisions += 1
+                    if METRICS.enabled:
+                        METRICS.inc("phy", "phy.collisions")
         self._active.append(frame)
         self.sim.at(frame.end_ns, self._finish, frame)
 

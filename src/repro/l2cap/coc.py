@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.ble.conn import Connection, Endpoint
 from repro.ble.pdu import DataPdu, Llid
+from repro.obs.registry import METRICS
 from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -156,6 +157,10 @@ class _CocEnd:
             )
             if not ok:
                 self._stalled_on_pool = True
+                if METRICS.enabled:
+                    METRICS.inc(
+                        self.ll_end.controller.name, "l2cap.pool_stalls"
+                    )
                 return
             self._stalled_on_pool = False
             self.credits -= 1
@@ -171,6 +176,15 @@ class _CocEnd:
                     frame_len=len(frame), credits_left=self.credits,
                     last=is_last,
                 )
+        if (
+            METRICS.enabled
+            and self.credits == 0
+            and self.tx_sdus
+            and not self.tx_sdus[0].complete
+        ):
+            # the head SDU still has frames to push but the peer owes us
+            # credits: the back-pressure situation of §5.2
+            METRICS.inc(self.ll_end.controller.name, "l2cap.credit_stalls")
 
     def _build_kframe(self, rec: _SduRecord) -> tuple[bytes, bool]:
         """Produce the next K-frame of ``rec`` (without sending it)."""

@@ -12,6 +12,7 @@ from typing import Callable, List
 
 from repro.net.fib import ForwardingTable
 from repro.net.nib import NeighborCache
+from repro.obs.registry import METRICS
 from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet
 from repro.trace.tracer import TRACE
 
@@ -81,6 +82,8 @@ class Ipv6Stack:
     def send(self, packet: Ipv6Packet) -> bool:
         """Originate a packet from this node."""
         self.originated += 1
+        if METRICS.enabled:
+            METRICS.inc(f"node{self.node_id}", "ip.originated")
         if TRACE.enabled:
             TRACE.emit(
                 None, "ip", "originate",
@@ -108,16 +111,13 @@ class Ipv6Stack:
         # forward (every node is a 6LoWPAN router, §4.2)
         if packet.hop_limit <= 1:
             self.drops_hop_limit += 1
-            if TRACE.enabled:
-                TRACE.emit(
-                    None, "ip", "drop",
-                    node=self.node_id, cause="hop-limit",
-                    dst=_addr_ref(packet.dst),
-                )
+            self._drop(packet, "hop-limit")
             return
         packet.hop_limit -= 1
         if self._route(packet):
             self.forwarded += 1
+            if METRICS.enabled:
+                METRICS.inc(f"node{self.node_id}", "ip.forwarded")
             if TRACE.enabled:
                 TRACE.emit(
                     None, "ip", "forward",
@@ -129,14 +129,11 @@ class Ipv6Stack:
         handler = self._proto_handlers.get(packet.next_header)
         if handler is None:
             self.drops_no_handler += 1
-            if TRACE.enabled:
-                TRACE.emit(
-                    None, "ip", "drop",
-                    node=self.node_id, cause="no-handler",
-                    dst=_addr_ref(packet.dst),
-                )
+            self._drop(packet, "no-handler")
             return
         self.delivered += 1
+        if METRICS.enabled:
+            METRICS.inc(f"node{self.node_id}", "ip.delivered")
         if TRACE.enabled:
             TRACE.emit(
                 None, "ip", "deliver",
@@ -145,6 +142,11 @@ class Ipv6Stack:
         handler(packet)
 
     def _drop(self, packet: Ipv6Packet, cause: str) -> None:
+        """Account one dropped packet; every drop cause routes through here."""
+        if METRICS.enabled:
+            METRICS.inc_vec(
+                f"node{self.node_id}", "ip.drops", cause, label_key="cause"
+            )
         if TRACE.enabled:
             TRACE.emit(
                 None, "ip", "drop",

@@ -1,0 +1,111 @@
+"""The committed perf baseline: ``python -m repro.obs.bench``.
+
+Runs one representative scenario per topology class under the wall-clock
+profiler and writes ``BENCH_metrics.json`` -- the events-per-second and
+wall-time baseline the PR checks future regressions against.  The numbers
+are machine-dependent by nature, so the file records the *shape* of the
+simulator's performance (relative subsystem shares, sim-seconds per wall
+second per scenario class), not a CI-enforced threshold; the CI metrics
+job republishes the current events/sec figure warn-only instead.
+
+Scenarios (all BLE, static 75 ms interval, 1 s producers):
+
+* ``line``: 4 nodes end-to-end -- the multi-hop forwarding path.
+* ``tree``: the paper's 15-node Figure-6 tree -- the fan-in workload.
+* ``mesh``: 8 nodes, self-forming ``dynamic`` topology -- dynconn + RPL
+  control traffic on top of data, with the long warmup the DODAG needs.
+
+No timestamps are recorded: reruns on the same machine and commit should
+produce comparable documents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_experiment
+from repro.obs.profiler import PROFILER
+from repro.sim.units import s_to_ns
+
+#: Schema tag of the baseline document.
+BENCH_SCHEMA = "repro.obs.bench/1"
+
+
+def bench_configs() -> Dict[str, ExperimentConfig]:
+    """One config per topology class, keyed by class name."""
+    return {
+        "line": ExperimentConfig(
+            name="bench-line",
+            topology="line",
+            n_nodes=4,
+            duration_s=30.0,
+            warmup_s=3.0,
+            drain_s=2.0,
+            seed=7,
+        ),
+        "tree": ExperimentConfig(
+            name="bench-tree",
+            topology="tree",
+            n_nodes=15,
+            duration_s=20.0,
+            warmup_s=5.0,
+            drain_s=2.0,
+            seed=7,
+        ),
+        "mesh": ExperimentConfig(
+            name="bench-mesh",
+            topology="dynamic",
+            n_nodes=8,
+            duration_s=20.0,
+            warmup_s=30.0,
+            drain_s=2.0,
+            seed=7,
+        ),
+    }
+
+
+def run_bench() -> dict:
+    """Profile every scenario class; return the baseline document."""
+    scenarios = {}
+    for label, config in bench_configs().items():
+        PROFILER.configure()
+        try:
+            run_experiment(config)
+        finally:
+            profile = PROFILER.report(
+                sim_time_ns=s_to_ns(config.total_runtime_s)
+            )
+            PROFILER.reset()
+        scenarios[label] = {
+            "topology": config.topology,
+            "n_nodes": config.n_nodes,
+            "sim_time_s": config.total_runtime_s,
+            "events": profile["events"],
+            "wall_s": round(profile["wall_s"], 4),
+            "events_per_wall_s": round(profile["events_per_wall_s"], 1),
+            "sim_s_per_wall_s": round(profile["sim_s_per_wall_s"], 1),
+        }
+    return {"schema": BENCH_SCHEMA, "scenarios": scenarios}
+
+
+def main() -> int:
+    """Run the bench and (re)write ``BENCH_metrics.json`` in the CWD."""
+    doc = run_bench()
+    path = Path("BENCH_metrics.json")
+    path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+    for label, row in doc["scenarios"].items():
+        print(
+            f"{label:5s} {row['n_nodes']:3d} nodes "
+            f"{row['events']:8d} events {row['wall_s']:8.3f}s wall "
+            f"{row['events_per_wall_s']:10.1f} events/sec "
+            f"x{row['sim_s_per_wall_s']:.0f} real time"
+        )
+    print(f"baseline written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

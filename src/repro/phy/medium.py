@@ -22,6 +22,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.registry import METRICS
+from repro.phy.frames import ble_air_time_ns
 from repro.sim.kernel import Simulator
 from repro.trace.tracer import TRACE
 
@@ -128,6 +130,11 @@ class BleMedium:
                 self.sim.now, "phy", "packet",
                 channel=channel, nbytes=nbytes, lost=lost,
             )
+        if METRICS.enabled:
+            METRICS.inc("phy", "phy.packets_sampled")
+            METRICS.inc("phy", "phy.airtime_ns", ble_air_time_ns(nbytes))
+            if lost:
+                METRICS.inc("phy", "phy.ber_drops")
         return lost
 
     def usable_channels(self, channels: Iterable[int]) -> List[int]:

@@ -11,8 +11,11 @@ node-local (drifting) views of time are layered on top by
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Optional
 
+from repro.obs.profiler import PROFILER
+from repro.obs.registry import METRICS
 from repro.trace.record import callback_name
 from repro.trace.tracer import TRACE
 
@@ -130,8 +133,15 @@ class Simulator:
                         timer_seq=timer.seq,
                         callback=callback_name(timer.callback),
                     )
-                timer.callback(*timer.args)
+                if PROFILER.enabled:
+                    t0 = perf_counter()
+                    timer.callback(*timer.args)
+                    PROFILER.record(timer.callback, perf_counter() - t0)
+                else:
+                    timer.callback(*timer.args)
                 executed += 1
+                if METRICS.enabled:
+                    METRICS.inc("sim", "kernel.events_dispatched")
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
@@ -149,3 +159,12 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue (O(n))."""
         return sum(1 for t in self._queue if not t.cancelled)
+
+    def queue_depth(self) -> int:
+        """Heap size including lazily-deleted timers (O(1)).
+
+        The cheap sibling of :meth:`pending`, suitable for periodic
+        sampling: it counts cancelled-but-not-yet-popped timers too, so it
+        bounds :meth:`pending` from above and tracks memory pressure.
+        """
+        return len(self._queue)

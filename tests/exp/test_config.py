@@ -80,7 +80,7 @@ class TestCanonicalSerialization:
     #: serialization regressed (fix it): every on-disk cache is invalidated
     #: either way, which must be a deliberate decision.
     GOLDEN_DEFAULT_HASH = (
-        "6b31c6b38e3ba394d62577f2e5ced28b65c620097bc356b95de2dd9c832eeacf"
+        "fb124ac6043def483205255e1a33848b3a8b8183a6dabe0fe21fd1a59804a2f1"
     )
 
     def test_default_config_hash_is_golden_constant(self):

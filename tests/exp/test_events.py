@@ -72,6 +72,34 @@ class TestJsonl:
     def test_empty_log_serializes_to_empty_string(self):
         assert EventLog().to_jsonl() == ""
 
+    def test_write_jsonl_streams_identical_bytes(self, tmp_path):
+        log = _sample_log()
+        path = tmp_path / "events.jsonl"
+        with path.open("w") as fh:
+            written = log.write_jsonl(fh)
+        assert written == 4
+        assert path.read_text() == log.to_jsonl()
+
+    def test_write_jsonl_empty_log_writes_nothing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with path.open("w") as fh:
+            assert EventLog().write_jsonl(fh) == 0
+        assert path.read_text() == ""
+
+    def test_write_jsonl_accepts_any_text_sink(self):
+        import io
+
+        chunks = []
+
+        class Sink(io.TextIOBase):
+            def write(self, text):
+                chunks.append(text)
+                return len(text)
+
+        log = _sample_log()
+        log.write_jsonl(Sink())
+        assert "".join(chunks) == log.to_jsonl()
+
 
 class TestPickle:
     def test_round_trip_preserves_records_and_index(self):

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.exp.metrics import (
+    EmptySampleError,
     binned_pdr,
     cdf,
     mean,
@@ -94,3 +95,34 @@ def test_mean_and_summary():
     assert summary["p50"] == pytest.approx(0.1)
     assert summary["max"] == 1.0
     assert summary["p99"] < 1.0
+
+
+class TestEmptySamples:
+    """Zero-packet runs degrade to NaN instead of crashing summaries."""
+
+    def test_empty_sample_error_is_a_value_error(self):
+        assert issubclass(EmptySampleError, ValueError)
+        with pytest.raises(EmptySampleError):
+            percentile([], 0.5)
+        with pytest.raises(EmptySampleError):
+            mean([])
+
+    def test_bad_q_is_not_an_empty_sample_error(self):
+        try:
+            percentile([1.0], 2.0)
+        except EmptySampleError:  # pragma: no cover - would be a bug
+            pytest.fail("q validation must not raise EmptySampleError")
+        except ValueError:
+            pass
+
+    def test_summarize_rtt_degrades_to_nan(self):
+        summary = summarize_rtt([])
+        assert set(summary) == {"mean", "p50", "p90", "p99", "max"}
+        assert all(math.isnan(v) for v in summary.values())
+
+    def test_repeated_result_pooled_percentile_degrades_to_nan(self):
+        from repro.exp.config import ExperimentConfig
+        from repro.exp.repeat import RepeatedResult
+
+        empty = RepeatedResult(config=ExperimentConfig())
+        assert math.isnan(empty.rtt_percentile(0.5))

@@ -11,7 +11,43 @@ class TestTable:
     def test_alignment(self):
         out = format_table(["name", "value"], [["x", 1.23456], ["longer", 2]])
         lines = out.splitlines()
-        assert lines[0].index("value") == lines[2].index("1.235")
+        # the name column is text -> left-aligned; the value column is
+        # numeric -> right-aligned, so both cells end at the same offset
+        assert lines[0].index("name") == lines[2].index("x")
+        assert lines[2].rstrip().endswith("1.2346")
+        assert lines[3].rstrip().endswith("     2")
+        assert len(lines[2]) == len(lines[3])
+
+    def test_numeric_column_right_aligns_header(self):
+        out = format_table(["metric", "ms"], [["rtt", 1000.0], ["jit", 5.0]])
+        lines = out.splitlines()
+        assert lines[0].rstrip().endswith("       ms")
+        assert lines[2].rstrip().endswith("1000.0000")
+        assert lines[3].rstrip().endswith("   5.0000")
+
+    def test_mixed_column_stays_left_aligned(self):
+        out = format_table(["v"], [["5"], ["n/a"]])
+        assert "n/a" in out
+        lines = out.splitlines()
+        assert lines[2].startswith("5")
+
+    def test_placeholders_do_not_break_numeric_detection(self):
+        out = format_table(["v"], [["5"], ["-"], ["nan"], [""]])
+        lines = out.splitlines()
+        # "-"/"nan"/"" are neutral; the column is judged numeric and
+        # everything right-aligns
+        assert lines[2].rstrip().endswith("  5")
+        assert lines[3].rstrip().endswith("  -")
+
+    def test_all_placeholder_column_is_not_numeric(self):
+        out = format_table(["v"], [["-"], ["-"]])
+        assert out.splitlines()[2].startswith("-")
+
+    def test_percent_and_scientific_cells_count_as_numeric(self):
+        out = format_table(["p"], [["12.5%"], ["1e-3"], ["+4"]])
+        lines = out.splitlines()
+        assert lines[2].rstrip().endswith("12.5%")
+        assert lines[3].rstrip().endswith(" 1e-3")
 
     def test_title(self):
         out = format_table(["a"], [[1]], title="Table 1")
@@ -20,6 +56,11 @@ class TestTable:
     def test_float_formatting(self):
         out = format_table(["v"], [[0.999499]])
         assert "0.9995" in out
+
+    def test_bool_cells_are_not_numeric(self):
+        out = format_table(["flag"], [[True], [False]])
+        lines = out.splitlines()
+        assert lines[2].startswith("True")
 
 
 class TestPlots:
@@ -42,6 +83,33 @@ class TestPlots:
         out = render_series({"pdr": ([0, 10, 20], [1.0, 0.5, 0.75])})
         assert "1.00|" in out
         assert "0.00|" in out
+
+    def test_series_empty(self):
+        assert render_series({}) == "(no data)"
+
+    def test_series_legend_and_axis(self):
+        out = render_series(
+            {"pdr": ([0, 30], [1.0, 0.9])}, x_label="t [min]"
+        )
+        assert "a = pdr" in out
+        assert "t [min]" in out
+        assert "30" in out.splitlines()[-2]  # x-axis max
+
+    def test_series_clamps_out_of_range_values(self):
+        # values outside [y_lo, y_hi] must land on the border rows,
+        # not crash or index off the grid
+        out = render_series({"v": ([0, 1], [-2.0, 5.0])})
+        assert "a" in out
+
+    def test_cdf_marker_on_top_row_at_full_probability(self):
+        out = render_cdf({"x": ([1.0], [1.0])})
+        assert out.splitlines()[0].count("a") == 1
+
+    def test_heat_rows_shade_ordering(self):
+        out = render_heat_rows({"n": [0.0, 1.0]})
+        row = out.splitlines()[0]
+        cells = row.split("|")[1]
+        assert cells[0] == " " and cells[1] == "@"
 
     def test_heat_rows_with_nan(self):
         out = render_heat_rows({"node 1": [0.0, 0.5, 1.0, math.nan]})

@@ -102,6 +102,7 @@ class TestKeyInvalidation:
             "abort_event_on_crc_error": False,
             "trace": True,
             "trace_layers": "ble,ip",
+            "metrics": True,
         }
         fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
         assert fields == set(replacements), (

@@ -165,6 +165,46 @@ class TestDynamicTopology:
             ExperimentConfig(topology="dynamic", link_layer="802154")
 
 
+class TestSamplerCadence:
+    """The link sampler fires every ``sample_period_s`` and the final
+    partial window is flushed at the horizon instead of being dropped."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            ExperimentConfig(
+                name="cad", topology="line", n_nodes=2, seed=5,
+                duration_s=20.0, warmup_s=3.0, drain_s=2.0,
+                sample_period_s=10.0,
+            )
+        )
+
+    def test_samples_at_period_multiples_plus_horizon(self, result):
+        for series in result.link_series.values():
+            # total runtime 25 s: periodic samples at 10 and 20, plus the
+            # closing flush at 25 covering the final partial window
+            assert series.times_s == [10.0, 20.0, 25.0]
+
+    def test_final_window_carries_traffic(self, result):
+        up = result.upstream_series(1)
+        # producers run from t=3 to t=23: the 20..25 s window must have
+        # seen attempts, which the pre-flush sampler used to drop
+        assert up.tx_attempts[-1] > up.tx_attempts[-2]
+
+    def test_no_flush_duplicate_when_horizon_is_a_multiple(self):
+        result = run_experiment(
+            ExperimentConfig(
+                name="cad2", topology="line", n_nodes=2, seed=5,
+                duration_s=16.0, warmup_s=3.0, drain_s=1.0,
+                sample_period_s=10.0,
+            )
+        )
+        for series in result.link_series.values():
+            # runtime 20 s: the t=20 periodic tick never runs (the kernel
+            # stops before the horizon), so the flush provides it -- once
+            assert series.times_s == [10.0, 20.0]
+
+
 class TestLinkSeries:
     def test_binned_pdr_deltas(self):
         from repro.exp.runner import LinkSeries

@@ -1,0 +1,105 @@
+"""Tests for the sim-time metrics snapshotter (cadence + series shape)."""
+
+from repro.obs.registry import MetricsHub
+from repro.obs.sampler import MetricsSnapshotter
+from repro.sim import Simulator
+from repro.sim.units import SEC
+
+import pytest
+
+
+def _ticking_hub(sim):
+    """A hub plus a 1 Hz counter-bumping workload on the sim clock."""
+    hub = MetricsHub()
+    hub.configure()
+
+    def work():
+        hub.inc("node1", "work.ticks")
+        sim.after(1 * SEC, work)
+
+    sim.after(1 * SEC, work)
+    return hub
+
+
+class TestCadence:
+    def test_samples_every_period_plus_final_partial_window(self):
+        sim = Simulator()
+        hub = _ticking_hub(sim)
+        snapper = MetricsSnapshotter(sim, hub, 10 * SEC)
+        snapper.start()
+        sim.run(until=25 * SEC)
+        snapper.finish()
+        assert snapper.times_ns == [10 * SEC, 20 * SEC, 25 * SEC]
+        series = snapper.series()
+        # the snapshotter's timer predates the t=10/t=20 work timers, so
+        # same-timestamp ties dispatch it first: it sees 9 and 19 ticks;
+        # the closing sample at t=25 sees all 24 (the kernel never runs
+        # the t=25 event itself)
+        assert series["values"]["node1:work.ticks"] == [9, 19, 24]
+
+    def test_finish_is_idempotent_at_a_period_boundary(self):
+        sim = Simulator()
+        hub = _ticking_hub(sim)
+        snapper = MetricsSnapshotter(sim, hub, 10 * SEC)
+        snapper.start()
+        sim.run(until=20 * SEC)
+        # the horizon tick itself never ran (the kernel stops before the
+        # horizon), so finish() takes exactly one closing sample...
+        snapper.finish()
+        assert snapper.times_ns == [10 * SEC, 20 * SEC]
+        # ...and a second finish() adds nothing
+        snapper.finish()
+        assert len(snapper.times_ns) == 2
+
+    def test_no_ticks_yields_no_series_until_finish(self):
+        sim = Simulator()
+        hub = MetricsHub()
+        hub.configure()
+        snapper = MetricsSnapshotter(sim, hub, 10 * SEC)
+        assert snapper.series() is None
+        snapper.finish()
+        assert snapper.series()["times_ns"] == [0]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshotter(Simulator(), MetricsHub(), 0)
+
+
+class TestColumns:
+    def test_late_instruments_get_zero_prefix(self):
+        sim = Simulator()
+        hub = MetricsHub()
+        hub.configure()
+        hub.inc("n", "early")
+        sim.at(int(10.5 * SEC), lambda: hub.inc("n", "late"))
+        snapper = MetricsSnapshotter(sim, hub, 10 * SEC)
+        snapper.start()
+        sim.run(until=30 * SEC)
+        snapper.finish()
+        series = snapper.series()
+        # periodic samples at 10 and 20, closing sample at 30
+        assert series["times_ns"] == [10 * SEC, 20 * SEC, 30 * SEC]
+        assert series["values"]["n:early"] == [1, 1, 1]
+        assert series["values"]["n:late"] == [0, 1, 1]
+
+    def test_queue_depth_gauge_sampled(self):
+        sim = Simulator()
+        hub = MetricsHub()
+        hub.configure()
+        snapper = MetricsSnapshotter(sim, hub, 10 * SEC)
+        snapper.start()
+        sim.run(until=15 * SEC)
+        snapper.finish()
+        series = snapper.series()
+        assert "sim:kernel.timer_queue_depth" in series["values"]
+
+    def test_gauges_only_appear_after_first_set(self):
+        sim = Simulator()
+        hub = MetricsHub()
+        hub.configure()
+        hub.scope("n").gauge("unset")  # created but never set
+        snapper = MetricsSnapshotter(sim, hub, 10 * SEC)
+        snapper.start()
+        sim.run(until=15 * SEC)
+        snapper.finish()
+        assert "n:unset" not in snapper.series()["values"]
