@@ -34,6 +34,14 @@ if TYPE_CHECKING:  # pragma: no cover
 TRANSMIT_WINDOW_DELAY_NS: int = 1_250_000
 #: CONNECT_IND payload length (LLData): 22 bytes + 12 header/addresses.
 CONNECT_IND_PAYLOAD: int = 34
+#: Upper bound of the pseudo-random per-event advDelay (BT 5.2 Vol 6
+#: Part B §4.4.2.2.1: 0..10 ms).
+ADV_DELAY_MAX_NS: int = 10 * MSEC
+#: The BLE time-slot quantum the transmit-window offset is counted in.
+TIME_SLOT_NS: int = 625 * USEC
+#: Cap on the randomized first-anchor offset: one connection interval, but
+#: never more than the spec's 10 ms transmit-window span.
+WIN_OFFSET_CAP_NS: int = 10 * MSEC
 
 
 class Advertiser:
@@ -118,7 +126,7 @@ class Advertiser:
             self.controller.scheduler.deny(self)
         if connected or not self.active:
             return
-        adv_delay = self.rng.randrange(0, 10 * MSEC)
+        adv_delay = self.rng.randrange(0, ADV_DELAY_MAX_NS)
         self._schedule(now + self.controller.config.adv_interval_ns + adv_delay)
 
     def _offer_to_scanners(self, now: int) -> bool:
@@ -217,8 +225,9 @@ class Scanner:
     ) -> Optional[Connection]:
         """Finish the CONNECT_IND handshake and create the connection."""
         params = self.params_factory()
-        offset_units = self.rng.randrange(0, max(1, min(params.interval_ns, 10 * MSEC) // (625 * USEC)))
-        anchor0 = now + TRANSMIT_WINDOW_DELAY_NS + offset_units * 625 * USEC
+        offset_cap = min(params.interval_ns, WIN_OFFSET_CAP_NS)
+        offset_units = self.rng.randrange(0, max(1, offset_cap // TIME_SLOT_NS))
+        anchor0 = now + TRANSMIT_WINDOW_DELAY_NS + offset_units * TIME_SLOT_NS
         access_address = self.rng.getrandbits(32)
         hop = self.rng.randrange(5, 17)
         # CONNECT_IND ends both advertising and scanning *before* the

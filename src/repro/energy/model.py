@@ -16,6 +16,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.ble.conn import Role
 from repro.energy.calib import EnergyCalibration, PAPER_CALIBRATION
+from repro.sim.units import ns_to_s
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ble.controller import BleController
@@ -73,7 +74,7 @@ class EnergyModel:
             else self.calib.charge_per_event_sub_uc
         )
         extra_ns = max(0, duration_ns - self.calib.empty_event_duration_ns)
-        return base + self.calib.radio_active_current_a * extra_ns * 1e-9 * 1e6
+        return base + self.calib.radio_active_current_a * ns_to_s(extra_ns) * 1e6
 
     def battery_life(
         self, average_current_ua: float, capacity_mah: float
@@ -117,7 +118,7 @@ class EnergyModel:
             0, controller.conn_event_ns - events * calib.empty_event_duration_ns
         )
         adv = controller.adv_events * calib.charge_per_adv_event_uc
-        return base + adv + calib.radio_active_current_a * extra_ns * 1e-9 * 1e6
+        return base + adv + calib.radio_active_current_a * ns_to_s(extra_ns) * 1e6
 
     def controller_current_ua(
         self,

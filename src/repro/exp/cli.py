@@ -26,15 +26,40 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from pathlib import Path
+from typing import TYPE_CHECKING, Callable, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exp.parallel import ProgressEvent
 
 from repro.exp.artifacts import render_summary, write_artifacts
 from repro.exp.config import ExperimentConfig
 from repro.exp.runner import run_experiment
+from repro.obs.wallclock import monotonic
 
 
-def _coerce(config: ExperimentConfig, key: str, raw: str):
+def _env_int(name: str, default: int = 0) -> int:
+    """Parse an integer environment variable, warning instead of crashing.
+
+    ``REPRO_WORKERS=lots`` used to abort the whole sweep with a bare
+    ``ValueError``; a mis-set variable now falls back to ``default`` with a
+    warning on stderr (unset/blank falls back silently).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw.strip())
+    except ValueError:
+        print(
+            f"warning: ignoring non-numeric {name}={raw!r} "
+            f"(using default {default})",
+            file=sys.stderr,
+        )
+        return default
+
+
+def _coerce(config: ExperimentConfig, key: str, raw: str) -> object:
     """Parse ``raw`` into the type of ``config.<key>``."""
     if not hasattr(config, key):
         raise SystemExit(f"unknown config field {key!r}")
@@ -77,10 +102,10 @@ def _parse_grid(config: ExperimentConfig, items: list[str]) -> dict:
     return grid
 
 
-def _progress_printer(stream):
+def _progress_printer(stream: "TextIO") -> "Callable[[ProgressEvent], None]":
     """A progress callback that writes one status line per engine event."""
 
-    def on_event(event) -> None:
+    def on_event(event: "ProgressEvent") -> None:
         name = f"{event.config.name} seed={event.config.seed}"
         position = f"[{event.completed}/{event.total}]"
         if event.kind == "cache-hit":
@@ -116,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
 
     describe = sub.add_parser("describe", help="print a template description")
     describe.add_argument("--name", default="experiment")
+
+    lint = sub.add_parser(
+        "lint",
+        help="simlint: determinism & unit-discipline static analysis "
+             "(non-zero exit on findings)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     run = sub.add_parser("run", help="execute a YAML experiment description")
     run.add_argument("description", help="path to the experiment YAML")
@@ -197,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
         print(ExperimentConfig(name=args.name).to_yaml(), end="")
         return 0
 
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
+
     if args.command == "metrics":
         from repro.exp.metricscmd import (
             example_config,
@@ -275,7 +314,7 @@ def main(argv: list[str] | None = None) -> int:
     grid = _parse_grid(config, args.grid)
     workers = args.workers
     if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "0")) or (os.cpu_count() or 1)
+        workers = _env_int("REPRO_WORKERS") or (os.cpu_count() or 1)
     if workers < 1:
         raise SystemExit("--workers must be >= 1")
     if args.seeds < 1:
@@ -291,7 +330,7 @@ def main(argv: list[str] | None = None) -> int:
         + (f", cache at {cache_dir}" if cache_dir else ", no cache"),
         file=sys.stderr,
     )
-    started = time.monotonic()
+    started = monotonic()
     try:
         result = run_sweep(
             config,
@@ -305,7 +344,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     except ValueError as exc:  # e.g. a grid value the config rejects
         raise SystemExit(f"invalid sweep: {exc}")
-    wall = time.monotonic() - started
+    wall = monotonic() - started
     print(render_sweep_table(result))
     print(result.stats.summary())
     if result.stats.run_wall_s:

@@ -9,7 +9,7 @@ round-trip-time CDFs (Figs. 7b/8/10b/13c), time-binned CoAP PDR (Figs.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.sim.units import SEC
 
@@ -92,13 +92,17 @@ def binned_pdr(
     return times, pdrs
 
 
-def producer_binned_pdr(producer, bin_s: float, t_end_s: float):
+def producer_binned_pdr(
+    producer: Any, bin_s: float, t_end_s: float
+) -> Tuple[List[float], List[float]]:
     """Time-binned PDR for one :class:`~repro.testbed.traffic.Producer`."""
     acked_sends = [sent_at for sent_at, _ in producer.rtt_samples]
     return binned_pdr(producer.request_times, acked_sends, bin_s, t_end_s)
 
 
-def aggregate_binned_pdr(producers, bin_s: float, t_end_s: float):
+def aggregate_binned_pdr(
+    producers: Iterable[Any], bin_s: float, t_end_s: float
+) -> Tuple[List[float], List[float]]:
     """Network-wide time-binned CoAP PDR (Fig. 7a / 9 bottom panels)."""
     all_requests: List[int] = []
     all_acked: List[int] = []

@@ -31,15 +31,16 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import time
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as _mp_wait
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Deque, List, Optional, Sequence
 
 from repro.exp.cache import CacheStats, ResultCache
 from repro.exp.config import ExperimentConfig
 from repro.exp.portable import PortableResult
+from repro.obs.wallclock import monotonic
 
 #: Default attempts per work item (1 initial + 1 retry).
 DEFAULT_MAX_ATTEMPTS = 2
@@ -128,7 +129,7 @@ class _Pending:
 
     __slots__ = ("index", "config", "attempts")
 
-    def __init__(self, index: int, config: ExperimentConfig):
+    def __init__(self, index: int, config: ExperimentConfig) -> None:
         self.index = index
         self.config = config
         self.attempts = 0
@@ -139,7 +140,13 @@ class _Active:
 
     __slots__ = ("item", "proc", "conn", "started", "msg", "got_msg")
 
-    def __init__(self, item: _Pending, proc, conn, started: float):
+    def __init__(
+        self,
+        item: _Pending,
+        proc: "mp.process.BaseProcess",
+        conn: Connection,
+        started: float,
+    ) -> None:
         self.item = item
         self.proc = proc
         self.conn = conn
@@ -148,7 +155,11 @@ class _Active:
         self.got_msg = False
 
 
-def _worker_main(conn, run_fn, config) -> None:
+def _worker_main(
+    conn: Connection,
+    run_fn: Callable[[ExperimentConfig], Any],
+    config: ExperimentConfig,
+) -> None:
     """Child entry point: run one item, ship (status, payload), exit."""
     try:
         status, payload = "ok", run_fn(config)
@@ -166,7 +177,7 @@ def _worker_main(conn, run_fn, config) -> None:
         conn.close()
 
 
-def _pick_context():
+def _pick_context() -> Optional[mp.context.BaseContext]:
     """The cheapest available multiprocessing context, or ``None``.
 
     ``fork`` shares the already-imported simulator with workers for free;
@@ -208,7 +219,11 @@ class ParallelEngine:
             raise ValueError("max_workers must be >= 1")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
-        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if max_workers is None:
+            # simlint: allow-env -- stdlib-style default only; reproducible runs
+            # pass an explicit max_workers (the CLI resolves REPRO_WORKERS).
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max_workers
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -222,7 +237,7 @@ class ParallelEngine:
 
     def run(self, configs: Sequence[ExperimentConfig]) -> List[RunOutcome]:
         """Execute every config; outcomes come back in input order."""
-        started = time.monotonic()
+        started = monotonic()
         self.stats = EngineStats(items=len(configs))
         outcomes: List[Optional[RunOutcome]] = [None] * len(configs)
         self._total = len(configs)
@@ -246,7 +261,7 @@ class ParallelEngine:
         else:
             self._run_pool(pending, outcomes, context)
 
-        self.stats.wall_time_s = time.monotonic() - started
+        self.stats.wall_time_s = monotonic() - started
         if self.cache is not None:
             self.stats.cache = self.cache.stats
         return [o for o in outcomes if o is not None]
@@ -258,7 +273,7 @@ class ParallelEngine:
             item = pending.popleft()
             item.attempts += 1
             self._emit("start", item.index, item.config, attempt=item.attempts)
-            began = time.monotonic()
+            began = monotonic()
             try:
                 result = self.run_fn(item.config)
             except BaseException as exc:
@@ -266,11 +281,16 @@ class ParallelEngine:
                     item, f"{type(exc).__name__}: {exc}", pending, outcomes
                 )
                 continue
-            self._handle_success(item, result, time.monotonic() - began, outcomes)
+            self._handle_success(item, result, monotonic() - began, outcomes)
 
     # -- worker-pool path ----------------------------------------------------
 
-    def _run_pool(self, pending, outcomes, context) -> None:
+    def _run_pool(
+        self,
+        pending: "Deque[_Pending]",
+        outcomes: List[Optional[RunOutcome]],
+        context: mp.context.BaseContext,
+    ) -> None:
         active: List[_Active] = []
         try:
             while pending or active:
@@ -283,7 +303,7 @@ class ParallelEngine:
                 worker.proc.join()
                 worker.conn.close()
 
-    def _spawn(self, item: _Pending, context) -> _Active:
+    def _spawn(self, item: _Pending, context: mp.context.BaseContext) -> _Active:
         item.attempts += 1
         self._emit("start", item.index, item.config, attempt=item.attempts)
         parent_conn, child_conn = context.Pipe(duplex=False)
@@ -294,20 +314,25 @@ class ParallelEngine:
         )
         proc.start()
         child_conn.close()  # parent keeps only the read end
-        return _Active(item, proc, parent_conn, time.monotonic())
+        return _Active(item, proc, parent_conn, monotonic())
 
-    def _wait_one(self, active, pending, outcomes) -> None:
+    def _wait_one(
+        self,
+        active: List[_Active],
+        pending: "Deque[_Pending]",
+        outcomes: List[Optional[RunOutcome]],
+    ) -> None:
         """Block until at least one worker produces, dies, or times out."""
         timeout = None
         if self.timeout_s is not None:
-            now = time.monotonic()
+            now = monotonic()
             deadlines = [w.started + self.timeout_s for w in active]
             timeout = max(0.0, min(deadlines) - now)
         waitables = [w.conn for w in active if not w.got_msg]
         waitables += [w.proc.sentinel for w in active]
         ready = set(_mp_wait(waitables, timeout))
 
-        now = time.monotonic()
+        now = monotonic()
         finished: List[_Active] = []
         for worker in active:
             if worker.conn in ready and not worker.got_msg:
@@ -334,7 +359,12 @@ class ParallelEngine:
             self._finalize(worker, pending, outcomes)
             active.remove(worker)
 
-    def _finalize(self, worker: _Active, pending, outcomes) -> None:
+    def _finalize(
+        self,
+        worker: _Active,
+        pending: "Deque[_Pending]",
+        outcomes: List[Optional[RunOutcome]],
+    ) -> None:
         # drain a message that raced with process exit
         if not worker.got_msg:
             try:
@@ -345,7 +375,7 @@ class ParallelEngine:
                 pass
         worker.proc.join()
         worker.conn.close()
-        item, wall = worker.item, time.monotonic() - worker.started
+        item, wall = worker.item, monotonic() - worker.started
         if worker.msg is None:
             exitcode = worker.proc.exitcode
             self._handle_failure(
@@ -358,7 +388,13 @@ class ParallelEngine:
 
     # -- shared bookkeeping --------------------------------------------------
 
-    def _handle_success(self, item, result, wall_s, outcomes) -> None:
+    def _handle_success(
+        self,
+        item: _Pending,
+        result: Any,
+        wall_s: float,
+        outcomes: List[Optional[RunOutcome]],
+    ) -> None:
         if self.cache is not None:
             self.cache.put(item.config, result)
         outcomes[item.index] = RunOutcome(
@@ -375,7 +411,13 @@ class ParallelEngine:
             attempt=item.attempts, wall_time_s=wall_s,
         )
 
-    def _handle_failure(self, item, error: str, pending, outcomes) -> None:
+    def _handle_failure(
+        self,
+        item: _Pending,
+        error: str,
+        pending: "Deque[_Pending]",
+        outcomes: List[Optional[RunOutcome]],
+    ) -> None:
         if item.attempts < self.max_attempts:
             self.stats.retries += 1
             self._emit(
@@ -394,7 +436,15 @@ class ParallelEngine:
             attempt=item.attempts, detail=error,
         )
 
-    def _emit(self, kind, index, config, attempt=0, wall_time_s=0.0, detail="") -> None:
+    def _emit(
+        self,
+        kind: str,
+        index: int,
+        config: ExperimentConfig,
+        attempt: int = 0,
+        wall_time_s: float = 0.0,
+        detail: str = "",
+    ) -> None:
         if self.progress is None:
             return
         self.progress(

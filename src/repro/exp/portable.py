@@ -19,7 +19,7 @@ which both result classes inherit; the contract is only that ``self`` has
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exp.config import ExperimentConfig
 from repro.exp.events import EventLog
@@ -143,7 +143,7 @@ class PortableProducer:
     ack_times: List[int]
 
     @classmethod
-    def from_producer(cls, producer) -> "PortableProducer":
+    def from_producer(cls, producer: Any) -> "PortableProducer":
         """Snapshot a live :class:`~repro.testbed.traffic.Producer`."""
         return cls(
             node=NodeRef(producer.node.node_id),
@@ -198,7 +198,7 @@ class PortableResult(ResultMetricsMixin):
     metrics: Optional[dict] = None
 
     @classmethod
-    def from_result(cls, result) -> "PortableResult":
+    def from_result(cls, result: Any) -> "PortableResult":
         """Flatten a live :class:`~repro.exp.runner.ExperimentResult`."""
         return cls(
             config=result.config,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.ble.config import BleConfig, SchedulerPolicy
 from repro.ble.chanmap import ChannelMap
@@ -83,7 +83,9 @@ class ExperimentResult(ResultMetricsMixin):
 
     # -- energy metrics (§5.4 integration) -----------------------------------
 
-    def node_current_ua(self, node_id: int, include_idle_board: bool = False):
+    def node_current_ua(
+        self, node_id: int, include_idle_board: bool = False
+    ) -> Optional[float]:
         """Average BLE current of one node over the run (µA), from the
         controller's recorded event counters and the §5.4 charge model.
 
@@ -100,7 +102,7 @@ class ExperimentResult(ResultMetricsMixin):
             include_idle_board=include_idle_board,
         )
 
-    def fleet_current_ua(self):
+    def fleet_current_ua(self) -> Optional[Dict[int, Optional[float]]]:
         """Per-node average BLE currents (µA), or ``None`` for 802.15.4."""
         if self.config.link_layer != "ble":
             return None
@@ -113,12 +115,12 @@ class ExperimentResult(ResultMetricsMixin):
 class ExperimentRunner:
     """Builds and executes one configured experiment."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig) -> None:
         self.config = config
 
     # -- construction helpers --------------------------------------------------
 
-    def _edges(self):
+    def _edges(self) -> List[Tuple[int, int]]:
         topo = {
             "tree": tree_topology_edges,
             "line": line_topology_edges,
@@ -126,7 +128,7 @@ class ExperimentRunner:
         }[self.config.topology]
         return topo(self.config.n_nodes)
 
-    def _build_ble_dynamic(self):
+    def _build_ble_dynamic(self) -> Any:
         """The §9 mode: no configured links; dynconn + RPL self-form."""
         from repro.core.intervals import StaticIntervalPolicy
         from repro.sim import RngRegistry
@@ -243,7 +245,7 @@ class ExperimentRunner:
             policy.latency = self.config.subordinate_latency
         return policy
 
-    def _build_802154(self):
+    def _build_802154(self) -> Any:
         from repro.ieee802154 import CsmaNetwork
 
         cfg = self.config
@@ -284,7 +286,7 @@ class ExperimentRunner:
             if own_metrics:
                 METRICS.reset()
 
-    def _run(self, ring) -> ExperimentResult:
+    def _run(self, ring: Optional[RingBufferSink]) -> ExperimentResult:
         cfg = self.config
         is_ble = cfg.link_layer == "ble"
         if cfg.topology == "dynamic":
@@ -369,10 +371,10 @@ class ExperimentRunner:
             metrics=metrics_payload,
         )
 
-    def _hook_losses(self, node, events: EventLog) -> None:
+    def _hook_losses(self, node: Any, events: EventLog) -> None:
         from repro.ble.conn import DisconnectReason
 
-        def on_close(conn, reason, node=node):
+        def on_close(conn: Any, reason: Any, node: Any = node) -> None:
             if reason is DisconnectReason.SUPERVISION_TIMEOUT:
                 my_role = conn.endpoint_of(node.controller).role
                 events.emit(
@@ -385,7 +387,12 @@ class ExperimentRunner:
 
         node.controller.conn_close_listeners.append(on_close)
 
-    def _start_sampler(self, net, link_series, link_channels):
+    def _start_sampler(
+        self,
+        net: Any,
+        link_series: Dict[Tuple[LinkKey, str], LinkSeries],
+        link_channels: Dict[Tuple[LinkKey, str], List[List[int]]],
+    ) -> Callable[[], None]:
         """Schedule periodic link sampling; returns a final-flush closure.
 
         The returned closure takes one extra sample at the current sim time

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.exp.artifacts import render_summary, write_artifacts
 from repro.exp.config import ExperimentConfig
@@ -83,7 +83,7 @@ def run_traced(
     class _Counting:
         """Fan-out shim: per-layer tally + layer-filtered file sinks."""
 
-        def accept(self, record) -> None:
+        def accept(self, record: Any) -> None:
             by_layer[record.layer] = by_layer.get(record.layer, 0) + 1
             if not layer_set or record.layer in layer_set:
                 jsonl.accept(record)

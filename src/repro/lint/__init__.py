@@ -1,0 +1,49 @@
+"""simlint: determinism & unit-discipline static analysis for the simulator.
+
+Every number this reproduction publishes -- shading onsets, the Fig. 8
+sweeps, byte-identical ``metrics.json`` merges -- rests on two properties
+that ordinary tests only probe, never guarantee:
+
+* **Determinism.**  Same seed, same config, same bytes.  One stray
+  ``time.time()``, one unseeded ``random`` draw, one iteration over a
+  ``set`` that reaches the event schedule, and the result cache silently
+  serves poisoned entries while the golden traces drift.
+* **Integer-time discipline.**  Simulation time is integer nanoseconds
+  (:mod:`repro.sim.units`); float arithmetic or float equality on a time
+  value reintroduces the rounding the integer base was chosen to exclude.
+
+``simlint`` enforces both *statically*, as an AST pass over the source,
+so a regression is caught at lint time instead of three cached sweeps
+later.  Run it as ``python -m repro lint``; suppress a finding inline with
+``# simlint: allow-<rule> -- <reason>`` (the reason is mandatory).
+
+Public surface:
+
+* :func:`lint_source` / :func:`lint_path` / :func:`lint_paths` -- the engine
+* :class:`Finding` -- one diagnostic
+* :func:`default_rules` / :data:`RULES` -- the rule registry (SL001..SL006)
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.core import (
+    Finding,
+    lint_path,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+from repro.lint.rules import RULES, default_rules
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "default_rules",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "module_name_for",
+    "write_baseline",
+]

@@ -1,0 +1,82 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a small JSON document mapping finding fingerprints (see
+:meth:`repro.lint.core.Finding.fingerprint`) to enough context to review
+them by hand.  ``python -m repro lint --baseline FILE`` subtracts the
+baselined fingerprints from the run; ``--write-baseline`` regenerates the
+file from the current findings.  An *empty* file (zero bytes) is a valid
+baseline with no entries -- the acceptance state this repo ships in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Set
+
+from repro.lint.core import Finding
+
+#: Schema marker written into every non-empty baseline file.
+BASELINE_SCHEMA = "repro.lint.baseline/1"
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file exists but cannot be understood."""
+
+
+def load_baseline(path: Path | str) -> Set[str]:
+    """Return the set of grandfathered fingerprints in ``path``.
+
+    Zero-byte and whitespace-only files load as the empty baseline; a
+    missing file is an error (create one with ``--write-baseline`` or
+    ``touch``).
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        return set()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} lacks the {BASELINE_SCHEMA!r} schema marker"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    fingerprints: Set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(
+                f"baseline {path}: every entry needs a 'fingerprint' key"
+            )
+        fingerprints.add(str(entry["fingerprint"]))
+    return fingerprints
+
+
+def write_baseline(path: Path | str, findings: Iterable[Finding]) -> int:
+    """Write a baseline grandfathering ``findings``; returns the entry count.
+
+    Entries are keyed and sorted by fingerprint so regeneration is
+    byte-stable regardless of scan order; duplicate fingerprints (identical
+    offending lines) collapse to one entry.
+    """
+    by_fp = {}
+    for finding in sorted(
+        findings, key=lambda f: (f.fingerprint(), f.module, f.line)
+    ):
+        by_fp.setdefault(
+            finding.fingerprint(),
+            {
+                "fingerprint": finding.fingerprint(),
+                "code": finding.code,
+                "module": finding.module,
+                "text": finding.text.strip(),
+                "message": finding.message,
+            },
+        )
+    doc = {"schema": BASELINE_SCHEMA, "entries": list(by_fp.values())}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return len(by_fp)

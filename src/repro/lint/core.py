@@ -1,0 +1,378 @@
+"""The simlint engine: file contexts, findings, suppressions, dispatch.
+
+The engine is deliberately rule-agnostic.  A rule is any object with a
+``code`` (``SL001``), an ``alias`` (``wallclock``), a ``severity``, an
+``allowed_modules`` frozenset (modules the rule never applies to), and a
+``check(ctx)`` iterator of :class:`Finding` objects.  The engine parses a
+file once, hands every rule the same :class:`FileContext`, filters the
+union of findings through inline suppressions, and returns them sorted.
+
+Suppression grammar (one comment, same line or the line directly above)::
+
+    # simlint: allow-wallclock -- profiler measures real elapsed time
+    # simlint: allow-wallclock,allow-env -- reason covering both
+
+The reason after ``--`` is mandatory: a suppression without one, or one
+naming an unknown rule, is itself reported as an ``SL000`` finding.  This
+keeps the suppression inventory greppable *and* justified.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.rules import Rule
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Code used for engine-level diagnostics (parse failures, bad suppressions).
+META_CODE = "SL000"
+META_ALIAS = "meta"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule (or by the engine itself).
+
+    :param code: rule code, e.g. ``SL001``.
+    :param alias: human alias, e.g. ``wallclock`` (used in suppressions).
+    :param severity: ``"error"`` or ``"warning"``.
+    :param path: the path the file was linted under (display only).
+    :param module: canonical dotted module name (stable across checkouts;
+        feeds the baseline fingerprint).
+    :param line: 1-based source line.
+    :param col: 0-based column.
+    :param message: what is wrong and what to do instead.
+    :param text: the stripped offending source line.
+    """
+
+    code: str
+    alias: str
+    severity: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    text: str = ""
+
+    def fingerprint(self) -> str:
+        """Location-independent identity used by ``--baseline`` files.
+
+        Deliberately excludes the line *number* so unrelated edits above a
+        grandfathered finding do not invalidate the baseline; two identical
+        offending lines in one module share a fingerprint (both are then
+        grandfathered together, which is the conservative direction).
+        """
+        blob = f"{self.code}|{self.module}|{self.text.strip()}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (used by ``--format=json``)."""
+        return {
+            "code": self.code,
+            "alias": self.alias,
+            "severity": self.severity,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One-line human rendering: ``path:line:col: CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    module: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+
+    def line_text(self, lineno: int) -> str:
+        """The stripped source text of a 1-based line (empty if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def _anchored_parts(path: Path) -> list[str]:
+    """Path components below the source root (``src/`` or the ``repro`` pkg)."""
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        last_src = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[last_src + 1 :]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return parts
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    ``src/repro/ble/conn.py`` -> ``repro.ble.conn``; a file outside any
+    recognised root keeps its stem (fixture files lint as themselves).
+    """
+    return ".".join(_anchored_parts(Path(path))) or Path(path).stem
+
+
+# -- suppressions ------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(?P<items>allow-[^#]*?)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+_MALFORMED_RE = re.compile(r"#\s*simlint\b")
+
+
+@dataclass
+class Suppressions:
+    """Parsed inline suppressions for one file."""
+
+    #: line (1-based) -> set of suppressed rule codes on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: engine findings about the suppressions themselves (missing reason, ...).
+    problems: list[Finding] = field(default_factory=list)
+
+    def suppresses(self, finding: Finding) -> bool:
+        return finding.code in self.by_line.get(finding.line, ())
+
+
+def parse_suppressions(
+    ctx: FileContext, alias_to_code: dict[str, str]
+) -> Suppressions:
+    """Scan ``ctx`` for ``# simlint:`` comments.
+
+    A comment on a code line covers that line; a comment standing alone on
+    its own line covers the next line as well (decorator style).
+    """
+    out = Suppressions()
+
+    def meta(lineno: int, message: str) -> Finding:
+        return Finding(
+            META_CODE,
+            META_ALIAS,
+            SEVERITY_ERROR,
+            str(ctx.path),
+            ctx.module,
+            lineno,
+            0,
+            message,
+            ctx.line_text(lineno),
+        )
+
+    # real comments only (via tokenize): 'simlint:' inside a string literal
+    # or docstring must not create or satisfy a suppression.
+    comments: list[tuple[int, str, bool]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(ctx.source).readline):
+            if tok.type == tokenize.COMMENT:
+                lineno, col = tok.start
+                standalone = not tok.line[:col].strip()
+                comments.append((lineno, tok.string, standalone))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tails already surface as SL000 parse findings
+
+    for lineno, raw, standalone in comments:
+        if "simlint" not in raw:
+            continue
+        match = _SUPPRESS_RE.search(raw)
+        if match is None:
+            if _MALFORMED_RE.search(raw):
+                out.problems.append(
+                    meta(
+                        lineno,
+                        "malformed simlint comment; expected "
+                        "'# simlint: allow-<rule> -- <reason>'",
+                    )
+                )
+            continue
+        if not match.group("reason"):
+            out.problems.append(
+                meta(
+                    lineno,
+                    "simlint suppression is missing its mandatory reason "
+                    "('# simlint: allow-<rule> -- <reason>')",
+                )
+            )
+            continue
+        codes: set[str] = set()
+        ok = True
+        for item in match.group("items").split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if not item.startswith("allow-"):
+                out.problems.append(
+                    meta(lineno, f"simlint suppression item {item!r} must be 'allow-<rule>'")
+                )
+                ok = False
+                continue
+            name = item[len("allow-") :].strip()
+            code = alias_to_code.get(name.lower())
+            if code is None:
+                known = ", ".join(sorted(set(alias_to_code.values())))
+                out.problems.append(
+                    meta(
+                        lineno,
+                        f"simlint suppression names unknown rule {name!r} "
+                        f"(known: {known})",
+                    )
+                )
+                ok = False
+                continue
+            codes.add(code)
+        if not ok or not codes:
+            continue
+        out.by_line.setdefault(lineno, set()).update(codes)
+        if standalone:
+            # standalone comment: covers the code line it annotates, skipping
+            # over the rest of the comment block and any blank lines.
+            j = lineno + 1
+            while j <= len(ctx.lines):
+                out.by_line.setdefault(j, set()).update(codes)
+                stripped = ctx.lines[j - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                j += 1
+    return out
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def _resolve_rules(rules: Optional[Iterable["Rule"]]) -> list["Rule"]:
+    if rules is None:
+        from repro.lint.rules import default_rules
+
+        return default_rules()
+    return list(rules)
+
+
+def _alias_map(rules: Sequence["Rule"]) -> dict[str, str]:
+    mapping: dict[str, str] = {}
+    for rule in rules:
+        mapping[rule.alias.lower()] = rule.code
+        mapping[rule.code.lower()] = rule.code
+    mapping.setdefault(META_ALIAS, META_CODE)
+    mapping.setdefault(META_CODE.lower(), META_CODE)
+    return mapping
+
+
+def lint_source(
+    source: str,
+    path: Path | str,
+    *,
+    rules: Optional[Iterable["Rule"]] = None,
+    module: Optional[str] = None,
+) -> list[Finding]:
+    """Lint ``source`` as if it lived at ``path``; returns sorted findings.
+
+    The ``path``/``module`` indirection is what makes the mutation tests
+    possible: callers can lint hypothetical file contents under a real
+    module identity (e.g. a ``time.time()`` grafted into ``repro.ble.conn``)
+    without touching the working tree.
+    """
+    active = _resolve_rules(rules)
+    path = Path(path)
+    modname = module if module is not None else module_name_for(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                META_CODE,
+                META_ALIAS,
+                SEVERITY_ERROR,
+                str(path),
+                modname,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                f"could not parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        module=modname,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+    )
+    suppressions = parse_suppressions(ctx, _alias_map(active))
+    findings: list[Finding] = []
+    for rule in active:
+        if modname in rule.allowed_modules:
+            continue
+        findings.extend(rule.check(ctx))
+    # nested expressions (e.g. chained BinOps) can report one defect several
+    # times on a line; keep the first occurrence of each (code, line, message).
+    seen: set[tuple[str, int, str]] = set()
+    kept: list[Finding] = []
+    for f in findings:
+        key = (f.code, f.line, f.message)
+        if key in seen or suppressions.suppresses(f):
+            continue
+        seen.add(key)
+        kept.append(f)
+    kept.extend(suppressions.problems)
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+def lint_path(
+    path: Path | str, *, rules: Optional[Iterable["Rule"]] = None
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(
+                p
+                for p in entry.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            yield entry
+
+
+def lint_paths(
+    paths: Iterable[Path | str], *, rules: Optional[Iterable["Rule"]] = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directory trees)."""
+    active = _resolve_rules(rules)
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_path(file, rules=active))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

@@ -20,7 +20,7 @@ instead.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class Profiler:
@@ -47,7 +47,7 @@ class Profiler:
         """Disarm the profiler (accumulated data stays readable)."""
         self.enabled = False
 
-    def subsystem_of(self, callback) -> str:
+    def subsystem_of(self, callback: Callable[..., Any]) -> str:
         """The subsystem owning ``callback`` (second ``repro.X`` segment)."""
         func = getattr(callback, "__func__", callback)
         try:
@@ -67,7 +67,7 @@ class Profiler:
             self._cache[func] = subsystem
         return subsystem
 
-    def record(self, callback, wall_s: float) -> None:
+    def record(self, callback: Callable[..., Any], wall_s: float) -> None:
         """Account one dispatched callback."""
         entry = self._by_subsystem.get(self.subsystem_of(callback))
         if entry is None:
@@ -79,7 +79,7 @@ class Profiler:
         self,
         sim_time_ns: Optional[int] = None,
         events: Optional[int] = None,
-    ) -> dict:
+    ) -> Dict[str, Any]:
         """The profile as a JSON-safe document.
 
         :param sim_time_ns: simulated span covered, for the
@@ -92,7 +92,7 @@ class Profiler:
         dispatch_s = sum(e[1] for e in self._by_subsystem.values())
         counted = sum(int(e[0]) for e in self._by_subsystem.values())
         total_events = events if events is not None else counted
-        subsystems = {}
+        subsystems: Dict[str, Any] = {}
         for name in sorted(
             self._by_subsystem,
             key=lambda n: self._by_subsystem[n][1],
@@ -104,7 +104,7 @@ class Profiler:
                 "wall_s": spent,
                 "share": spent / dispatch_s if dispatch_s > 0 else 0.0,
             }
-        doc = {
+        doc: Dict[str, Any] = {
             "schema": "repro.obs.profile/1",
             "wall_s": wall_s,
             "dispatch_wall_s": dispatch_s,

@@ -91,7 +91,7 @@ class CounterVec:
         self.label_key = label_key
         self.values: Dict[str, int] = {}
 
-    def inc(self, label, n: int = 1) -> None:
+    def inc(self, label: object, n: int = 1) -> None:
         """Add ``n`` to the ``label`` member (labels stringify)."""
         key = str(label)
         self.values[key] = self.values.get(key, 0) + n
@@ -315,7 +315,12 @@ class MetricsHub:
         self.scope(scope).histogram(name, bounds).observe(value)
 
     def inc_vec(
-        self, scope: str, name: str, label, n: int = 1, label_key: str = "label"
+        self,
+        scope: str,
+        name: str,
+        label: object,
+        n: int = 1,
+        label_key: str = "label",
     ) -> None:
         """Increment the ``label`` member of counter family ``name``."""
         self.scope(scope).vector(name, label_key).inc(label, n)

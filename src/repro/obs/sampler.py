@@ -19,7 +19,7 @@ worker counts, like everything else in ``metrics.json``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.shading import detect_degradation_spans
 from repro.obs.registry import MetricsHub
@@ -31,10 +31,10 @@ class MetricsSnapshotter:
 
     def __init__(
         self,
-        sim,
+        sim: Any,
         hub: MetricsHub,
         period_ns: int,
-        network=None,
+        network: Any = None,
         shading_threshold: float = 0.9,
     ) -> None:
         if period_ns <= 0:
@@ -91,7 +91,7 @@ class MetricsSnapshotter:
                     self._append(f"{scope_name}:{name}", row, gauge.value)
         self._rows += 1
 
-    def _append(self, key: str, row: int, value) -> None:
+    def _append(self, key: str, row: int, value: float) -> None:
         column = self._columns.get(key)
         if column is None:
             column = self._columns[key] = [0] * row

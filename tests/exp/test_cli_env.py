@@ -1,0 +1,52 @@
+"""Regression: non-numeric REPRO_WORKERS must warn and fall back, not crash.
+
+``int(os.environ.get("REPRO_WORKERS", "0"))`` used to raise a bare
+``ValueError`` deep inside sweep dispatch when the variable held anything
+non-numeric; the CLI now funnels every integer env read through
+``_env_int``, which warns on stderr and uses the default.
+"""
+
+import pytest
+
+from repro.exp.cli import _env_int
+
+
+class TestEnvInt:
+    def test_unset_returns_default_silently(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert _env_int("REPRO_WORKERS", 3) == 3
+        assert capsys.readouterr().err == ""
+
+    def test_blank_returns_default_silently(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert _env_int("REPRO_WORKERS", 2) == 2
+        assert capsys.readouterr().err == ""
+
+    def test_numeric_value_is_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert _env_int("REPRO_WORKERS") == 8
+
+    def test_numeric_value_with_whitespace_is_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", " 4 \n")
+        assert _env_int("REPRO_WORKERS") == 4
+
+    @pytest.mark.parametrize("garbage", ["lots", "4.5", "four", "0x10", ""])
+    def test_non_numeric_warns_and_falls_back(self, monkeypatch, capsys, garbage):
+        monkeypatch.setenv("REPRO_WORKERS", garbage)
+        assert _env_int("REPRO_WORKERS", 1) == 1
+        err = capsys.readouterr().err
+        if garbage.strip():
+            assert "REPRO_WORKERS" in err
+            assert repr(garbage) in err
+        else:
+            assert err == ""
+
+    def test_sweep_workers_resolution_uses_fallback(self, monkeypatch, capsys):
+        """The sweep path: garbage REPRO_WORKERS resolves to the CPU count
+        instead of raising ValueError."""
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        workers = _env_int("REPRO_WORKERS") or (os.cpu_count() or 1)
+        assert workers >= 1
+        assert "REPRO_WORKERS" in capsys.readouterr().err

@@ -1,0 +1,7 @@
+"""Fixture: SL001 (wallclock) must flag a host-clock read."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: SL002 (rng) must flag a draw from the global random stream."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,9 @@
+"""Fixture: SL003 (set-order) must flag iteration over a set."""
+
+
+def emit() -> list:
+    pending = {"b", "a", "c"}
+    out = []
+    for item in pending:
+        out.append(item)
+    return out

@@ -1,0 +1,5 @@
+"""Fixture: SL004 (float-time) must flag float equality on a *_ns value."""
+
+
+def is_anchor(t_ns: int) -> bool:
+    return t_ns == 1.25e6

@@ -1,0 +1,7 @@
+"""Fixture: SL005 (env) must flag an environment read outside the CLI."""
+
+import os
+
+
+def workers() -> int:
+    return int(os.environ.get("REPRO_WORKERS", "1"))

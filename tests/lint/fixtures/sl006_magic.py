@@ -1,0 +1,5 @@
+"""Fixture: SL006 (magic-time) must flag a raw protocol timing literal."""
+
+
+def next_exchange(t_ns: int) -> int:
+    return t_ns + 150_000

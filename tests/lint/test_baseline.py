@@ -1,0 +1,70 @@
+"""Baseline round-trips: grandfather findings, fail only on new ones."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_path, load_baseline, write_baseline
+from repro.lint.baseline import BaselineError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_load_covers_all_findings(self, tmp_path):
+        findings = lint_path(FIXTURES / "sl001_wallclock.py")
+        assert findings
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(baseline, findings)
+        assert count == len({f.fingerprint() for f in findings})
+        grandfathered = load_baseline(baseline)
+        assert all(f.fingerprint() in grandfathered for f in findings)
+
+    def test_empty_file_is_valid_empty_baseline(self, tmp_path):
+        baseline = tmp_path / "empty"
+        baseline.write_text("")
+        assert load_baseline(baseline) == set()
+
+    def test_baseline_is_byte_stable(self, tmp_path):
+        findings = lint_path(FIXTURES / "sl006_magic.py")
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(a, findings)
+        write_baseline(b, list(reversed(findings)))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_fingerprint_survives_line_moves(self):
+        """The fingerprint excludes line numbers, so a finding pushed down
+        by unrelated edits above it stays grandfathered."""
+        original = lint_path(FIXTURES / "sl002_rng.py")
+        shifted_src = "\n\n" + (FIXTURES / "sl002_rng.py").read_text()
+        from repro.lint import lint_source
+
+        shifted = lint_source(
+            shifted_src, FIXTURES / "sl002_rng.py"
+        )
+        assert {f.fingerprint() for f in original} == {
+            f.fingerprint() for f in shifted
+        }
+        assert [f.line for f in original] != [f.line for f in shifted]
+
+    def test_garbage_baseline_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/1", "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_entries_record_review_context(self, tmp_path):
+        findings = lint_path(FIXTURES / "sl005_env.py")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        doc = json.loads(baseline.read_text())
+        entry = doc["entries"][0]
+        assert set(entry) == {"fingerprint", "code", "module", "text", "message"}
+        assert entry["code"] == "SL005"

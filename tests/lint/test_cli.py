@@ -1,0 +1,103 @@
+"""``python -m repro lint``: exit codes, output formats, baseline flags."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_lint(*args: str, cwd: Path = REPO) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestExitCodes:
+    def test_repo_with_empty_baseline_exits_zero(self, tmp_path):
+        baseline = tmp_path / "empty-baseline"
+        baseline.write_text("")
+        proc = run_lint("--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_each_fixture_exits_nonzero(self):
+        for fixture in sorted(FIXTURES.glob("sl*.py")):
+            proc = run_lint(str(fixture))
+            assert proc.returncode == 1, f"{fixture.name}: {proc.stdout}"
+
+    def test_missing_path_exits_two(self):
+        proc = run_lint("does/not/exist.py")
+        assert proc.returncode == 2
+
+    def test_missing_baseline_file_exits_two(self):
+        proc = run_lint(str(FIXTURES), "--baseline", "no-such-baseline.json")
+        assert proc.returncode == 2
+
+
+class TestFormats:
+    def test_json_format_is_parseable(self):
+        proc = run_lint(str(FIXTURES), "--format=json")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["schema"] == "repro.lint.report/1"
+        found = {f["code"] for f in doc["findings"]}
+        assert found == {"SL001", "SL002", "SL003", "SL004", "SL005", "SL006"}
+        for finding in doc["findings"]:
+            assert finding["fingerprint"]
+            assert finding["line"] >= 1
+
+    def test_text_format_names_rule_and_location(self):
+        proc = run_lint(str(FIXTURES / "sl001_wallclock.py"))
+        assert "SL001" in proc.stdout
+        assert "sl001_wallclock.py:" in proc.stdout
+
+    def test_list_rules(self):
+        proc = run_lint("--list-rules")
+        assert proc.returncode == 0
+        for code in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+            assert code in proc.stdout
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_lint_exits_zero(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        wrote = run_lint(
+            str(FIXTURES), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert wrote.returncode == 0
+        assert baseline.exists()
+        relint = run_lint(str(FIXTURES), "--baseline", str(baseline))
+        assert relint.returncode == 0, relint.stdout
+        assert "baselined" in relint.stdout
+
+    def test_new_finding_beats_stale_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        only_one = run_lint(
+            str(FIXTURES / "sl001_wallclock.py"),
+            "--baseline",
+            str(baseline),
+            "--write-baseline",
+        )
+        assert only_one.returncode == 0
+        # the baseline grandfathers SL001 but not the SL002 fixture
+        proc = run_lint(
+            str(FIXTURES / "sl001_wallclock.py"),
+            str(FIXTURES / "sl002_rng.py"),
+            "--baseline",
+            str(baseline),
+        )
+        assert proc.returncode == 1
+        assert "SL002" in proc.stdout
+        assert "SL001" not in proc.stdout

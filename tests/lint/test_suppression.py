@@ -1,0 +1,82 @@
+"""Inline-suppression grammar: reasons are mandatory, names are checked."""
+
+from repro.lint import lint_source
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestSuppression:
+    def test_same_line_suppression_silences_rule(self):
+        src = (
+            "import time\n\n"
+            "t = time.time()  # simlint: allow-wallclock -- test scaffolding\n"
+        )
+        assert lint_source(src, "x.py") == []
+
+    def test_preceding_comment_suppression(self):
+        src = (
+            "import time\n\n"
+            "# simlint: allow-wallclock -- test scaffolding\n"
+            "t = time.time()\n"
+        )
+        assert lint_source(src, "x.py") == []
+
+    def test_preceding_comment_spans_comment_block(self):
+        src = (
+            "import time\n\n"
+            "# simlint: allow-wallclock -- test scaffolding that goes on\n"
+            "# for a second explanatory line before the code\n"
+            "t = time.time()\n"
+        )
+        assert lint_source(src, "x.py") == []
+
+    def test_rule_code_is_accepted_as_alias(self):
+        src = (
+            "import time\n\n"
+            "t = time.time()  # simlint: allow-SL001 -- code form works too\n"
+        )
+        assert lint_source(src, "x.py") == []
+
+    def test_multiple_rules_one_comment(self):
+        src = (
+            "import os\nimport time\n\n"
+            "t = time.time() if os.environ.get('X') else 0"
+            "  # simlint: allow-wallclock,allow-env -- one reason for both\n"
+        )
+        assert lint_source(src, "x.py") == []
+
+    def test_suppression_without_reason_is_flagged(self):
+        src = "import time\n\nt = time.time()  # simlint: allow-wallclock\n"
+        findings = lint_source(src, "x.py")
+        # the suppression is invalid, so SL001 still fires AND SL000 reports
+        # the missing reason.
+        assert codes(findings) == ["SL000", "SL001"]
+
+    def test_unknown_rule_name_is_flagged(self):
+        src = "X = 1  # simlint: allow-warpdrive -- no such rule\n"
+        findings = lint_source(src, "x.py")
+        assert codes(findings) == ["SL000"]
+        assert "warpdrive" in findings[0].message
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        src = (
+            "import time\n\n"
+            "a = time.time()  # simlint: allow-wallclock -- only this line\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src, "x.py")
+        assert [f.line for f in findings] == [4]
+
+    def test_suppression_only_covers_named_rule(self):
+        src = (
+            "import time\n\n"
+            "t = time.time()  # simlint: allow-env -- wrong rule named\n"
+        )
+        assert "SL001" in codes(lint_source(src, "x.py"))
+
+    def test_malformed_simlint_comment_is_flagged(self):
+        src = "X = 1  # simlint wallclock please\n"
+        findings = lint_source(src, "x.py")
+        assert codes(findings) == ["SL000"]
