@@ -98,6 +98,7 @@ class Advertiser:
         self.controller.scheduler.unregister(self)
         if self._timer is not None:
             self._timer.cancel()
+            self._timer = None  # cancelled handles must not be retained
         self._next_event_true = None
 
     def _schedule(self, when: int) -> None:

@@ -26,14 +26,16 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.ble.chanmap import ChannelMap
 from repro.ble.config import BleConfig, ConnParams, CsaVariant, SchedulerPolicy
 from repro.ble.csa import Csa1, Csa2, ChannelSelection
 from repro.ble.pdu import DataPdu, Llid
 from repro.obs.registry import METRICS
-from repro.phy.frames import T_IFS_NS, ble_air_time_ns
+from repro.phy.frames import T_IFS_NS, ble_air_time_ns, ble_air_time_table
+from repro.phy.medium import BleMedium
 from repro.sim.kernel import Simulator, Timer
 from repro.trace.tracer import TRACE
 
@@ -123,6 +125,10 @@ class Endpoint:
         #: triggers a retransmission of the *same* PDU -- even an empty one,
         #: which consumes a sequence number like any data PDU.
         self._outstanding: Optional[DataPdu] = None
+        #: The reusable empty PDU this endpoint pins when its queue is dry.
+        #: Only one empty can be outstanding at a time and receivers never
+        #: retain empties, so one mutable object per endpoint suffices.
+        self._empty_pdu = DataPdu()
         #: True time of the last CRC-valid packet received (supervision basis).
         self.last_rx_valid = 0
         self.stats = LinkStats()
@@ -175,7 +181,7 @@ class Endpoint:
             if self.tx_queue and len(self.tx_queue[0].payload) <= max_payload:
                 pdu = self.tx_queue[0]
             else:
-                pdu = DataPdu(payload=b"", llid=Llid.DATA_CONT)
+                pdu = self._empty_pdu
             pdu.sn = self.sn
             self._outstanding = pdu
         elif pdu.payload and METRICS.enabled:
@@ -223,13 +229,13 @@ class Endpoint:
         # Acceptance: new sequence number means new data.
         if pdu.sn == self.nesn:
             self.nesn ^= 1
-            if not pdu.is_empty:
+            if pdu.payload or pdu.llid is not Llid.DATA_CONT:  # not is_empty
                 self.stats.rx_data_unique += 1
                 if pdu.llid is Llid.CTRL:
                     self.conn._handle_ctrl(self, pdu)
                 elif self.on_rx_pdu is not None:
                     self.on_rx_pdu(pdu)
-        elif not pdu.is_empty:
+        elif pdu.payload or pdu.llid is not Llid.DATA_CONT:
             self.stats.rx_data_dup += 1
 
     def drain_queue(self) -> None:
@@ -244,15 +250,16 @@ class Endpoint:
 class _ConnActivity:
     """Scheduler-facing adapter: one per (connection, node) pair."""
 
-    __slots__ = ("conn", "role", "consec_skips")
+    __slots__ = ("conn", "role", "consec_skips", "next_radio_time")
 
     def __init__(self, conn: "Connection", role: Role):
         self.conn = conn
         self.role = role
         self.consec_skips = 0
-
-    def next_radio_time(self, after_ns: int) -> Optional[int]:
-        return self.conn._next_radio_time(self.role, after_ns)
+        # Bound directly so scheduler budget queries skip a delegation frame.
+        self.next_radio_time: Callable[[int], Optional[int]] = partial(
+            conn._next_radio_time, role
+        )
 
 
 class Connection:
@@ -309,6 +316,31 @@ class Connection:
         # it is "synced" to the first anchor by definition.
         self._sync_true = anchor0_true
         self._sync_counter = 0
+        # Per-event invariants, recomputed only when their inputs change
+        # (clock rates and node configs are fixed for a connection's life;
+        # params change only via LL control procedures).
+        self._sca_sum_ppm = (
+            coordinator.config.declared_sca_ppm + subordinate.config.declared_sca_ppm
+        )
+        self._widening_base = subordinate.config.window_widening_base_ns
+        self._sub_clock = subordinate.clock
+        # Cross-event PER memo for the inline loss-sampling fast path:
+        # with no bursts configured the PER of a (channel, nbytes) pair is
+        # time-invariant, so it survives across events.  Guarded by the
+        # interference model's change stamp (see _exchange_loop).
+        self._per_memo: Dict[int, float] = {}
+        self._per_memo_stamp: Tuple[int, int] = (-2, -2)
+        self._interval_true = coordinator.clock.local_duration_to_true(
+            params.interval_ns
+        )
+        self._timeout_ns = params.effective_supervision_timeout_ns()
+        self._sync_local = subordinate.clock.to_local(anchor0_true)
+        self._coord_alternate = (
+            coordinator.config.scheduler_policy is SchedulerPolicy.ALTERNATE
+        )
+        self._sub_alternate = (
+            subordinate.config.scheduler_policy is SchedulerPolicy.ALTERNATE
+        )
         self._sub_latency_credit = 0
         self._pending_params: Optional[ConnParams] = None
         self._pending_chan_map: Optional[ChannelMap] = None
@@ -397,6 +429,7 @@ class Connection:
             METRICS.inc(self.sub.controller.name, "ble.supervision_resets")
         if self._timer is not None:
             self._timer.cancel()
+            self._timer = None  # cancelled handles must not be retained
         self.coord.drain_queue()
         self.sub.drain_queue()
         self.coord.controller.detach_connection(self, self._coord_activity)
@@ -445,10 +478,12 @@ class Connection:
             self._pending_chan_map = arg
 
     def _interval_true_coord(self) -> int:
-        """One interval as counted by the coordinator's clock, in true ns."""
-        return self.coord.controller.clock.local_duration_to_true(
-            self.params.interval_ns
-        )
+        """One interval as counted by the coordinator's clock, in true ns.
+
+        Cached in ``_interval_true``: the clock rate is fixed for life and
+        ``params`` only changes via a control procedure, which refreshes it.
+        """
+        return self._interval_true
 
     def _next_radio_time(self, role: Role, after_ns: int) -> Optional[int]:
         """Scheduler callback: when does this connection need the radio next."""
@@ -456,30 +491,33 @@ class Connection:
             return None
         anchor = self.anchor_true
         if anchor <= after_ns:
-            interval = self._interval_true_coord()
+            interval = self._interval_true
             periods = (after_ns - anchor) // interval + 1
             anchor += periods * interval
         if role is Role.SUBORDINATE:
             # The subordinate opens its window early; approximating with the
-            # current widening is enough for budget queries.
-            anchor -= self._window_widening(anchor)
+            # current widening is enough for budget queries.  Inlined
+            # _window_widening: budget queries run several times per event.
+            dt = anchor - self._sync_true
+            if dt < 0:
+                dt = 0
+            anchor -= self._widening_base + int(dt * self._sca_sum_ppm * 1e-6)
         return anchor
 
     def _sub_predicted_anchor(self) -> int:
         """Where the subordinate's clock believes the current anchor lies."""
-        sub_clock = self.sub.controller.clock
         elapsed_events = self.event_counter - self._sync_counter
-        sync_local = sub_clock.to_local(self._sync_true)
-        pred_local = sync_local + elapsed_events * self.params.interval_ns
-        return sub_clock.to_true(pred_local)
+        pred_local = self._sync_local + elapsed_events * self.params.interval_ns
+        return self.sub.controller.clock.to_true(pred_local)
 
     def _window_widening(self, pred_true: int) -> int:
-        """Receive window half-width around the predicted anchor (§6.1)."""
-        cfg_c = self.coord.controller.config
-        cfg_s = self.sub.controller.config
-        sca_sum_ppm = cfg_c.declared_sca_ppm + cfg_s.declared_sca_ppm
+        """Receive window half-width around the predicted anchor (§6.1).
+
+        The hot paths (`_run_event`, `_next_radio_time`) inline this
+        arithmetic; keep the three of them in sync.
+        """
         dt = max(0, pred_true - self._sync_true)
-        return cfg_s.window_widening_base_ns + int(dt * sca_sum_ppm * 1e-6)
+        return self._widening_base + int(dt * self._sca_sum_ppm * 1e-6)
 
     def _policy_yield(
         self, controller: "BleController", activity: _ConnActivity, t0: int
@@ -522,18 +560,27 @@ class Connection:
         t0 = self.anchor_true
         coord_ctrl = self.coord.controller
         sub_ctrl = self.sub.controller
-        interval_true = self._interval_true_coord()
+        interval_true = self._interval_true
+        trace_on = TRACE.enabled
+        metrics_on = METRICS.enabled
 
         channel = self.csa.channel_for_event(self.event_counter & 0xFFFF, self.chan_map)
 
         # --- subordinate's view: does its window catch the anchor? ---------
-        pred = self._sub_predicted_anchor()
-        widening = self._window_widening(pred)
+        # Inlined _sub_predicted_anchor + _window_widening (hot path).
+        pred_local = self._sync_local + (
+            (self.event_counter - self._sync_counter) * self.params.interval_ns
+        )
+        pred = self._sub_clock.to_true(pred_local)
+        dt = pred - self._sync_true
+        if dt < 0:
+            dt = 0
+        widening = self._widening_base + int(dt * self._sca_sum_ppm * 1e-6)
         window_hit = pred - widening <= t0 <= pred + widening
 
         # --- subordinate latency: may it sleep through this event? ---------
         latency_skip = False
-        if self.params.latency > 0 and not self.sub.has_data:
+        if self.params.latency > 0 and not self.sub.tx_queue:
             if self._sub_latency_credit > 0:
                 self._sub_latency_credit -= 1
                 latency_skip = True
@@ -541,19 +588,28 @@ class Connection:
                 self._sub_latency_credit = self.params.latency
 
         # --- radio arbitration on both nodes --------------------------------
-        coord_free = coord_ctrl.scheduler.is_free(t0)
-        sub_free = sub_ctrl.scheduler.is_free(t0)
-        coord_yield = coord_free and self._policy_yield(
-            coord_ctrl, self._coord_activity, t0
+        # is_free() inlined (`at_ns >= _busy_until`): two calls per event.
+        coord_free = t0 >= coord_ctrl.scheduler._busy_until
+        sub_free = t0 >= sub_ctrl.scheduler._busy_until
+        # The ALTERNATE check is hoisted to a per-connection flag so the
+        # default EARLIEST_WINS policy never pays a _policy_yield call.
+        coord_yield = (
+            coord_free
+            and self._coord_alternate
+            and self._policy_yield(coord_ctrl, self._coord_activity, t0)
         )
-        sub_yield = sub_free and self._policy_yield(sub_ctrl, self._sub_activity, t0)
+        sub_yield = (
+            sub_free
+            and self._sub_alternate
+            and self._policy_yield(sub_ctrl, self._sub_activity, t0)
+        )
 
         coord_runs = coord_free and not coord_yield
         sub_listens = (
             sub_free and not sub_yield and window_hit and not latency_skip
         )
 
-        if TRACE.enabled:
+        if trace_on:
             TRACE.emit(
                 t0, "ble", "conn_event",
                 conn=self.conn_id, event=self.event_counter, anchor=t0,
@@ -565,49 +621,75 @@ class Connection:
         if not coord_free:
             self.coord.stats.events_skipped_radio += 1
             coord_ctrl.scheduler.deny(self._coord_activity)
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc(coord_ctrl.name, "ble.conn_events_skipped_radio")
         elif coord_yield:
             self.coord.stats.events_skipped_policy += 1
             coord_ctrl.scheduler.deny(self._coord_activity)
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc(coord_ctrl.name, "ble.conn_events_skipped_policy")
         if not sub_free:
             self.sub.stats.events_skipped_radio += 1
             sub_ctrl.scheduler.deny(self._sub_activity)
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc(sub_ctrl.name, "ble.conn_events_skipped_radio")
         elif sub_yield:
             self.sub.stats.events_skipped_policy += 1
             sub_ctrl.scheduler.deny(self._sub_activity)
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc(sub_ctrl.name, "ble.conn_events_skipped_policy")
         elif not window_hit:
             self.sub.stats.events_missed_window += 1
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc(sub_ctrl.name, "ble.conn_events_missed_window")
 
         event_end = t0
         if coord_runs and sub_listens:
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc(coord_ctrl.name, "ble.conn_events_served")
                 METRICS.inc(sub_ctrl.name, "ble.conn_events_served")
             end = self._exchange_loop(t0, channel, interval_true)
-            coord_ctrl.scheduler.claim(self._coord_activity, t0, end)
-            sub_ctrl.scheduler.claim(self._sub_activity, t0, end)
-            coord_ctrl.note_conn_event(Role.COORDINATOR, end - t0)
-            sub_ctrl.note_conn_event(Role.SUBORDINATE, end - t0)
+            csched = coord_ctrl.scheduler
+            ssched = sub_ctrl.scheduler
+            if trace_on or metrics_on:
+                csched.claim(self._coord_activity, t0, end)
+                ssched.claim(self._sub_activity, t0, end)
+            elif t0 < csched._busy_until or t0 < ssched._busy_until:
+                # Overlap: delegate to claim() for its diagnostic raise --
+                # the radio-exclusivity invariant must keep firing.
+                csched.claim(self._coord_activity, t0, end)
+                ssched.claim(self._sub_activity, t0, end)
+            else:
+                # Inlined RadioScheduler.claim fast path (instrumentation
+                # off; _exchange_loop guarantees end >= t0).
+                dur = end - t0
+                csched._busy_until = end
+                csched._busy_owner = self._coord_activity
+                csched.busy_ns_total += dur
+                csched.claims += 1
+                self._coord_activity.consec_skips = 0
+                ssched._busy_until = end
+                ssched._busy_owner = self._sub_activity
+                ssched.busy_ns_total += dur
+                ssched.claims += 1
+                self._sub_activity.consec_skips = 0
+            # Inlined note_conn_event x2 (energy accounting).
+            dur = end - t0
+            coord_ctrl.conn_events_coord += 1
+            coord_ctrl.conn_event_ns += dur
+            sub_ctrl.conn_events_sub += 1
+            sub_ctrl.conn_event_ns += dur
             event_end = end
         elif coord_runs:
             # TX into the void: one unanswered packet, then the event closes.
             retx = TRACE.enabled and self.coord._outstanding is not None
             pdu = self.coord.build_tx_pdu()
-            if TRACE.enabled:
+            if trace_on:
                 self.coord._trace_tx(pdu, t0, retx)
             dur = ble_air_time_ns(len(pdu.payload), self.phy)
             if not pdu.is_empty:
                 self.coord.stats.per_channel[channel][0] += 1
-                if METRICS.enabled:
+                if metrics_on:
                     METRICS.inc_vec(
                         coord_ctrl.name, "ble.pdus_by_channel", channel,
                         label_key="channel",
@@ -627,9 +709,9 @@ class Connection:
             return  # torn down by a control procedure during the event
 
         # --- supervision timeout (both sides judge independently) ----------
-        timeout = self.params.effective_supervision_timeout_ns()
+        timeout = self._timeout_ns
         now = sim.now if sim.now > t0 else t0
-        if TRACE.enabled:
+        if trace_on:
             TRACE.emit(
                 now, "ble", "conn_event_end",
                 conn=self.conn_id, event=self.event_counter,
@@ -649,8 +731,12 @@ class Connection:
         if self._pending_params is not None:
             self.params = self._pending_params
             self._pending_params = None
-            interval_true = self._interval_true_coord()
-            if TRACE.enabled:
+            self._interval_true = coord_ctrl.clock.local_duration_to_true(
+                self.params.interval_ns
+            )
+            self._timeout_ns = self.params.effective_supervision_timeout_ns()
+            interval_true = self._interval_true
+            if trace_on:
                 TRACE.emit(
                     None, "ble", "param_update",
                     conn=self.conn_id, interval_ns=self.params.interval_ns,
@@ -659,11 +745,17 @@ class Connection:
             # instant, so the subordinate is synced by definition.
             self._sync_true = t0 + interval_true
             self._sync_counter = self.event_counter + 1
+            self._sync_local = sub_ctrl.clock.to_local(self._sync_true)
 
         # --- schedule the next event ----------------------------------------
         self.event_counter += 1
         self.anchor_true = t0 + interval_true
-        self._timer = sim.at(self.anchor_true, self._run_event)
+        timer = self._timer
+        if timer is not None:
+            # The handle that fired this event is ours to reuse (rearm).
+            self._timer = sim.rearm(timer, self.anchor_true)
+        else:
+            self._timer = sim.at(self.anchor_true, self._run_event)
 
     def _exchange_loop(self, t0: int, channel: int, interval_true: int) -> int:
         """Play out the packet exchanges of one event; returns its end time.
@@ -673,15 +765,76 @@ class Connection:
         closes the event immediately (BT 5.2 Vol 6 Part B §4.5.6).
         """
         coord, sub = self.coord, self.sub
-        budget_end = min(
-            self._event_budget_end(
-                coord.controller, self._coord_activity, t0, interval_true
-            ),
-            self._event_budget_end(
-                sub.controller, self._sub_activity, t0, interval_true
-            ),
+        # Inlined _event_budget_end for both endpoints (hot path): the
+        # event may run until the interval ends, the next competing radio
+        # demand on either node, or the controller's event-length cap,
+        # whichever is earliest.
+        budget_end = t0 + interval_true - T_IFS_NS
+        coord_ctrl = coord.controller
+        sub_ctrl = sub.controller
+        demand_t, _ = coord_ctrl.scheduler.next_demand_after(
+            t0, self._coord_activity
         )
+        if demand_t is not None and demand_t - T_IFS_NS < budget_end:
+            budget_end = demand_t - T_IFS_NS
+        demand_t, _ = sub_ctrl.scheduler.next_demand_after(t0, self._sub_activity)
+        if demand_t is not None and demand_t - T_IFS_NS < budget_end:
+            budget_end = demand_t - T_IFS_NS
+        max_len = coord_ctrl.config.max_event_len_ns
+        if max_len > 0 and t0 + max_len < budget_end:
+            budget_end = t0 + max_len
+        max_len = sub_ctrl.config.max_event_len_ns
+        if max_len > 0 and t0 + max_len < budget_end:
+            budget_end = t0 + max_len
         medium = self.medium
+        # Loop-invariant loads, hoisted out of the per-exchange iteration:
+        # instrumentation flags only toggle between runs, never inside a
+        # connection event, and the PHY / abort policy are fixed per event.
+        trace_on = TRACE.enabled
+        metrics_on = METRICS.enabled
+        phy = self.phy
+        air = ble_air_time_table(phy)
+        abort_on_crc = coord_ctrl.config.abort_event_on_crc_error
+        packet_lost = medium.packet_lost
+        llid_cont = Llid.DATA_CONT
+        coord_chan_row = coord.stats.per_channel[channel]
+        sub_chan_row = sub.stats.per_channel[channel]
+        # With instrumentation off, loss sampling is inlined: the PER for a
+        # given (channel, nbytes) is constant for the whole event (kernel
+        # time does not advance inside a callback, so burst activity cannot
+        # change mid-event) and is memoized per length.  The RNG draw
+        # discipline is identical to BleMedium.packet_lost: one draw per
+        # packet, skipped when PER <= 0.  The inline is only taken when
+        # ``packet_lost`` is the stock implementation -- tests and fault
+        # injectors that patch or override it keep their seam.
+        fast_phy = (
+            not trace_on
+            and not metrics_on
+            and "packet_lost" not in medium.__dict__
+            and type(medium).packet_lost is BleMedium.packet_lost
+        )
+        if fast_phy:
+            interf = medium.interference
+            per_of = interf.packet_error_rate
+            rng_random = medium.rng.random
+            sim_now = self.sim.now
+            if interf.bursts:
+                # Bursts make PER time-dependent: memoize within this
+                # event only (kernel time is frozen inside a callback).
+                per_cache: Dict[int, float] = {}
+            else:
+                # No bursts: PER is a pure function of (channel, nbytes)
+                # until the static interference config changes, so the
+                # memo survives across events.  The stamp mirrors the
+                # model's own dirty flag (invalidate() resets it).
+                per_cache = self._per_memo
+                stamp = interf._chan_stamp
+                if stamp != self._per_memo_stamp:
+                    per_cache.clear()
+                    self._per_memo_stamp = stamp
+            # nbytes < 512 always (max BLE payload 251 + overhead), so
+            # `channel * 512 + nbytes` is a collision-free int key.
+            chan_key = channel << 9
         t = t0
         first = True
         coord_active = False
@@ -695,33 +848,47 @@ class Connection:
             # connection drops and "beneficial reconnects").  Additional
             # exchanges are only *started* while they fit the budget (the
             # `needed` check below).
-            retx_c = TRACE.enabled and coord._outstanding is not None
+            retx_c = trace_on and coord._outstanding is not None
             pdu_c = coord.build_tx_pdu()
-            if TRACE.enabled:
+            if trace_on:
                 coord._trace_tx(pdu_c, t, retx_c)
-            if not pdu_c.is_empty:
-                coord.stats.per_channel[channel][0] += 1
-                if METRICS.enabled:
+            if pdu_c.payload or pdu_c.llid is not llid_cont:  # not is_empty
+                coord_chan_row[0] += 1
+                if metrics_on:
                     METRICS.inc_vec(
                         coord.controller.name, "ble.pdus_by_channel", channel,
                         label_key="channel",
                     )
-            dur_c = ble_air_time_ns(len(pdu_c.payload), self.phy)
-            lost_c = medium.packet_lost(channel, len(pdu_c.payload) + 10)
-            t += dur_c
+            len_c = len(pdu_c.payload)
+            if fast_phy:
+                nb = len_c + 10
+                per = per_cache.get(chan_key + nb)
+                if per is None:
+                    per = per_of(channel, nb, sim_now)
+                    per_cache[chan_key + nb] = per
+                medium.packets_sampled += 1
+                if per <= 0.0:
+                    lost_c = False
+                else:
+                    lost_c = rng_random() < per
+                    if lost_c:
+                        medium.packets_lost += 1
+            else:
+                lost_c = packet_lost(channel, len_c + 10)
+            t += air[len_c]
             if lost_c:
-                if TRACE.enabled:
+                if trace_on:
                     TRACE.emit(
                         t, "ble", "crc_loss",
                         conn=self.conn_id, role=sub.role.value,
-                        channel=channel, len=len(pdu_c.payload),
+                        channel=channel, len=len_c,
                     )
                 coord.stats.events_crc_abort += 1
-                if METRICS.enabled:
+                if metrics_on:
                     METRICS.inc(
                         coord.controller.name, "ble.conn_events_crc_abort"
                     )
-                if coord.controller.config.abort_event_on_crc_error:
+                if abort_on_crc:
                     break
                 # ablation: keep the event open and retry after one IFS
                 if t + T_IFS_NS + MIN_EXCHANGE_NS > budget_end:
@@ -729,38 +896,55 @@ class Connection:
                 t += T_IFS_NS
                 continue
             if first:
-                self._resync_sub(t0)
+                # Inlined _resync_sub: the sub locks onto this anchor.
+                self._sync_true = t0
+                self._sync_counter = self.event_counter
+                self._sync_local = self._sub_clock.to_local(t0)
             sub.process_rx(pdu_c, t, channel)
             sub_active = True
 
             t += T_IFS_NS
-            retx_s = TRACE.enabled and sub._outstanding is not None
+            retx_s = trace_on and sub._outstanding is not None
             pdu_s = sub.build_tx_pdu()
-            if TRACE.enabled:
+            if trace_on:
                 sub._trace_tx(pdu_s, t, retx_s)
-            if not pdu_s.is_empty:
-                sub.stats.per_channel[channel][0] += 1
-                if METRICS.enabled:
+            if pdu_s.payload or pdu_s.llid is not llid_cont:  # not is_empty
+                sub_chan_row[0] += 1
+                if metrics_on:
                     METRICS.inc_vec(
                         sub.controller.name, "ble.pdus_by_channel", channel,
                         label_key="channel",
                     )
-            dur_s = ble_air_time_ns(len(pdu_s.payload), self.phy)
-            lost_s = medium.packet_lost(channel, len(pdu_s.payload) + 10)
-            t += dur_s
+            len_s = len(pdu_s.payload)
+            if fast_phy:
+                nb = len_s + 10
+                per = per_cache.get(chan_key + nb)
+                if per is None:
+                    per = per_of(channel, nb, sim_now)
+                    per_cache[chan_key + nb] = per
+                medium.packets_sampled += 1
+                if per <= 0.0:
+                    lost_s = False
+                else:
+                    lost_s = rng_random() < per
+                    if lost_s:
+                        medium.packets_lost += 1
+            else:
+                lost_s = packet_lost(channel, len_s + 10)
+            t += air[len_s]
             if lost_s:
-                if TRACE.enabled:
+                if trace_on:
                     TRACE.emit(
                         t, "ble", "crc_loss",
                         conn=self.conn_id, role=coord.role.value,
-                        channel=channel, len=len(pdu_s.payload),
+                        channel=channel, len=len_s,
                     )
                 sub.stats.events_crc_abort += 1
-                if METRICS.enabled:
+                if metrics_on:
                     METRICS.inc(
                         sub.controller.name, "ble.conn_events_crc_abort"
                     )
-                if coord.controller.config.abort_event_on_crc_error:
+                if abort_on_crc:
                     break
                 if t + T_IFS_NS + MIN_EXCHANGE_NS > budget_end:
                     break
@@ -770,14 +954,20 @@ class Connection:
             coord_active = True
             first = False
 
-            if not (coord.has_data or sub.has_data):
+            if not (coord.tx_queue or sub.tx_queue):
                 break
-            needed = (
-                T_IFS_NS
-                + ble_air_time_ns(coord.next_tx_len(), self.phy)
-                + T_IFS_NS
-                + ble_air_time_ns(sub.next_tx_len(), self.phy)
-            )
+            # Inlined next_tx_len for both endpoints (hot loop).
+            o = coord._outstanding
+            if o is not None:
+                next_c = len(o.payload)
+            else:
+                next_c = len(coord.tx_queue[0].payload) if coord.tx_queue else 0
+            o = sub._outstanding
+            if o is not None:
+                next_s = len(o.payload)
+            else:
+                next_s = len(sub.tx_queue[0].payload) if sub.tx_queue else 0
+            needed = T_IFS_NS + air[next_c] + T_IFS_NS + air[next_s]
             if t + needed > budget_end:
                 break
             t += T_IFS_NS
@@ -795,3 +985,4 @@ class Connection:
         """The subordinate locks onto the coordinator's anchor (first RX)."""
         self._sync_true = anchor_true
         self._sync_counter = self.event_counter
+        self._sync_local = self.sub.controller.clock.to_local(anchor_true)

@@ -16,9 +16,18 @@ nodes avoid the permanently jammed channel 22 (§4.2).
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.ble.chanmap import ChannelMap
+
+#: log2 of the memoized CSA#2 table block: channels are precomputed in
+#: blocks of 256 consecutive event counters, built lazily on first access,
+#: so a short run never pays for the full 65536-counter period.
+CSA2_BLOCK_SHIFT = 8
+CSA2_BLOCK_SIZE = 1 << CSA2_BLOCK_SHIFT
+CSA2_BLOCK_MASK = CSA2_BLOCK_SIZE - 1
+#: Number of blocks covering the 16-bit event-counter period.
+CSA2_NUM_BLOCKS = 0x10000 >> CSA2_BLOCK_SHIFT
 
 
 class ChannelSelection(Protocol):
@@ -55,9 +64,8 @@ class Csa1:
             if self._last_counter is None
             else event_counter - self._last_counter
         )
-        unmapped = self._last_unmapped
-        for _ in range(steps):
-            unmapped = (unmapped + self.hop_increment) % 37
+        # Closed form of `steps` modular hops -- O(1) after long gaps.
+        unmapped = (self._last_unmapped + self.hop_increment * steps) % 37
         self._last_unmapped = unmapped
         self._last_counter = event_counter
         if chan_map.is_used(unmapped):
@@ -92,6 +100,16 @@ class Csa2:
             raise ValueError("access address must be a 32-bit value")
         self.access_address = access_address
         self.channel_identifier = ((access_address >> 16) ^ access_address) & 0xFFFF
+        # chan_map -> CSA2_NUM_BLOCKS lazily-built blocks of precomputed
+        # channels.  The sequence is a pure function of (channel identifier,
+        # chan_map, counter), so the table is exact memoization, not an
+        # approximation; a chan_map update simply starts a new table.
+        self._tables: Dict[ChannelMap, List[Optional[Tuple[int, ...]]]] = {}
+        # Identity-keyed alias of the active map's blocks: a connection asks
+        # about the same ChannelMap object every event, and an `is` check is
+        # far cheaper than hashing a 37-entry tuple per event.
+        self._last_map: Optional[ChannelMap] = None
+        self._last_blocks: List[Optional[Tuple[int, ...]]] = []
 
     def _prn_e(self, event_counter: int) -> int:
         """Pseudo-random number for one event (spec Figure 4.44)."""
@@ -101,11 +119,49 @@ class Csa2:
             u = _mam(_perm(u), cid)
         return (u ^ cid) & 0xFFFF
 
+    def _build_block(self, block: int, chan_map: ChannelMap) -> Tuple[int, ...]:
+        """Precompute channels for one block of consecutive event counters.
+
+        The PRN pipeline (``_prn_e`` = 3x PERM+MAM) is fused inline: blocks
+        are rebuilt on every reconnect (fresh access address), so the build
+        itself sits on the hot path of churny scenarios.
+        """
+        used = set(chan_map.used)
+        table = chan_map.used
+        num_used = chan_map.num_used
+        cid = self.channel_identifier
+        rev = _REVERSED_BYTE
+        base = block << CSA2_BLOCK_SHIFT
+        out = []
+        append = out.append
+        for counter in range(base, base + CSA2_BLOCK_SIZE):
+            u = (counter ^ cid) & 0xFFFF
+            u = ((rev[u & 0xFF] | (rev[u >> 8] << 8)) * 17 + cid) & 0xFFFF
+            u = ((rev[u & 0xFF] | (rev[u >> 8] << 8)) * 17 + cid) & 0xFFFF
+            u = ((rev[u & 0xFF] | (rev[u >> 8] << 8)) * 17 + cid) & 0xFFFF
+            prn = u ^ cid
+            unmapped = prn % 37
+            if unmapped in used:
+                append(unmapped)
+            else:
+                # (num_used * prn) >> 16 < num_used, so ChannelMap.remap's
+                # defensive modulo is a no-op here.
+                append(table[(num_used * prn) >> 16])
+        return tuple(out)
+
     def channel_for_event(self, event_counter: int, chan_map: ChannelMap) -> int:
         """Data channel index for ``event_counter`` (pure function)."""
-        prn = self._prn_e(event_counter & 0xFFFF)
-        unmapped = prn % 37
-        if chan_map.is_used(unmapped):
-            return unmapped
-        remapping_index = (chan_map.num_used * prn) // 0x10000
-        return chan_map.remap(remapping_index)
+        counter = event_counter & 0xFFFF
+        if chan_map is self._last_map:
+            blocks = self._last_blocks
+        else:
+            blocks = self._tables.get(chan_map)
+            if blocks is None:
+                blocks = self._tables[chan_map] = [None] * CSA2_NUM_BLOCKS
+            self._last_map = chan_map
+            self._last_blocks = blocks
+        block_idx = counter >> CSA2_BLOCK_SHIFT
+        block = blocks[block_idx]
+        if block is None:
+            block = blocks[block_idx] = self._build_block(block_idx, chan_map)
+        return block[counter & CSA2_BLOCK_MASK]

@@ -24,7 +24,7 @@ class Llid(enum.IntEnum):
     CTRL = 0b11
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPdu:
     """One data channel PDU queued for transfer on a connection.
 

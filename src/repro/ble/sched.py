@@ -115,9 +115,14 @@ class RadioScheduler:
         :returns: ``(time_ns, activity)`` or ``(None, None)`` when no other
             activity has pending demand.
         """
+        activities = self._activities
+        # Common fast path: a leaf node whose only activity is the asking
+        # connection has, by definition, no competing demand.
+        if len(activities) == 1 and activities[0] is exclude:
+            return None, None
         best_t: Optional[int] = None
         best_a: Optional[RadioActivity] = None
-        for activity in self._activities:
+        for activity in activities:
             if activity is exclude:
                 continue
             t = activity.next_radio_time(after_ns)

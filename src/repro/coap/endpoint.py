@@ -233,6 +233,7 @@ class CoapEndpoint:
             return  # duplicate or stale response
         if pending.timer is not None:
             pending.timer.cancel()
+            pending.timer = None  # cancelled handles must not be retained
         self.responses_received += 1
         rtt_ns = self.node.sim.now - pending.sent_at
         if METRICS.enabled:

@@ -30,6 +30,8 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.ble.conn import Connection, DisconnectReason, Role
 from repro.core.intervals import IntervalPolicy, RandomWindowIntervalPolicy
+from repro.gatt.ipss import check_ip_support
+from repro.net.netif import coc_of
 from repro.sim.units import MSEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -185,9 +187,6 @@ class Dynconn:
 
     def _verify_ip_support(self, conn: Connection) -> None:
         """§3's capability check: GATT-discover the adopted peer's IPSS."""
-        from repro.gatt.ipss import check_ip_support
-        from repro.net.netif import coc_of
-
         peer = conn.peer_of(self.node.controller).addr
 
         def verdict(supported: bool) -> None:

@@ -13,9 +13,12 @@ from typing import Optional
 from repro.ble.config import BleConfig
 from repro.ble.controller import BleController
 from repro.core.statconn import Statconn, StatconnConfig
+from repro.gatt import GattServer, add_ipss
+from repro.gatt.att import AttServer
 from repro.l2cap import CocConfig
+from repro.net.icmpv6 import Icmpv6Stack
 from repro.net.ip import Ipv6Stack
-from repro.net.netif import BleNetif
+from repro.net.netif import BleNetif, coc_of
 from repro.net.pktbuf import PacketBuffer
 from repro.net.udp import UdpStack
 from repro.phy.medium import BleMedium
@@ -70,15 +73,9 @@ class Node:
         self.ip = Ipv6Stack(node_id, nib_entries)
         self.ip.add_netif(self.netif)
         self.udp = UdpStack(self.ip)
-        from repro.net.icmpv6 import Icmpv6Stack
-
         self.icmp = Icmpv6Stack(self.ip, sim)
         # GATT database with the Internet Protocol Support Service (Fig. 2);
         # every connection gets an ATT server so peers can verify IP support
-        from repro.gatt import GattServer, add_ipss
-        from repro.gatt.att import AttServer
-        from repro.net.netif import coc_of
-
         self.gatt = GattServer()
         add_ipss(self.gatt)
 

@@ -151,6 +151,15 @@ def main(argv: list[str] | None = None) -> int:
 
     add_lint_arguments(lint)
 
+    bench = sub.add_parser(
+        "bench",
+        help="re-run the committed perf scenarios; rewrite and optionally "
+             "gate on BENCH_metrics.json (non-zero exit on regression)",
+    )
+    from repro.obs.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
+
     run = sub.add_parser("run", help="execute a YAML experiment description")
     run.add_argument("description", help="path to the experiment YAML")
     run.add_argument("-o", "--outdir", default=None,
@@ -235,6 +244,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import run_lint
 
         return run_lint(args)
+
+    if args.command == "bench":
+        from repro.obs.bench import run_bench_cli
+
+        return run_bench_cli(args)
 
     if args.command == "metrics":
         from repro.exp.metricscmd import (

@@ -22,7 +22,7 @@ from repro.ble.config import BleConfig, SchedulerPolicy
 from repro.ble.chanmap import ChannelMap
 from repro.ble.conn import Role
 from repro.core.statconn import StatconnConfig
-from repro.core.intervals import IntervalPolicy
+from repro.core.intervals import IntervalPolicy, StaticIntervalPolicy
 from repro.exp.config import ExperimentConfig, parse_interval_spec
 from repro.exp.events import EventLog
 from repro.exp.portable import (
@@ -35,7 +35,9 @@ from repro.exp.portable import (
 from repro.obs.registry import METRICS
 from repro.obs.sampler import MetricsSnapshotter
 from repro.phy.medium import InterferenceModel
+from repro.sim import RngRegistry
 from repro.sim.units import SEC, s_to_ns
+from repro.testbed.dynamic import DynamicBleNetwork
 from repro.testbed.iotlab import JAMMED_CHANNEL
 from repro.testbed.topology import (
     BleNetwork,
@@ -130,10 +132,6 @@ class ExperimentRunner:
 
     def _build_ble_dynamic(self) -> Any:
         """The §9 mode: no configured links; dynconn + RPL self-form."""
-        from repro.core.intervals import StaticIntervalPolicy
-        from repro.sim import RngRegistry
-        from repro.testbed.dynamic import DynamicBleNetwork
-
         cfg = self.config
         policy = SchedulerPolicy(cfg.scheduler_policy)
         interference = InterferenceModel(

@@ -21,9 +21,10 @@ produce comparable documents.
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.exp.config import ExperimentConfig
 from repro.exp.runner import run_experiment
@@ -32,6 +33,9 @@ from repro.sim.units import s_to_ns
 
 #: Schema tag of the baseline document.
 BENCH_SCHEMA = "repro.obs.bench/1"
+
+#: Default tolerated throughput drop before the compare gate fails (25 %).
+DEFAULT_REGRESSION_THRESHOLD = 0.25
 
 
 def bench_configs() -> Dict[str, ExperimentConfig]:
@@ -91,11 +95,88 @@ def run_bench() -> dict:
     return {"schema": BENCH_SCHEMA, "scenarios": scenarios}
 
 
-def main() -> int:
-    """Run the bench and (re)write ``BENCH_metrics.json`` in the CWD."""
+def compare_documents(
+    current: dict, baseline: dict, threshold: float
+) -> List[str]:
+    """Check ``current`` against ``baseline``; return regression messages.
+
+    A scenario regresses when its ``events_per_wall_s`` drops by more than
+    ``threshold`` (a fraction: 0.25 = 25 %) relative to the baseline.
+    Scenarios present in the baseline but missing from the current document
+    are reported as regressions; scenarios new in the current document are
+    ignored (the baseline simply predates them).
+    """
+    problems: List[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+    for label, base_row in sorted(base_scenarios.items()):
+        cur_row = cur_scenarios.get(label)
+        if cur_row is None:
+            problems.append(f"{label}: scenario missing from current run")
+            continue
+        base_eps = float(base_row["events_per_wall_s"])
+        cur_eps = float(cur_row["events_per_wall_s"])
+        if base_eps <= 0:
+            continue
+        ratio = cur_eps / base_eps
+        if ratio < 1.0 - threshold:
+            problems.append(
+                f"{label}: {cur_eps:.1f} events/s is "
+                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                f"{base_eps:.1f} (threshold {threshold * 100.0:.0f}%)"
+            )
+    return problems
+
+
+def render_comparison(current: dict, baseline: dict) -> str:
+    """Human-readable per-scenario throughput deltas vs a baseline."""
+    lines = []
+    base_scenarios = baseline.get("scenarios", {})
+    for label, row in sorted(current.get("scenarios", {}).items()):
+        cur_eps = float(row["events_per_wall_s"])
+        base_row = base_scenarios.get(label)
+        if base_row is None:
+            lines.append(f"{label:5s} {cur_eps:10.1f} events/sec (no baseline)")
+            continue
+        base_eps = float(base_row["events_per_wall_s"])
+        ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
+        lines.append(
+            f"{label:5s} {cur_eps:10.1f} events/sec "
+            f"vs baseline {base_eps:10.1f}  ({ratio:5.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``bench`` options (shared by the CLI subcommand)."""
+    parser.add_argument(
+        "-o", "--out", default="BENCH_metrics.json",
+        help="baseline document to (re)write (default: BENCH_metrics.json)",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against this baseline document and fail on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+        help="tolerated events/sec drop as a fraction "
+             f"(default {DEFAULT_REGRESSION_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI soak mode)",
+    )
+
+
+def run_bench_cli(args: argparse.Namespace) -> int:
+    """Execute the bench subcommand; returns a process exit code."""
+    baseline: Optional[dict] = None
+    if args.compare is not None:
+        # Read the baseline *before* writing --out: they may be the same file.
+        baseline = json.loads(Path(args.compare).read_text())
     doc = run_bench()
-    path = Path("BENCH_metrics.json")
-    path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+    out = Path(args.out)
+    out.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
     for label, row in doc["scenarios"].items():
         print(
             f"{label:5s} {row['n_nodes']:3d} nodes "
@@ -103,8 +184,30 @@ def main() -> int:
             f"{row['events_per_wall_s']:10.1f} events/sec "
             f"x{row['sim_s_per_wall_s']:.0f} real time"
         )
-    print(f"baseline written to {path}")
-    return 0
+    print(f"baseline written to {out}")
+    if baseline is None:
+        return 0
+    print(render_comparison(doc, baseline))
+    problems = compare_documents(doc, baseline, args.threshold)
+    if not problems:
+        return 0
+    for problem in problems:
+        print(f"REGRESSION: {problem}")
+    if args.warn_only:
+        print("(warn-only: exit 0 despite regressions)")
+        return 0
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the bench and (re)write the baseline; optionally gate on one."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Re-run the committed perf scenarios and write/compare "
+                    "the BENCH_metrics.json baseline.",
+    )
+    add_bench_arguments(parser)
+    return run_bench_cli(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,35 @@
+"""Instrumentation toggle versioning for the kernel's dispatch loops.
+
+The kernel selects a specialized event loop at :meth:`Simulator.run` entry
+based on which instrumentation hubs (:data:`repro.trace.tracer.TRACE`,
+:data:`repro.obs.profiler.PROFILER`, :data:`repro.obs.registry.METRICS`)
+are enabled, instead of re-testing three ``.enabled`` predicates around
+every dispatched callback.  For that selection to stay correct when a hub
+is armed or disarmed *mid-run* (e.g. from a scheduled callback), every
+enable/disable transition bumps the process-wide version counter here; the
+running loop compares one integer per dispatch and returns to the selector
+when it changed.
+
+This module is a dependency leaf on purpose: the tracer, the metrics hub,
+the profiler, and the kernel all import it, so it must import none of them.
+"""
+
+from __future__ import annotations
+
+
+class InstrumentationVersion:
+    """A monotonically increasing toggle counter (process-wide)."""
+
+    __slots__ = ("version",)
+
+    def __init__(self) -> None:
+        #: Bumped by every hub enable/disable transition.
+        self.version = 0
+
+    def bump(self) -> None:
+        """Record that some hub's ``enabled`` flag changed."""
+        self.version += 1
+
+
+#: The singleton every hub bumps and the kernel's loops watch.
+INSTR = InstrumentationVersion()

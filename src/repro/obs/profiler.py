@@ -22,11 +22,13 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.instr import INSTR
+
 
 class Profiler:
     """Accumulates (event count, wall seconds) per subsystem."""
 
-    __slots__ = ("enabled", "_by_subsystem", "_cache", "_wall_start")
+    __slots__ = ("enabled", "_by_subsystem", "_cache", "_entry_cache", "_wall_start")
 
     def __init__(self) -> None:
         #: The hot-path gate; the kernel checks this around every dispatch.
@@ -34,18 +36,24 @@ class Profiler:
         #: subsystem -> [events, wall_seconds].
         self._by_subsystem: Dict[str, List[float]] = {}
         self._cache: Dict[object, str] = {}
+        #: function object -> its subsystem's accumulator entry, so the
+        #: per-dispatch :meth:`record` is one dict hit, not a classification.
+        self._entry_cache: Dict[object, List[float]] = {}
         self._wall_start = 0.0
 
     def configure(self) -> None:
         """Arm the profiler: clear accumulators, start the wall clock."""
         self._by_subsystem = {}
         self._cache = {}
+        self._entry_cache = {}
         self._wall_start = perf_counter()
         self.enabled = True
+        INSTR.bump()
 
     def reset(self) -> None:
         """Disarm the profiler (accumulated data stays readable)."""
         self.enabled = False
+        INSTR.bump()
 
     def subsystem_of(self, callback: Callable[..., Any]) -> str:
         """The subsystem owning ``callback`` (second ``repro.X`` segment)."""
@@ -69,10 +77,39 @@ class Profiler:
 
     def record(self, callback: Callable[..., Any], wall_s: float) -> None:
         """Account one dispatched callback."""
-        entry = self._by_subsystem.get(self.subsystem_of(callback))
+        func = getattr(callback, "__func__", callback)
+        try:
+            entry = self._entry_cache.get(func)
+        except TypeError:  # unhashable callable; classify every time
+            entry = None
+            func = None
         if entry is None:
-            entry = self._by_subsystem[self.subsystem_of(callback)] = [0, 0.0]
+            subsystem = self.subsystem_of(callback)
+            entry = self._by_subsystem.get(subsystem)
+            if entry is None:
+                entry = self._by_subsystem[subsystem] = [0, 0.0]
+            if func is not None:
+                self._entry_cache[func] = entry
         entry[0] += 1
+        entry[1] += wall_s
+
+    def record_bulk(
+        self, callback: Callable[..., Any], count: int, wall_s: float
+    ) -> None:
+        """Account ``count`` dispatches of ``callback`` totalling ``wall_s``.
+
+        Flush target for dispatch loops that batch attribution locally
+        (one dict update per event instead of a :meth:`record` call).
+        """
+        func = getattr(callback, "__func__", callback)
+        entry = self._entry_cache.get(func)
+        if entry is None:
+            subsystem = self.subsystem_of(callback)
+            entry = self._by_subsystem.get(subsystem)
+            if entry is None:
+                entry = self._by_subsystem[subsystem] = [0, 0.0]
+            self._entry_cache[func] = entry
+        entry[0] += count
         entry[1] += wall_s
 
     def report(

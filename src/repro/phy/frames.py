@@ -49,13 +49,37 @@ BLE_LEGACY_DATA_PAYLOAD: int = 27
 BLE_MAX_ADV_PAYLOAD: int = 31
 
 
+# Air time is asked for on every TX of the connection event loop; the full
+# 0..251 domain is tiny, so both PHYs get a precomputed lookup tuple.
+_AIR_TIME_1M: tuple = tuple(
+    (BLE_1M_OVERHEAD_BYTES + n) * _BYTE_NS_1M for n in range(BLE_MAX_DATA_PAYLOAD + 1)
+)
+_AIR_TIME_2M: tuple = tuple(
+    (BLE_2M_OVERHEAD_BYTES + n) * _BYTE_NS_2M for n in range(BLE_MAX_DATA_PAYLOAD + 1)
+)
+
+
 def ble_air_time_ns(payload_len: int, phy: BlePhyMode = BlePhyMode.LE_1M) -> int:
     """On-air duration of one BLE data packet with ``payload_len`` LL payload bytes."""
-    if not 0 <= payload_len <= BLE_MAX_DATA_PAYLOAD:
+    if payload_len < 0:
         raise ValueError(f"BLE LL payload out of range: {payload_len}")
-    if phy is BlePhyMode.LE_1M:
-        return (BLE_1M_OVERHEAD_BYTES + payload_len) * _BYTE_NS_1M
-    return (BLE_2M_OVERHEAD_BYTES + payload_len) * _BYTE_NS_2M
+    try:
+        if phy is BlePhyMode.LE_1M:
+            return _AIR_TIME_1M[payload_len]
+        return _AIR_TIME_2M[payload_len]
+    except IndexError:
+        raise ValueError(f"BLE LL payload out of range: {payload_len}") from None
+
+
+def ble_air_time_table(phy: BlePhyMode = BlePhyMode.LE_1M) -> tuple:
+    """The payload-length -> air-time lookup tuple for ``phy``.
+
+    The connection event loop hoists this table once per event and indexes
+    it per packet, skipping a function call on the simulator's hottest path.
+    Indexing past 251 raises IndexError, same domain as
+    :func:`ble_air_time_ns`.
+    """
+    return _AIR_TIME_1M if phy is BlePhyMode.LE_1M else _AIR_TIME_2M
 
 
 def ble_max_payload_for(air_budget_ns: int, phy: BlePhyMode = BlePhyMode.LE_1M) -> int:

@@ -62,16 +62,50 @@ class InterferenceModel:
     #: Memo of the BER-derived term per packet length (base_ber is fixed
     #: for a model's lifetime; this sits on the simulator's hottest path).
     _ber_memo: Dict[int, float] = field(default_factory=dict, repr=False)
+    #: Per-channel static loss addend (``inf`` marks a jammed channel),
+    #: filled lazily and dropped whenever :meth:`_stamp` changes -- the
+    #: dirty flag that spares the hot path a tuple scan plus dict probe per
+    #: sampled packet.  Bursts stay out of it: they are time-dependent.
+    _chan_addend: Dict[int, float] = field(default_factory=dict, repr=False)
+    _chan_stamp: Tuple[int, int] = (-1, -1)
+
+    def _stamp(self) -> Tuple[int, int]:
+        """Cheap change detector for the static per-channel configuration.
+
+        Catches the mutation patterns used across the repo: replacing the
+        ``jammed_channels`` tuple wholesale and adding keys to
+        ``channel_per``.  Overwriting the *value* of an existing
+        ``channel_per`` key is invisible to it -- call :meth:`invalidate`
+        after doing that.
+        """
+        return (id(self.jammed_channels), len(self.channel_per))
+
+    def invalidate(self) -> None:
+        """Drop the per-channel cache after an in-place value overwrite."""
+        self._chan_addend.clear()
+        self._chan_stamp = (-1, -1)
 
     def packet_error_rate(self, channel: int, nbytes: int, now_ns: int) -> float:
         """Total loss probability for one packet of ``nbytes`` on ``channel``."""
-        if channel in self.jammed_channels:
-            return 1.0
+        stamp = self._chan_stamp
+        if (
+            stamp[0] != id(self.jammed_channels)
+            or stamp[1] != len(self.channel_per)
+        ):
+            self._chan_addend.clear()
+            self._chan_stamp = self._stamp()
+        addend = self._chan_addend.get(channel)
+        if addend is None:
+            if channel in self.jammed_channels:
+                addend = float("inf")
+            else:
+                addend = self.channel_per.get(channel, 0.0)
+            self._chan_addend[channel] = addend
         per = self._ber_memo.get(nbytes)
         if per is None:
             per = 1.0 - (1.0 - self.base_ber) ** (8 * max(nbytes, 1))
             self._ber_memo[nbytes] = per
-        per += self.channel_per.get(channel, 0.0)
+        per += addend
         if self.bursts:
             for burst in self.bursts:
                 if burst.active(now_ns, channel):
@@ -104,6 +138,9 @@ class BleMedium:
         #: Active scanners (see :mod:`repro.ble.adv`); advertising events
         #: probe this registry to find listeners in range.
         self.scanners: list = []
+        # usable_channels memo: (query, interference stamp) -> result.
+        self._usable_key: Optional[Tuple[Tuple[int, ...], Tuple[int, int]]] = None
+        self._usable: List[int] = []
 
     def register_scanner(self, scanner) -> None:
         """Add a scanner to the advertising delivery registry."""
@@ -142,7 +179,16 @@ class BleMedium:
 
         Mirrors the paper's static exclusion of channel 22 from all nodes'
         channel maps (§4.2) -- adaptive channel hopping is future work there
-        and here.
+        and here.  The result is memoized against the interference model's
+        change stamp, so repeated queries with an unchanged jammed set skip
+        the rebuild (dirty-flag invalidation, not time-based).
         """
+        query = tuple(channels)
+        key = (query, self.interference._stamp())
+        if key == self._usable_key:
+            return list(self._usable)
         jammed = set(self.interference.jammed_channels)
-        return [c for c in channels if c not in jammed]
+        usable = [c for c in query if c not in jammed]
+        self._usable_key = key
+        self._usable = usable
+        return list(usable)

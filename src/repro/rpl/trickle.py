@@ -100,8 +100,10 @@ class TrickleTimer:
     def _cancel(self) -> None:
         if self._t_timer is not None:
             self._t_timer.cancel()
+            self._t_timer = None  # cancelled handles must not be retained
         if self._end_timer is not None:
             self._end_timer.cancel()
+            self._end_timer = None
 
     def _begin_interval(self) -> None:
         self._counter = 0

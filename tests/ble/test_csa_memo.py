@@ -1,0 +1,69 @@
+"""CSA#2 block-table memoization must be invisible to callers.
+
+The memoized ``channel_for_event`` precomputes event-counter -> channel
+tables in blocks; these tests pin it against a direct spec-shaped reference
+implementation (the pre-memoization algorithm) across channel maps, map
+switches, and the full counter block structure.
+"""
+
+import random
+
+from repro.ble.chanmap import ChannelMap
+from repro.ble.csa import CSA2_BLOCK_SIZE, Csa2
+
+
+def _reference_channel(csa: Csa2, event_counter: int, chan_map: ChannelMap) -> int:
+    """Direct CSA#2 computation: prn -> unmapped -> remap (no tables)."""
+    prn = csa._prn_e(event_counter & 0xFFFF)
+    unmapped = prn % 37
+    if chan_map.is_used(unmapped):
+        return unmapped
+    remapping_index = (chan_map.num_used * prn) // 0x10000
+    return chan_map.remap(remapping_index)
+
+
+SPARSE_MAP = ChannelMap((0, 5, 9, 17, 22, 30, 36))
+MID_MAP = ChannelMap(tuple(range(0, 37, 2)))
+FULL_MAP = ChannelMap.all_channels()
+
+
+def test_table_matches_reference_across_blocks():
+    csa = Csa2(0x8E89BED6)
+    for counter in list(range(0, 3 * CSA2_BLOCK_SIZE)) + [0xFFFE, 0xFFFF]:
+        assert csa.channel_for_event(counter, FULL_MAP) == _reference_channel(
+            csa, counter, FULL_MAP
+        )
+
+
+def test_table_matches_reference_on_sparse_maps():
+    csa = Csa2(0xA0B1C2D3)
+    rng = random.Random(42)
+    for chan_map in (SPARSE_MAP, MID_MAP):
+        for _ in range(500):
+            counter = rng.randrange(0x10000)
+            assert csa.channel_for_event(counter, chan_map) == \
+                _reference_channel(csa, counter, chan_map)
+
+
+def test_map_switches_use_per_map_tables():
+    """Alternating maps (channel-map update procedures) never cross-pollute."""
+    csa = Csa2(0x12345678)
+    rng = random.Random(7)
+    maps = [FULL_MAP, SPARSE_MAP, MID_MAP]
+    for _ in range(300):
+        chan_map = rng.choice(maps)
+        counter = rng.randrange(0x10000)
+        assert csa.channel_for_event(counter, chan_map) == _reference_channel(
+            csa, counter, chan_map
+        )
+
+
+def test_equal_but_distinct_map_objects_share_semantics():
+    """A rebuilt (equal) ChannelMap must select identical channels."""
+    csa = Csa2(0xDEADBEEF)
+    map_a = ChannelMap((1, 2, 3, 10, 20, 30))
+    map_b = ChannelMap((1, 2, 3, 10, 20, 30))
+    for counter in range(200):
+        assert csa.channel_for_event(counter, map_a) == csa.channel_for_event(
+            counter, map_b
+        )

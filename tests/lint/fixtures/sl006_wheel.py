@@ -1,0 +1,5 @@
+"""Fixture: SL006 (magic-time) must flag a raw timer-wheel slot literal."""
+
+
+def slot_of(when_ns: int) -> int:
+    return when_ns // 2_097_152

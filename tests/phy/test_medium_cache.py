@@ -1,0 +1,68 @@
+"""Dirty-flag caches of the interference model and medium.
+
+The per-channel loss addend and ``usable_channels`` results are memoized
+against a change stamp; these tests pin the invalidation contract: tuple
+replacement and dict growth are caught automatically, in-place value
+overwrites need an explicit :meth:`InterferenceModel.invalidate`.
+"""
+
+import random
+
+from repro.phy.medium import BleMedium, InterferenceBurst, InterferenceModel
+from repro.sim.kernel import Simulator
+
+
+def _model(**kwargs) -> InterferenceModel:
+    return InterferenceModel(base_ber=0.0, **kwargs)
+
+
+def test_jammed_tuple_replacement_invalidates_addend():
+    model = _model(jammed_channels=(22,))
+    assert model.packet_error_rate(22, 50, 0) == 1.0
+    assert model.packet_error_rate(5, 50, 0) == 0.0
+    model.jammed_channels = (5,)  # wholesale replacement, the repo idiom
+    assert model.packet_error_rate(22, 50, 0) == 0.0
+    assert model.packet_error_rate(5, 50, 0) == 1.0
+
+
+def test_channel_per_key_addition_invalidates_addend():
+    model = _model(channel_per={3: 0.25})
+    assert model.packet_error_rate(3, 50, 0) == 0.25
+    assert model.packet_error_rate(9, 50, 0) == 0.0
+    model.channel_per[9] = 0.5  # new key changes the dict length stamp
+    assert model.packet_error_rate(9, 50, 0) == 0.5
+
+
+def test_in_place_value_overwrite_needs_explicit_invalidate():
+    model = _model(channel_per={3: 0.25})
+    assert model.packet_error_rate(3, 50, 0) == 0.25
+    model.channel_per[3] = 0.75  # same key: invisible to the stamp
+    assert model.packet_error_rate(3, 50, 0) == 0.25  # stale by contract
+    model.invalidate()
+    assert model.packet_error_rate(3, 50, 0) == 0.75
+
+
+def test_bursts_stay_time_dependent_despite_cache():
+    burst = InterferenceBurst(start_ns=100, end_ns=200, channels=(7,), per=0.5)
+    model = _model(bursts=[burst])
+    assert model.packet_error_rate(7, 50, 50) == 0.0
+    assert model.packet_error_rate(7, 50, 150) == 0.5
+    assert model.packet_error_rate(7, 50, 250) == 0.0
+
+
+def test_usable_channels_memo_tracks_jammed_set():
+    medium = BleMedium(Simulator(), random.Random(1), _model(jammed_channels=(22,)))
+    channels = list(range(37))
+    first = medium.usable_channels(channels)
+    assert 22 not in first
+    assert medium.usable_channels(channels) == first
+    medium.interference.jammed_channels = (0, 1)
+    second = medium.usable_channels(channels)
+    assert 22 in second and 0 not in second and 1 not in second
+
+
+def test_usable_channels_returns_fresh_lists():
+    medium = BleMedium(Simulator(), random.Random(1), _model())
+    a = medium.usable_channels(range(5))
+    a.append(99)  # caller mutation must not poison the memo
+    assert medium.usable_channels(range(5)) == [0, 1, 2, 3, 4]
