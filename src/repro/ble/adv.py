@@ -135,9 +135,14 @@ class Advertiser:
 
         :returns: True when a connection was established (advertising then
             stops, mirroring the controller behaviour on CONNECT_IND).
+
+        Candidate scanners come from the medium's delivery registry
+        (:meth:`~repro.phy.medium.BleMedium.scanners_hearing`): all of them
+        on the paper's all-in-range plane, only the advertiser's spatial
+        neighbors on a geometry-equipped medium.
         """
         medium = self.controller.medium
-        for scanner in list(medium.scanners):
+        for scanner in medium.scanners_hearing(self.controller.addr):
             if not scanner.wants(self.controller.addr):
                 continue
             if not scanner.controller.scheduler.is_free(now):

@@ -48,6 +48,7 @@ class BleController:
         self.sim = sim
         self.medium = medium
         self.addr = addr
+        medium.register_node(addr, self)
         self.name = name or f"ble-{addr}"
         self.clock = clock or DriftingClock(sim)
         self.config = config or BleConfig()

@@ -13,7 +13,13 @@ architecture of Lee et al. [29] which the paper cites:
   and starts adopting its own children -- the mesh grows from the root out,
 * on uplink loss the RPL layer detaches (poisoning its sub-DODAG) and
   dynconn falls back to advertising; surviving BLE links let descendants
-  re-join without re-forming connections.
+  re-join without re-forming connections,
+* a detached node that keeps an uplink but fails to rejoin within
+  ``orphan_timeout_ns`` closes that uplink and re-advertises.  Without
+  this, churn can strand a *connection cycle*: every node in the ring
+  holds a subordinate-role link to another detached ring member, so none
+  advertises (it "has an uplink") and none scans (it is not joined) --
+  a deadlock no DIO can ever break, since the ring carries no root.
 
 Role note: under dynconn the *adopting* (upstream) node is the connection
 coordinator -- inverted with respect to statconn's convention -- because
@@ -32,7 +38,7 @@ from repro.ble.conn import Connection, DisconnectReason, Role
 from repro.core.intervals import IntervalPolicy, RandomWindowIntervalPolicy
 from repro.gatt.ipss import check_ip_support
 from repro.net.netif import coc_of
-from repro.sim.units import MSEC
+from repro.sim.units import MSEC, SEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import Node
@@ -58,6 +64,13 @@ class DynconnConfig:
         exposes the Internet Protocol Support Service; peers without it are
         disconnected and never re-adopted (the §3 capability check).
     :param adv_payload_len: AdvData bytes carried while advertising.
+    :param orphan_timeout_ns: how long a detached node keeps waiting for a
+        DIO over a surviving uplink before giving that uplink up (closing
+        it and re-advertising).  Healthy rejoins finish within seconds (a
+        detached node's DIS solicits reset the parent's Trickle timer), so
+        the timeout only fires for uplinks that can never deliver a route
+        to the root -- most notably connection cycles among detached
+        nodes, which are otherwise a permanent formation deadlock.
     """
 
     interval_policy: IntervalPolicy = field(default_factory=_default_policy)
@@ -65,6 +78,7 @@ class DynconnConfig:
     reject_interval_collisions: bool = True
     verify_ipss: bool = False
     adv_payload_len: int = 20
+    orphan_timeout_ns: int = 20 * SEC
 
 
 class Dynconn:
@@ -82,12 +96,15 @@ class Dynconn:
         self._advertiser = None
         self._scanner = None
         self._running = False
+        self._orphan_timer = None
         #: Peers that failed the IPSS capability check (never re-adopted).
         self.non_ip_peers: set = set()
         #: Adoption events (diagnostics).
         self.adoptions = 0
         self.orphanings = 0
         self.ipss_rejections = 0
+        #: Uplinks abandoned because rejoining timed out (cycle breaks).
+        self.orphan_timeouts = 0
         node.controller.conn_open_listeners.append(self._on_conn_open)
         node.controller.conn_close_listeners.append(self._on_conn_close)
         rpl.on_parent_change = self._on_parent_change
@@ -105,6 +122,7 @@ class Dynconn:
         self._running = False
         self._stop_advertising()
         self._stop_scanning()
+        self._cancel_orphan_timer()
 
     # -- state machine -----------------------------------------------------------
 
@@ -129,6 +147,7 @@ class Dynconn:
         if not self._running:
             return
         if self.rpl.joined:
+            self._cancel_orphan_timer()
             self._stop_advertising()
             if self.child_count() < self.config.max_children:
                 self._ensure_scanning()
@@ -136,8 +155,43 @@ class Dynconn:
                 self._stop_scanning()
         else:
             self._stop_scanning()
-            if not self.has_uplink():
+            if self.has_uplink():
+                # wait for a DIO over the surviving uplink -- but not
+                # forever: see the orphan_timeout_ns rationale
+                self._ensure_orphan_timer()
+            else:
+                self._cancel_orphan_timer()
                 self._ensure_advertising()
+
+    def _ensure_orphan_timer(self) -> None:
+        if self._orphan_timer is not None:
+            return
+        self._orphan_timer = self.node.sim.after(
+            self.config.orphan_timeout_ns, self._on_orphan_timeout
+        )
+
+    def _cancel_orphan_timer(self) -> None:
+        if self._orphan_timer is not None:
+            self._orphan_timer.cancel()
+            self._orphan_timer = None
+
+    def _on_orphan_timeout(self) -> None:
+        self._orphan_timer = None
+        if not self._running or self.rpl.joined:
+            return
+        controller = self.node.controller
+        uplinks = [
+            conn
+            for conn in list(controller.connections)
+            if controller.role_of(conn) is Role.SUBORDINATE
+        ]
+        if not uplinks:
+            self._update_state()
+            return
+        self.orphan_timeouts += 1
+        for conn in uplinks:
+            conn.close(DisconnectReason.LOCAL_CLOSE)
+        # _on_conn_close already re-evaluated; advertising resumes there
 
     def _ensure_advertising(self) -> None:
         if self._advertiser is not None and self._advertiser.active:

@@ -22,7 +22,17 @@ import yaml
 #: previously produced results incomparable; part of every cache key, so
 #: stale on-disk results are invalidated wholesale instead of silently
 #: replayed (see :mod:`repro.exp.cache`).
-CONFIG_SCHEMA_VERSION = 3
+#: v4: spatial scale tier -- geometry/radio-range/spatial-index fields.
+CONFIG_SCHEMA_VERSION = 4
+
+#: Topology kinds that generate node positions and run statconn over the
+#: BFS spanning tree of the radio graph (see :mod:`repro.topo`).  ``line``
+#: deliberately stays the paper's all-in-mutual-range Figure-6 layout; its
+#: spatial sibling is ``corridor``.
+SPATIAL_TOPOLOGIES = ("grid", "rgg", "building", "corridor")
+
+#: Geometry kinds a ``dynamic`` (self-forming) run may range-gate with.
+GEOMETRY_KINDS = ("none", "line", "grid", "rgg", "building", "corridor")
 
 
 def canonical_value(value: Any) -> Any:
@@ -86,10 +96,25 @@ def interval_spec_is_random(spec: str) -> bool:
 class ExperimentConfig:
     """One experiment run, fully described.
 
-    :param topology: ``tree`` / ``line`` / ``star`` (Figure 6 layouts), or
+    :param topology: ``tree`` / ``line`` / ``star`` (Figure 6 layouts);
         ``dynamic`` -- no configured links at all: the topology self-forms
         via dynconn + RPL during the warmup (the §9 future-work mode; give
-        it ``warmup_s`` >= 30 so the DODAG converges before traffic).
+        it ``warmup_s`` >= 30 so the DODAG converges before traffic); or a
+        spatial kind (``grid`` / ``rgg`` / ``building`` / ``corridor``):
+        positions are generated (:mod:`repro.topo`), the medium is
+        range-gated, and statconn runs over the BFS tree of the radio
+        graph -- the 100/500/1000-node scale tier.
+    :param geometry: range-gate a ``dynamic`` run with generated positions
+        (``none`` keeps everyone in mutual range; spatial topologies imply
+        their own geometry and require ``none`` here).
+    :param radio_range_m / node_spacing_m: geometry overrides in meters
+        (``0.0`` = the generator's default).
+    :param spatial_index: ``grid`` (the uniform-grid neighbor index) or
+        ``allpairs`` (the O(N)-per-transmission reference arm the
+        differential suite locksteps against -- byte-identical results,
+        slower delivery).
+    :param max_children: dynconn adoption capacity per router (``dynamic``
+        runs only).
     :param link_layer: ``ble`` or ``802154`` (§5.3 comparison).
     :param conn_interval: interval spec string (see module docstring).
     :param producer_interval_s / producer_jitter_s: traffic timing (§4.3).
@@ -146,16 +171,43 @@ class ExperimentConfig:
     #: attached to the result as a ``metrics`` payload.  Off by default for
     #: the same reason as ``trace``.
     metrics: bool = False
+    #: Spatial scale tier (see :mod:`repro.topo` / :mod:`repro.phy.spatial`).
+    geometry: str = "none"
+    radio_range_m: float = 0.0
+    node_spacing_m: float = 0.0
+    spatial_index: str = "grid"
+    max_children: int = 3
 
     def __post_init__(self) -> None:
         if self.drift_ppms is not None:
             self.drift_ppms = tuple(self.drift_ppms)
             if len(self.drift_ppms) != self.n_nodes:
                 raise ValueError("drift_ppms needs one entry per node")
-        if self.topology not in ("tree", "line", "star", "dynamic"):
+        known = ("tree", "line", "star", "dynamic") + SPATIAL_TOPOLOGIES
+        if self.topology not in known:
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.topology == "dynamic" and self.link_layer != "ble":
             raise ValueError("dynamic topologies require the BLE link layer")
+        if self.geometry not in GEOMETRY_KINDS:
+            raise ValueError(f"unknown geometry {self.geometry!r}")
+        if self.spatial_index not in ("grid", "allpairs"):
+            raise ValueError(f"unknown spatial index {self.spatial_index!r}")
+        if self.topology in SPATIAL_TOPOLOGIES:
+            if self.link_layer != "ble":
+                raise ValueError("spatial topologies require the BLE link layer")
+            if self.geometry != "none":
+                raise ValueError(
+                    f"topology {self.topology!r} implies its own geometry; "
+                    f"leave geometry='none'"
+                )
+        elif self.geometry != "none" and self.topology != "dynamic":
+            raise ValueError(
+                "geometry only applies to 'dynamic' or spatial topologies"
+            )
+        if self.radio_range_m < 0 or self.node_spacing_m < 0:
+            raise ValueError("radio_range_m / node_spacing_m must be >= 0")
+        if self.max_children < 1:
+            raise ValueError("max_children must be at least 1")
         if self.link_layer not in ("ble", "802154"):
             raise ValueError(f"unknown link layer {self.link_layer!r}")
         SchedulerPolicy(self.scheduler_policy)  # validates

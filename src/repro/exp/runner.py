@@ -23,7 +23,11 @@ from repro.ble.chanmap import ChannelMap
 from repro.ble.conn import Role
 from repro.core.statconn import StatconnConfig
 from repro.core.intervals import IntervalPolicy, StaticIntervalPolicy
-from repro.exp.config import ExperimentConfig, parse_interval_spec
+from repro.exp.config import (
+    SPATIAL_TOPOLOGIES,
+    ExperimentConfig,
+    parse_interval_spec,
+)
 from repro.exp.events import EventLog
 from repro.exp.portable import (
     DIRECTIONS,
@@ -46,6 +50,7 @@ from repro.testbed.topology import (
     tree_topology_edges,
 )
 from repro.testbed.traffic import Consumer, Producer, TrafficConfig
+from repro.topo import Topology, make_topology
 from repro.trace.record import TraceRecord
 from repro.trace.sinks import RingBufferSink
 from repro.trace.tracer import TRACE
@@ -130,6 +135,17 @@ class ExperimentRunner:
         }[self.config.topology]
         return topo(self.config.n_nodes)
 
+    def _spatial_topology(self, kind: str) -> Topology:
+        """Generate the placed layout for a spatial run (scale tier)."""
+        cfg = self.config
+        return make_topology(
+            kind,
+            cfg.n_nodes,
+            seed=cfg.seed,
+            radio_range_m=cfg.radio_range_m,
+            spacing_m=cfg.node_spacing_m,
+        )
+
     def _build_ble_dynamic(self) -> Any:
         """The §9 mode: no configured links; dynconn + RPL self-form."""
         cfg = self.config
@@ -159,13 +175,20 @@ class ExperimentRunner:
             window_ms = (probe.lo_ns // 1_000_000, probe.hi_ns // 1_000_000)
         else:
             window_ms = None
+        geometry = None
+        if cfg.geometry != "none":
+            geometry = self._spatial_topology(cfg.geometry).geometry(
+                index=cfg.spatial_index
+            )
         net = DynamicBleNetwork(
             cfg.n_nodes,
             seed=cfg.seed,
             ppms=ppms,
             ble_config_factory=ble_factory,
             interference=interference,
+            max_children=cfg.max_children,
             pktbuf_capacity=cfg.pktbuf_bytes,
+            geometry=geometry,
             **({"interval_window_ms": window_ms} if window_ms else {}),
         )
         if window_ms is None:
@@ -217,6 +240,15 @@ class ExperimentRunner:
             drift_rng = RngRegistry(cfg.seed).stream("clock-drift")
             span = cfg.drift_ppm_span
             ppms = [drift_rng.uniform(-span, span) for _ in range(cfg.n_nodes)]
+        # Spatial scale tier: generated positions, range-gated medium,
+        # statconn over the BFS spanning tree of the radio graph.
+        geometry = None
+        if cfg.topology in SPATIAL_TOPOLOGIES:
+            layout = self._spatial_topology(cfg.topology)
+            geometry = layout.geometry(index=cfg.spatial_index)
+            edges = layout.tree_edges()
+        else:
+            edges = self._edges()
         net = BleNetwork(
             cfg.n_nodes,
             seed=cfg.seed,
@@ -225,6 +257,7 @@ class ExperimentRunner:
             statconn_config_factory=lambda i: StatconnConfig(),
             interference=interference,
             pktbuf_capacity=cfg.pktbuf_bytes,
+            geometry=geometry,
         )
         # per-node interval policies drawing from node-scoped streams
         for node in net.nodes:
@@ -234,7 +267,7 @@ class ExperimentRunner:
             node.statconn.config.reject_interval_collisions = (
                 cfg.uses_random_intervals
             )
-        net.apply_edges(self._edges())
+        net.apply_edges(edges)
         return net
 
     def _interval_policy(self, rng: random.Random) -> IntervalPolicy:

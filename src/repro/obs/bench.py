@@ -14,6 +14,17 @@ Scenarios (all BLE, static 75 ms interval, 1 s producers):
 * ``tree``: the paper's 15-node Figure-6 tree -- the fan-in workload.
 * ``mesh``: 8 nodes, self-forming ``dynamic`` topology -- dynconn + RPL
   control traffic on top of data, with the long warmup the DODAG needs.
+* ``scale100`` / ``scale100-allpairs``: the scale tier's entry point --
+  100 nodes self-forming over a random-geometric layout, once with the
+  uniform-grid neighbor index and once with the O(N)-per-transmission
+  all-pairs reference.  The two runs make byte-identical delivery
+  decisions (the differential suite proves it), so the events/sec gap
+  between them is exactly the spatial index's win.
+
+``--tier scale`` swaps in the 500- and 1000-node random-geometric
+scenarios (grid index only); CI runs that tier in a separate,
+non-blocking step.  Don't ``--compare`` across tiers: a baseline written
+by one tier reports the other tier's scenarios as missing.
 
 No timestamps are recorded: reruns on the same machine and commit should
 produce comparable documents.
@@ -38,8 +49,43 @@ BENCH_SCHEMA = "repro.obs.bench/1"
 DEFAULT_REGRESSION_THRESHOLD = 0.25
 
 
-def bench_configs() -> Dict[str, ExperimentConfig]:
-    """One config per topology class, keyed by class name."""
+#: The bench tiers: ``default`` runs on every ``python -m repro bench``
+#: invocation; ``scale`` is the separate non-blocking CI step.
+BENCH_TIERS = ("default", "scale")
+
+
+def scale_config(n_nodes: int, spatial_index: str = "grid") -> ExperimentConfig:
+    """The scale-tier scenario at ``n_nodes``: dynconn self-formation over
+    a random-geometric layout, range-gated by the chosen spatial index.
+
+    The warmup keeps the fleet mid-formation for most of the run: orphans
+    advertise continuously, which is precisely the fan-out the spatial
+    index exists to cut, so the grid-vs-allpairs events/sec gap measures
+    the honest worst case rather than a settled, quiet mesh.
+    """
+    suffix = "" if spatial_index == "grid" else f"-{spatial_index}"
+    return ExperimentConfig(
+        name=f"bench-scale{n_nodes}{suffix}",
+        topology="dynamic",
+        geometry="rgg",
+        spatial_index=spatial_index,
+        n_nodes=n_nodes,
+        duration_s=10.0,
+        warmup_s=30.0,
+        drain_s=2.0,
+        seed=7,
+    )
+
+
+def bench_configs(tier: str = "default") -> Dict[str, ExperimentConfig]:
+    """One config per scenario, keyed by scenario label."""
+    if tier == "scale":
+        return {
+            "scale500": scale_config(500),
+            "scale1000": scale_config(1000),
+        }
+    if tier != "default":
+        raise ValueError(f"unknown bench tier {tier!r} (choose from {BENCH_TIERS})")
     return {
         "line": ExperimentConfig(
             name="bench-line",
@@ -68,13 +114,15 @@ def bench_configs() -> Dict[str, ExperimentConfig]:
             drain_s=2.0,
             seed=7,
         ),
+        "scale100": scale_config(100),
+        "scale100-allpairs": scale_config(100, spatial_index="allpairs"),
     }
 
 
-def run_bench() -> dict:
-    """Profile every scenario class; return the baseline document."""
+def run_bench(tier: str = "default") -> dict:
+    """Profile every scenario of ``tier``; return the baseline document."""
     scenarios = {}
-    for label, config in bench_configs().items():
+    for label, config in bench_configs(tier).items():
         PROFILER.configure()
         try:
             run_experiment(config)
@@ -136,12 +184,12 @@ def render_comparison(current: dict, baseline: dict) -> str:
         cur_eps = float(row["events_per_wall_s"])
         base_row = base_scenarios.get(label)
         if base_row is None:
-            lines.append(f"{label:5s} {cur_eps:10.1f} events/sec (no baseline)")
+            lines.append(f"{label:17s} {cur_eps:10.1f} events/sec (no baseline)")
             continue
         base_eps = float(base_row["events_per_wall_s"])
         ratio = cur_eps / base_eps if base_eps > 0 else float("inf")
         lines.append(
-            f"{label:5s} {cur_eps:10.1f} events/sec "
+            f"{label:17s} {cur_eps:10.1f} events/sec "
             f"vs baseline {base_eps:10.1f}  ({ratio:5.2f}x)"
         )
     return "\n".join(lines)
@@ -166,6 +214,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "--warn-only", action="store_true",
         help="report regressions but exit 0 (CI soak mode)",
     )
+    parser.add_argument(
+        "--tier", choices=BENCH_TIERS, default="default",
+        help="scenario tier: 'default' (line/tree/mesh + 100-node scale) "
+             "or 'scale' (500/1000-node runs; use a separate --out and "
+             "baseline)",
+    )
 
 
 def run_bench_cli(args: argparse.Namespace) -> int:
@@ -174,12 +228,12 @@ def run_bench_cli(args: argparse.Namespace) -> int:
     if args.compare is not None:
         # Read the baseline *before* writing --out: they may be the same file.
         baseline = json.loads(Path(args.compare).read_text())
-    doc = run_bench()
+    doc = run_bench(getattr(args, "tier", "default"))
     out = Path(args.out)
     out.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
     for label, row in doc["scenarios"].items():
         print(
-            f"{label:5s} {row['n_nodes']:3d} nodes "
+            f"{label:17s} {row['n_nodes']:4d} nodes "
             f"{row['events']:8d} events {row['wall_s']:8.3f}s wall "
             f"{row['events_per_wall_s']:10.1f} events/sec "
             f"x{row['sim_s_per_wall_s']:.0f} real time"

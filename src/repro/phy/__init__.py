@@ -26,7 +26,14 @@ from repro.phy.frames import (
     ble_air_time_ns,
     ieee802154_air_time_ns,
 )
-from repro.phy.medium import InterferenceModel, BleMedium
+from repro.phy.medium import InterferenceModel, BleMedium, MediumRegistrationError
+from repro.phy.spatial import (
+    Geometry,
+    GeometryError,
+    allpairs_neighbor_sets,
+    grid_neighbor_sets,
+    make_geometry,
+)
 
 __all__ = [
     "BLE_NUM_DATA_CHANNELS",
@@ -38,4 +45,10 @@ __all__ = [
     "ieee802154_air_time_ns",
     "InterferenceModel",
     "BleMedium",
+    "MediumRegistrationError",
+    "Geometry",
+    "GeometryError",
+    "allpairs_neighbor_sets",
+    "grid_neighbor_sets",
+    "make_geometry",
 ]

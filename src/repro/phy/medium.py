@@ -24,8 +24,19 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.registry import METRICS
 from repro.phy.frames import ble_air_time_ns
+from repro.phy.spatial import Geometry
 from repro.sim.kernel import Simulator
 from repro.trace.tracer import TRACE
+
+
+class MediumRegistrationError(RuntimeError):
+    """A node or scanner was registered on the medium twice.
+
+    The reconnection paths (statconn/dynconn) create a *new* scanner object
+    per establishment attempt; a stale still-registered predecessor would
+    silently receive every offer a second time (double delivery, double
+    loss draws, corrupted RNG alignment).  Registering a duplicate is
+    therefore a hard error instead of a silent append."""
 
 
 @dataclass
@@ -120,6 +131,12 @@ class BleMedium:
     :param rng: the loss-sampling random stream.
     :param interference: loss configuration; a default quiet model is used
         when omitted.
+    :param geometry: optional node positions + radio range (see
+        :mod:`repro.phy.spatial`).  Without one, every node hears every
+        other node -- the paper's single-room testbed (§4.1) and the seed
+        behaviour.  With one, advertising delivery is range-gated: a
+        ``"grid"``-indexed geometry fans out in O(neighbors), the
+        ``"allpairs"`` reference scans every scanner per transmission.
     """
 
     def __init__(
@@ -127,30 +144,112 @@ class BleMedium:
         sim: Simulator,
         rng: random.Random,
         interference: Optional[InterferenceModel] = None,
+        geometry: Optional[Geometry] = None,
     ) -> None:
         self.sim = sim
         self.rng = rng
         self.interference = interference or InterferenceModel()
+        self.geometry = geometry
         #: Total packets sampled (diagnostics).
         self.packets_sampled = 0
         #: Total packets reported lost (diagnostics).
         self.packets_lost = 0
-        #: Active scanners (see :mod:`repro.ble.adv`); advertising events
-        #: probe this registry to find listeners in range.
+        #: Registered node addresses -> owner object (controllers register
+        #: once at construction; a duplicate address is a wiring bug).
+        self.nodes: Dict[int, object] = {}
+        #: Active scanners (see :mod:`repro.ble.adv`) in registration order;
+        #: advertising events probe this registry to find listeners in range.
         self.scanners: list = []
+        #: The same scanners keyed by controller address (the spatial
+        #: delivery path looks listeners up per neighbor address).
+        self._scanners_by_addr: Dict[int, list] = {}
         # usable_channels memo: (query, interference stamp) -> result.
         self._usable_key: Optional[Tuple[Tuple[int, ...], Tuple[int, int]]] = None
         self._usable: List[int] = []
 
+    # -- node registry ----------------------------------------------------
+
+    def register_node(self, addr: int, owner: object = None) -> None:
+        """Claim a link-layer address on this medium (once per node).
+
+        Reconnection re-uses the controller object; only a *new* node may
+        claim an address, so a duplicate raises instead of silently letting
+        two stacks answer for one address (double delivery)."""
+        if addr in self.nodes:
+            raise MediumRegistrationError(
+                f"node address {addr} is already registered on this medium; "
+                f"reconnection must reuse the existing controller, not "
+                f"register a second one"
+            )
+        self.nodes[addr] = owner
+
+    def unregister_node(self, addr: int) -> None:
+        """Release an address (node departure); idempotent."""
+        self.nodes.pop(addr, None)
+
+    # -- scanner registry -------------------------------------------------
+
     def register_scanner(self, scanner) -> None:
-        """Add a scanner to the advertising delivery registry."""
-        if scanner not in self.scanners:
-            self.scanners.append(scanner)
+        """Add a scanner to the advertising delivery registry.
+
+        Registering the same scanner object twice, or a second scanner for
+        the same ``(controller address, target)`` pair -- the reconnection
+        footgun: a stale predecessor that was never stopped -- raises a
+        :class:`MediumRegistrationError` instead of double-delivering."""
+        addr = scanner.controller.addr
+        per_addr = self._scanners_by_addr.setdefault(addr, [])
+        for other in per_addr:
+            if other is scanner:
+                raise MediumRegistrationError(
+                    f"scanner of node {addr} is already registered; "
+                    f"stop() it before starting it again"
+                )
+            if other.target_addr == scanner.target_addr:
+                raise MediumRegistrationError(
+                    f"node {addr} already has a registered scanner for "
+                    f"target {scanner.target_addr!r}; the reconnection path "
+                    f"must stop the old scanner first (a stale one would "
+                    f"double-deliver every advertising event)"
+                )
+        per_addr.append(scanner)
+        self.scanners.append(scanner)
 
     def unregister_scanner(self, scanner) -> None:
         """Remove a scanner from the registry (idempotent)."""
         if scanner in self.scanners:
             self.scanners.remove(scanner)
+            per_addr = self._scanners_by_addr.get(scanner.controller.addr)
+            if per_addr and scanner in per_addr:
+                per_addr.remove(scanner)
+
+    def scanners_hearing(self, adv_addr: int) -> list:
+        """The scanners a transmission from ``adv_addr`` can reach.
+
+        * No geometry: every registered scanner, in registration order
+          (byte-compatible with the seed's all-in-mutual-range plane).
+        * Grid geometry: the advertiser's cached neighbor set, ascending by
+          address -- O(neighbors) per transmission.
+        * All-pairs geometry (the differential reference): every scanner
+          address checked against the exact range predicate per
+          transmission -- O(N), same candidates, same order as the grid.
+        """
+        geometry = self.geometry
+        if geometry is None:
+            return list(self.scanners)
+        by_addr = self._scanners_by_addr
+        heard: list = []
+        if geometry.index == "grid":
+            for addr in geometry.neighbors_of(adv_addr):
+                scanners = by_addr.get(addr)
+                if scanners:
+                    heard.extend(scanners)
+        else:
+            listening = sorted(
+                addr for addr, scanners in by_addr.items() if scanners
+            )
+            for addr in geometry.iter_in_range(adv_addr, listening):
+                heard.extend(by_addr[addr])
+        return heard
 
     def packet_lost(self, channel: int, nbytes: int) -> bool:
         """Sample whether one packet on ``channel`` is corrupted on air."""

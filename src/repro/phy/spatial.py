@@ -1,0 +1,264 @@
+"""Node geometry and the spatially-indexed neighbor sets of the medium.
+
+The paper's testbed (§4.1) keeps all nodes in mutual range, so the seed
+medium delivered every advertising event to every registered scanner --
+O(N) per transmission.  That is fine for 15 nodes and a dead end for the
+density/reliability regime the Bluetooth-Mesh literature studies on real
+deployments (Rondón et al., arXiv 1910.03345; Aijaz et al., arXiv
+2106.04230), where fleets are hundreds of nodes and radio range is the
+structuring constraint.
+
+:class:`Geometry` gives nodes positions (meters, 2-D) and a disc radio
+range, and answers "who can hear ``addr``?" two ways:
+
+* ``index="grid"`` -- a uniform-grid neighbor index: positions are
+  bucketed into cells of ``radio_range_m`` side length, per-node neighbor
+  sets are computed once from each node's 3x3 cell neighborhood, and the
+  cached sets are reused until a position changes.  Delivery fan-out is
+  O(neighbors); the index recomputes only on topology/mobility change and
+  never on plain packet traffic.
+* ``index="allpairs"`` -- the brute-force reference: no cache is consulted
+  on the delivery path; every transmission scans every candidate with the
+  exact same range predicate.  This is the slow arm of the differential
+  suite (``tests/phy/test_medium_differential.py``), which asserts the two
+  arms produce byte-identical delivery decisions and traces.
+
+Both arms share one range predicate (:meth:`Geometry.in_range`, a
+``dist^2 <= range^2`` comparison on the same floats), so equivalence is
+exact, not approximate: a grid index that ever dropped or invented a
+neighbor would diverge byte-for-byte and fail the lockstep suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: The neighbor-index implementations a :class:`Geometry` can run on.
+GEOMETRY_INDEXES: Tuple[str, ...] = ("grid", "allpairs")
+
+
+class GeometryError(ValueError):
+    """Invalid geometry configuration or query (unplaced node, bad range)."""
+
+
+def _within_sq(
+    pa: Tuple[float, float], pb: Tuple[float, float], range_sq: float
+) -> bool:
+    """The single shared range predicate of every delivery path."""
+    dx = pa[0] - pb[0]
+    dy = pa[1] - pb[1]
+    return dx * dx + dy * dy <= range_sq
+
+
+def grid_neighbor_sets(
+    positions: Dict[int, Tuple[float, float]], radio_range_m: float
+) -> Dict[int, Tuple[int, ...]]:
+    """Per-node neighbor sets via a uniform grid (cell side = range).
+
+    A node's neighbors all lie within ``radio_range_m``, hence within the
+    3x3 block of cells around its own; candidates from that block pass the
+    exact disc predicate.  Cost is O(N * local density) instead of O(N^2).
+    Neighbor tuples are sorted by address -- the canonical delivery order.
+    """
+    if radio_range_m <= 0:
+        raise GeometryError(f"radio range must be positive, got {radio_range_m}")
+    cell = float(radio_range_m)
+    range_sq = cell * cell
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    cells: Dict[int, Tuple[int, int]] = {}
+    for addr in sorted(positions):
+        x, y = positions[addr]
+        key = (math.floor(x / cell), math.floor(y / cell))
+        cells[addr] = key
+        buckets.setdefault(key, []).append(addr)
+    neighbors: Dict[int, Tuple[int, ...]] = {}
+    for addr in sorted(positions):
+        cx, cy = cells[addr]
+        pa = positions[addr]
+        found: List[int] = []
+        for gx in (cx - 1, cx, cx + 1):
+            for gy in (cy - 1, cy, cy + 1):
+                for other in buckets.get((gx, gy), ()):
+                    if other != addr and _within_sq(pa, positions[other], range_sq):
+                        found.append(other)
+        found.sort()
+        neighbors[addr] = tuple(found)
+    return neighbors
+
+
+def allpairs_neighbor_sets(
+    positions: Dict[int, Tuple[float, float]], radio_range_m: float
+) -> Dict[int, Tuple[int, ...]]:
+    """Per-node neighbor sets by the O(N^2) scan (the reference)."""
+    if radio_range_m <= 0:
+        raise GeometryError(f"radio range must be positive, got {radio_range_m}")
+    range_sq = float(radio_range_m) * float(radio_range_m)
+    addrs = sorted(positions)
+    neighbors: Dict[int, Tuple[int, ...]] = {}
+    for addr in addrs:
+        pa = positions[addr]
+        neighbors[addr] = tuple(
+            other
+            for other in addrs
+            if other != addr and _within_sq(pa, positions[other], range_sq)
+        )
+    return neighbors
+
+
+class Geometry:
+    """Positions + radio range + a pluggable neighbor index.
+
+    :param radio_range_m: disc radio range in meters (must be positive).
+    :param index: ``"grid"`` (spatially indexed, the default) or
+        ``"allpairs"`` (the brute-force reference arm: the delivery path
+        re-scans all candidates per transmission and never consults the
+        neighbor cache).
+    """
+
+    def __init__(self, radio_range_m: float, index: str = "grid") -> None:
+        if radio_range_m <= 0:
+            raise GeometryError(
+                f"radio range must be positive, got {radio_range_m}"
+            )
+        if index not in GEOMETRY_INDEXES:
+            raise GeometryError(
+                f"unknown neighbor index {index!r} (choose from {GEOMETRY_INDEXES})"
+            )
+        self.radio_range_m = float(radio_range_m)
+        self.index = index
+        self._range_sq = self.radio_range_m * self.radio_range_m
+        self._positions: Dict[int, Tuple[float, float]] = {}
+        self._neighbors: Dict[int, Tuple[int, ...]] = {}
+        self._dirty = True
+        #: Lazy index recomputations (the invalidation suite pins when this
+        #: may and may not advance).
+        self.rebuilds = 0
+        #: Position updates of already-placed nodes (mobility events).
+        self.moves = 0
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, addr: int, x: float, y: float) -> None:
+        """Set (or update) a node's position; invalidates the index."""
+        if addr in self._positions:
+            self.moves += 1
+        self._positions[addr] = (float(x), float(y))
+        self._dirty = True
+
+    def place_all(self, positions: Dict[int, Tuple[float, float]]) -> None:
+        """Bulk placement (one invalidation, not one per node)."""
+        for addr in sorted(positions):
+            x, y = positions[addr]
+            self.place(addr, x, y)
+
+    def move(self, addr: int, x: float, y: float) -> None:
+        """Mobility event: relocate an already-placed node."""
+        if addr not in self._positions:
+            raise GeometryError(f"cannot move unplaced node {addr}")
+        self.place(addr, x, y)
+
+    def remove(self, addr: int) -> None:
+        """Drop a node from the geometry (departure/churn)."""
+        if self._positions.pop(addr, None) is not None:
+            self._dirty = True
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._positions
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def position_of(self, addr: int) -> Tuple[float, float]:
+        """A node's position; unplaced nodes are a configuration error."""
+        try:
+            return self._positions[addr]
+        except KeyError:
+            raise GeometryError(
+                f"node {addr} has no position; place() every node that "
+                f"touches a geometry-equipped medium"
+            ) from None
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Exact disc predicate between two placed nodes."""
+        return _within_sq(
+            self.position_of(a), self.position_of(b), self._range_sq
+        )
+
+    def neighbors_of(self, addr: int) -> Tuple[int, ...]:
+        """The cached neighbor set of ``addr``, sorted by address.
+
+        Rebuilds the index lazily iff a placement changed since the last
+        query.  Available in both index modes (the allpairs arm uses the
+        brute-force builder), but the allpairs *delivery* path deliberately
+        bypasses this cache -- see :meth:`iter_in_range`.
+        """
+        if self._dirty:
+            builder = (
+                grid_neighbor_sets
+                if self.index == "grid"
+                else allpairs_neighbor_sets
+            )
+            self._neighbors = builder(self._positions, self.radio_range_m)
+            self._dirty = False
+            self.rebuilds += 1
+        try:
+            return self._neighbors[addr]
+        except KeyError:
+            raise GeometryError(
+                f"node {addr} has no position; place() every node that "
+                f"touches a geometry-equipped medium"
+            ) from None
+
+    def iter_in_range(
+        self, addr: int, candidates: Iterable[int]
+    ) -> List[int]:
+        """``candidates`` (given sorted) filtered by range from ``addr``.
+
+        The all-pairs reference delivery: O(len(candidates)) exact checks
+        per call, no cache.  Produces the same membership and order as
+        filtering ``candidates`` against :meth:`neighbors_of`.
+        """
+        pa = self.position_of(addr)
+        positions = self._positions
+        range_sq = self._range_sq
+        out: List[int] = []
+        for other in candidates:
+            if other != addr:
+                pb = positions.get(other)
+                if pb is None:
+                    raise GeometryError(
+                        f"node {other} has no position; place() every node "
+                        f"that touches a geometry-equipped medium"
+                    )
+                if _within_sq(pa, pb, range_sq):
+                    out.append(other)
+        return out
+
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """The full neighbor map (rebuilding if needed)."""
+        out: Dict[int, Tuple[int, ...]] = {}
+        for addr in sorted(self._positions):
+            out[addr] = self.neighbors_of(addr)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Geometry {len(self._positions)} nodes "
+            f"range={self.radio_range_m}m index={self.index}>"
+        )
+
+
+def make_geometry(
+    positions: Dict[int, Tuple[float, float]],
+    radio_range_m: float,
+    index: str = "grid",
+) -> Optional[Geometry]:
+    """Build a placed :class:`Geometry` (``None`` for empty positions)."""
+    if not positions:
+        return None
+    geometry = Geometry(radio_range_m, index=index)
+    geometry.place_all(positions)
+    return geometry

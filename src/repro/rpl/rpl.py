@@ -45,6 +45,16 @@ class RplCode(enum.IntEnum):
 _DIO = struct.Struct(">BBHBB2s16s")
 _DAO_HEAD = struct.Struct(">BBBB16s")
 
+#: Targets per DAO message.  A router announces its whole sub-DODAG, which
+#: at the 500/1000-node scale tier can exceed the 1280-byte IPv6 MTU in a
+#: single message (16 bytes per target); DAOs are therefore split into
+#: chunks of at most this many targets.  64 keeps the largest chunk
+#: (20-byte DAO head + 64 targets + ICMPv6/IPv6 headers) near 1.1 KB,
+#: comfortably under the MTU.  Receivers merge target sets additively
+#: (RFC 6550 permits targets spread over multiple DAOs), so chunking does
+#: not change the installed routes.
+DAO_MAX_TARGETS = 64
+
 
 @dataclass
 class RplConfig:
@@ -202,15 +212,17 @@ class RplInstance:
     def _send_dao(self) -> None:
         if not self._running or self.parent is None or self.dodag_id is None:
             return
-        self._dao_seq = (self._dao_seq + 1) & 0xFF
         targets = [self.node.mesh_local] + list(self._dao_targets)
-        body = _DAO_HEAD.pack(
-            self.config.instance_id, 0, 0, self._dao_seq, self.dodag_id.packed
-        ) + b"".join(t.packed for t in targets)
-        self.daos_sent += 1
-        self.node.icmp.send(
-            self.parent, Icmpv6Message(RPL_CONTROL, RplCode.DAO, body)
-        )
+        for start in range(0, len(targets), DAO_MAX_TARGETS):
+            chunk = targets[start : start + DAO_MAX_TARGETS]
+            self._dao_seq = (self._dao_seq + 1) & 0xFF
+            body = _DAO_HEAD.pack(
+                self.config.instance_id, 0, 0, self._dao_seq, self.dodag_id.packed
+            ) + b"".join(t.packed for t in chunk)
+            self.daos_sent += 1
+            self.node.icmp.send(
+                self.parent, Icmpv6Message(RPL_CONTROL, RplCode.DAO, body)
+            )
 
     # -- message handling ------------------------------------------------------------
 

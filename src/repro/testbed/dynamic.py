@@ -15,6 +15,7 @@ from repro.core.dynconn import Dynconn, DynconnConfig
 from repro.core.intervals import RandomWindowIntervalPolicy
 from repro.core.node import Node
 from repro.phy.medium import BleMedium, InterferenceModel
+from repro.phy.spatial import Geometry
 from repro.rpl import RplConfig, RplInstance
 from repro.sim import RngRegistry, Simulator
 from repro.sim.units import MSEC
@@ -30,6 +31,8 @@ class DynamicBleNetwork:
     :param interval_window_ms: the randomized connection-interval window
         (the §6.3 mitigation is the default in dynamic meshes).
     :param rpl_config: RPL constants.
+    :param geometry: node positions + radio range; with one, discovery is
+        range-gated and the mesh self-forms along the radio graph.
     """
 
     def __init__(
@@ -43,10 +46,13 @@ class DynamicBleNetwork:
         interval_window_ms: tuple = (65, 85),
         rpl_config: Optional[RplConfig] = None,
         pktbuf_capacity: int = 6144,
+        geometry: Optional[Geometry] = None,
     ) -> None:
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
-        self.medium = BleMedium(self.sim, self.rngs.stream("medium"), interference)
+        self.medium = BleMedium(
+            self.sim, self.rngs.stream("medium"), interference, geometry
+        )
         if ppms is None:
             drift_rng = self.rngs.stream("clock-drift")
             ppms = [drift_rng.uniform(-3.0, 3.0) for _ in range(n_nodes)]

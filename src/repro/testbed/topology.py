@@ -28,6 +28,7 @@ from repro.core.node import Node
 from repro.core.statconn import StatconnConfig
 from repro.l2cap import CocConfig
 from repro.phy.medium import BleMedium, InterferenceModel
+from repro.phy.spatial import Geometry
 from repro.sim import RngRegistry, Simulator
 from repro.sixlowpan.ipv6 import Ipv6Address
 
@@ -85,6 +86,8 @@ class BleNetwork:
     :param statconn_config_factory: per-node statconn configuration.
     :param interference: medium loss model (e.g. the jammed channel 22).
     :param pktbuf_capacity: GNRC packet buffer size (paper: 6144).
+    :param geometry: node positions + radio range for the spatial medium
+        (``None`` keeps the paper's all-in-mutual-range plane).
     """
 
     def __init__(
@@ -97,11 +100,12 @@ class BleNetwork:
         interference: Optional[InterferenceModel] = None,
         pktbuf_capacity: int = 6144,
         coc_config: Optional[CocConfig] = None,
+        geometry: Optional[Geometry] = None,
     ) -> None:
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         self.medium = BleMedium(
-            self.sim, self.rngs.stream("medium"), interference
+            self.sim, self.rngs.stream("medium"), interference, geometry
         )
         if ppms is None:
             drift_rng = self.rngs.stream("clock-drift")

@@ -1,0 +1,35 @@
+"""Parametric, seeded topology generation for the scale tier.
+
+The paper's testbed stops at 15 hand-placed nodes in one room; the scale
+scenarios (100/500/1000 nodes) need layouts with *structure*: corridors,
+floors, random deployments.  Every generator here is a pure function of
+its parameters (and seed, where stochastic) producing a
+:class:`~repro.topo.generators.Topology` -- positions in meters plus the
+radio range -- from which the experiment runner derives the spatial
+medium's geometry and, for statically-routed runs, a BFS spanning tree of
+(parent, child) statconn edges.
+"""
+
+from repro.topo.generators import (
+    DisconnectedTopologyError,
+    TOPOLOGY_GENERATORS,
+    Topology,
+    building_topology,
+    corridor_topology,
+    grid_topology,
+    line_topology,
+    make_topology,
+    random_geometric_topology,
+)
+
+__all__ = [
+    "DisconnectedTopologyError",
+    "TOPOLOGY_GENERATORS",
+    "Topology",
+    "building_topology",
+    "corridor_topology",
+    "grid_topology",
+    "line_topology",
+    "make_topology",
+    "random_geometric_topology",
+]

@@ -1,0 +1,296 @@
+"""The topology generators: line, grid, random-geometric, building, corridor.
+
+Shared contract (pinned by ``tests/topo/test_generators.py``):
+
+* **Seeded determinism** -- the same parameters (and seed, for the
+  stochastic generators) produce the same positions and hence the same
+  adjacency, byte for byte.  Randomness comes from a private
+  ``random.Random(seed)``; nothing global.
+* **Connectivity** -- generated graphs are connected, or the generator
+  raises :class:`DisconnectedTopologyError` (``require_connected=False``
+  returns the layout with ``connected=False`` instead, for experiments
+  that *study* partition).  The random-geometric generator retries with
+  derived sub-seeds before giving up, deterministically.
+* **Canonical addressing** -- nodes are addressed ``0..n-1``; node 0 is
+  the consumer/root by convention, placed first by every generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.phy.spatial import (
+    Geometry,
+    allpairs_neighbor_sets,
+    make_geometry,
+)
+
+Position = Tuple[float, float]
+
+
+class DisconnectedTopologyError(ValueError):
+    """The generated layout is not one connected radio graph."""
+
+
+@dataclass
+class Topology:
+    """One generated layout: positions (meters) + disc radio range.
+
+    Adjacency is derived once via the brute-force neighbor builder (the
+    reference implementation -- generation is not a hot path) and cached.
+    """
+
+    kind: str
+    positions: Dict[int, Position]
+    radio_range_m: float
+    #: Whether the radio graph is one connected component (generators
+    #: either guarantee this or flag it explicitly).
+    connected: bool = field(init=False)
+    _adjacency: Dict[int, Tuple[int, ...]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("a topology needs at least one node")
+        expected = list(range(len(self.positions)))
+        if sorted(self.positions) != expected:
+            raise ValueError("node addresses must be exactly 0..n-1")
+        self._adjacency = allpairs_neighbor_sets(
+            self.positions, self.radio_range_m
+        )
+        self.connected = self._compute_connected()
+
+    @property
+    def n(self) -> int:
+        """Fleet size."""
+        return len(self.positions)
+
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """addr -> sorted tuple of in-range peers."""
+        return dict(self._adjacency)
+
+    def degrees(self) -> List[int]:
+        """Per-node neighbor counts, indexed by address."""
+        return [len(self._adjacency[addr]) for addr in range(self.n)]
+
+    def _compute_connected(self) -> bool:
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            addr = frontier.pop()
+            for peer in self._adjacency[addr]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return len(seen) == self.n
+
+    def tree_edges(self, root: int = 0) -> List[Tuple[int, int]]:
+        """(parent, child) edges of the BFS spanning tree rooted at ``root``.
+
+        BFS order is deterministic (queue order, sorted neighbor tuples),
+        so the same topology always yields the same tree.  These edges feed
+        :meth:`repro.testbed.topology.BleNetwork.apply_edges` for the
+        statically-routed scale scenarios.
+        """
+        if not self.connected:
+            raise DisconnectedTopologyError(
+                f"{self.kind} topology is not connected; no spanning tree"
+            )
+        edges: List[Tuple[int, int]] = []
+        seen = {root}
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            parent = queue[head]
+            head += 1
+            for child in self._adjacency[parent]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+                    edges.append((parent, child))
+        return edges
+
+    def geometry(self, index: str = "grid") -> Optional[Geometry]:
+        """A placed :class:`~repro.phy.spatial.Geometry` over this layout."""
+        return make_geometry(self.positions, self.radio_range_m, index=index)
+
+
+# -- generators --------------------------------------------------------------
+
+
+def line_topology(
+    n: int, spacing_m: float = 25.0, radio_range_m: float = 40.0
+) -> Topology:
+    """``n`` nodes along a straight corridor-free line.
+
+    Defaults put only direct neighbors in range (spacing 25 m, range
+    40 m): the spatial analogue of the paper's 15-node line (Fig. 6)."""
+    if n < 1:
+        raise ValueError("a line needs at least 1 node")
+    positions = {i: (i * spacing_m, 0.0) for i in range(n)}
+    return Topology("line", positions, radio_range_m)
+
+
+def grid_topology(
+    n: int, spacing_m: float = 25.0, radio_range_m: float = 40.0
+) -> Topology:
+    """``n`` nodes on a square-ish lattice, row-major from node 0.
+
+    With the defaults both orthogonal (25 m) and diagonal (~35.4 m)
+    lattice neighbors are in range: interior degree 8, the dense-office
+    deployment of the Bluetooth-Mesh density studies."""
+    if n < 1:
+        raise ValueError("a grid needs at least 1 node")
+    cols = max(1, math.ceil(math.sqrt(n)))
+    positions = {
+        i: ((i % cols) * spacing_m, (i // cols) * spacing_m) for i in range(n)
+    }
+    return Topology("grid", positions, radio_range_m)
+
+
+def random_geometric_topology(
+    n: int,
+    seed: int = 1,
+    radio_range_m: float = 40.0,
+    side_m: Optional[float] = None,
+    target_degree: float = 8.0,
+    require_connected: bool = True,
+    max_attempts: int = 25,
+) -> Topology:
+    """``n`` nodes uniform in a ``side_m`` x ``side_m`` square.
+
+    ``side_m`` defaults to the side that makes the *expected* degree
+    ``target_degree`` (n * pi * r^2 / side^2), the supercritical regime
+    where the graph is almost surely connected.  Draws are retried with
+    derived sub-seeds until the sample actually connects;
+    ``require_connected=False`` returns the first draw, flagged."""
+    if n < 1:
+        raise ValueError("a random-geometric layout needs at least 1 node")
+    if side_m is None:
+        area_per_node = math.pi * radio_range_m * radio_range_m / target_degree
+        side_m = math.sqrt(n * area_per_node)
+    last: Optional[Topology] = None
+    for attempt in range(max_attempts):
+        # process-stable sub-seed derivation (hash() would depend on
+        # PYTHONHASHSEED; sha256 matches repro.sim.rng.RngRegistry's idiom)
+        digest = hashlib.sha256(f"rgg:{seed}:{attempt}".encode()).digest()
+        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        positions = {
+            i: (rng.uniform(0.0, side_m), rng.uniform(0.0, side_m))
+            for i in range(n)
+        }
+        topology = Topology("rgg", positions, radio_range_m)
+        if topology.connected or not require_connected:
+            return topology
+        last = topology
+    assert last is not None
+    raise DisconnectedTopologyError(
+        f"random-geometric layout (n={n}, seed={seed}, side={side_m:.1f} m, "
+        f"range={radio_range_m} m) stayed disconnected across "
+        f"{max_attempts} derived draws; grow the range or shrink the area"
+    )
+
+
+def building_topology(
+    n: int,
+    rooms_per_floor: int = 10,
+    room_spacing_m: float = 20.0,
+    floor_height_m: float = 12.0,
+    radio_range_m: float = 25.0,
+) -> Topology:
+    """``n`` nodes filling building floors, one sensor per room.
+
+    Floors are rows of ``rooms_per_floor`` rooms; the section is modelled
+    in 2-D (room axis x, floor axis y).  Defaults keep both in-floor
+    neighbors (20 m) and the room directly above/below (12 m) in range --
+    the stacked-slab deployment of the paper's shading discussion, where
+    vertical links mind the gap between floors."""
+    if n < 1:
+        raise ValueError("a building needs at least 1 node")
+    if rooms_per_floor < 1:
+        raise ValueError("rooms_per_floor must be at least 1")
+    positions = {
+        i: (
+            (i % rooms_per_floor) * room_spacing_m,
+            (i // rooms_per_floor) * floor_height_m,
+        )
+        for i in range(n)
+    }
+    return Topology("building", positions, radio_range_m)
+
+
+def corridor_topology(
+    n: int,
+    spacing_m: float = 20.0,
+    bend_every: int = 12,
+    radio_range_m: float = 30.0,
+) -> Topology:
+    """``n`` nodes along a corridor that bends every ``bend_every`` hops.
+
+    The path alternates +x and +y legs (an S-shaped service corridor);
+    only adjacent nodes -- and the odd pair hugging a corner -- are in
+    range, giving the long thin multi-hop diameter of the paper's line
+    experiments at scale."""
+    if n < 1:
+        raise ValueError("a corridor needs at least 1 node")
+    if bend_every < 1:
+        raise ValueError("bend_every must be at least 1")
+    positions: Dict[int, Position] = {}
+    x, y = 0.0, 0.0
+    along_x = True
+    for i in range(n):
+        positions[i] = (x, y)
+        if (i + 1) % bend_every == 0:
+            along_x = not along_x
+        if along_x:
+            x += spacing_m
+        else:
+            y += spacing_m
+    return Topology("corridor", positions, radio_range_m)
+
+
+#: kind -> generator; the config/runner factory surface.
+TOPOLOGY_GENERATORS: Dict[str, Callable[..., Topology]] = {
+    "line": line_topology,
+    "grid": grid_topology,
+    "rgg": random_geometric_topology,
+    "building": building_topology,
+    "corridor": corridor_topology,
+}
+
+
+def make_topology(
+    kind: str,
+    n: int,
+    seed: int = 1,
+    radio_range_m: float = 0.0,
+    spacing_m: float = 0.0,
+) -> Topology:
+    """Uniform factory over :data:`TOPOLOGY_GENERATORS`.
+
+    ``radio_range_m``/``spacing_m`` of ``0.0`` mean "the generator's
+    default"; the stochastic generators receive ``seed``, the
+    deterministic ones ignore it (same layout for every seed)."""
+    try:
+        generator = TOPOLOGY_GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology kind {kind!r} "
+            f"(choose from {sorted(TOPOLOGY_GENERATORS)})"
+        ) from None
+    kwargs: Dict[str, object] = {}
+    if radio_range_m:
+        kwargs["radio_range_m"] = radio_range_m
+    if spacing_m:
+        if kind == "building":
+            kwargs["room_spacing_m"] = spacing_m
+        elif kind == "rgg":
+            kwargs["side_m"] = spacing_m * math.sqrt(n)
+        else:
+            kwargs["spacing_m"] = spacing_m
+    if kind == "rgg":
+        kwargs["seed"] = seed
+    return generator(n, **kwargs)

@@ -51,6 +51,25 @@ class TestConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(duration_s=0)
 
+    def test_spatial_validation(self):
+        # spatial topologies stand alone; geometry gates 'dynamic' only
+        ExperimentConfig(topology="rgg")  # valid
+        ExperimentConfig(topology="dynamic", geometry="rgg")  # valid
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="rgg", geometry="rgg")
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="tree", geometry="rgg")
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="grid", link_layer="802154")
+        with pytest.raises(ValueError):
+            ExperimentConfig(geometry="donut")
+        with pytest.raises(ValueError):
+            ExperimentConfig(spatial_index="quadtree")
+        with pytest.raises(ValueError):
+            ExperimentConfig(radio_range_m=-1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="dynamic", max_children=0)
+
     def test_random_interval_detection(self):
         assert ExperimentConfig(conn_interval="[65:85]").uses_random_intervals
         assert not ExperimentConfig(conn_interval="75").uses_random_intervals
@@ -80,7 +99,7 @@ class TestCanonicalSerialization:
     #: serialization regressed (fix it): every on-disk cache is invalidated
     #: either way, which must be a deliberate decision.
     GOLDEN_DEFAULT_HASH = (
-        "fb124ac6043def483205255e1a33848b3a8b8183a6dabe0fe21fd1a59804a2f1"
+        "e7b97ce9707f9115365b7bb0d90f911bed2a064f11f579b9b6ab546b207b8451"
     )
 
     def test_default_config_hash_is_golden_constant(self):

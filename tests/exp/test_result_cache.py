@@ -103,15 +103,30 @@ class TestKeyInvalidation:
             "trace": True,
             "trace_layers": "ble,ip",
             "metrics": True,
+            "geometry": "rgg",
+            "radio_range_m": 30.0,
+            "node_spacing_m": 10.0,
+            "spatial_index": "allpairs",
+            "max_children": 5,
         }
+        # some replacements are only valid alongside another field change
+        # (geometry gates on a dynamic topology); compare against a base
+        # carrying the same companions so the tested field stays isolated
+        companions = {"geometry": {"topology": "dynamic"}}
         fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
         assert fields == set(replacements), (
             "new config fields must get a replacement value here so key "
             "coverage stays exhaustive"
         )
         for field_name, value in replacements.items():
-            changed = dataclasses.replace(base, **{field_name: value})
-            assert cache.key_for(changed) != base_key, (
+            extra = companions.get(field_name, {})
+            ref_key = (
+                cache.key_for(dataclasses.replace(base, **extra))
+                if extra
+                else base_key
+            )
+            changed = dataclasses.replace(base, **{field_name: value}, **extra)
+            assert cache.key_for(changed) != ref_key, (
                 f"changing {field_name!r} must invalidate the cache key"
             )
 

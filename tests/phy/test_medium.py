@@ -2,7 +2,9 @@
 
 import random
 
-from repro.phy import BleMedium, InterferenceModel
+import pytest
+
+from repro.phy import BleMedium, InterferenceModel, MediumRegistrationError
 from repro.phy.medium import InterferenceBurst
 from repro.sim import Simulator, SEC
 
@@ -64,3 +66,74 @@ def test_usable_channels_excludes_jammed():
     usable = medium.usable_channels(range(37))
     assert 22 not in usable
     assert len(usable) == 36
+
+
+# -- registration discipline (the reconnection double-delivery hazard) -------
+
+
+class _StubController:
+    def __init__(self, addr):
+        self.addr = addr
+
+
+class _StubScanner:
+    def __init__(self, addr, target_addr=None):
+        self.controller = _StubController(addr)
+        self.target_addr = target_addr
+
+
+def test_register_node_rejects_duplicate_address():
+    _, medium = make_medium()
+    medium.register_node(3, owner="first")
+    with pytest.raises(MediumRegistrationError, match="already registered"):
+        medium.register_node(3, owner="second")
+    # the original registration is untouched
+    assert medium.nodes[3] == "first"
+
+
+def test_unregister_node_is_idempotent_and_frees_the_address():
+    _, medium = make_medium()
+    medium.register_node(3)
+    medium.unregister_node(3)
+    medium.unregister_node(3)  # no-op, no error
+    medium.register_node(3)  # address is claimable again
+
+
+def test_register_scanner_rejects_same_object_twice():
+    _, medium = make_medium()
+    scanner = _StubScanner(1, target_addr=0)
+    medium.register_scanner(scanner)
+    with pytest.raises(MediumRegistrationError, match="already registered"):
+        medium.register_scanner(scanner)
+    assert medium.scanners.count(scanner) == 1  # no silent double entry
+
+
+def test_register_scanner_rejects_stale_predecessor_for_same_target():
+    """The reconnection footgun: a new scanner for the same (node, target)
+    while the old one is still registered must be a hard error."""
+    _, medium = make_medium()
+    medium.register_scanner(_StubScanner(1, target_addr=0))
+    with pytest.raises(MediumRegistrationError, match="double-deliver"):
+        medium.register_scanner(_StubScanner(1, target_addr=0))
+
+
+def test_register_scanner_allows_distinct_targets_per_node():
+    """statconn keys scanners by peer: one node may scan for several
+    targets concurrently (including one wildcard)."""
+    _, medium = make_medium()
+    medium.register_scanner(_StubScanner(1, target_addr=0))
+    medium.register_scanner(_StubScanner(1, target_addr=2))
+    medium.register_scanner(_StubScanner(1, target_addr=None))
+    assert len(medium.scanners) == 3
+
+
+def test_unregister_scanner_allows_reconnection_attempt():
+    _, medium = make_medium()
+    old = _StubScanner(1, target_addr=0)
+    medium.register_scanner(old)
+    medium.unregister_scanner(old)
+    medium.unregister_scanner(old)  # idempotent
+    new = _StubScanner(1, target_addr=0)
+    medium.register_scanner(new)  # the clean reconnection path
+    assert medium.scanners == [new]
+    assert medium.scanners_hearing(0) == [new]

@@ -1,0 +1,182 @@
+"""Unit tests for the spatial neighbor index (:mod:`repro.phy.spatial`).
+
+Two pillars:
+
+* **grid == allpairs** -- the uniform-grid builder must produce exactly
+  the brute-force neighbor sets, including on the degenerate layouts
+  (cell-boundary positions, negative coordinates, coincident nodes).
+* **Invalidation discipline** -- the index rebuilds exactly when a
+  placement changes (mobility/topology events) and *never* on plain
+  queries or packet traffic; the ``rebuilds`` counter pins both sides.
+"""
+
+import random
+
+import pytest
+
+from repro.phy.spatial import (
+    Geometry,
+    GeometryError,
+    allpairs_neighbor_sets,
+    grid_neighbor_sets,
+    make_geometry,
+)
+
+
+def random_positions(n, seed, side=200.0):
+    rng = random.Random(seed)
+    return {i: (rng.uniform(-side, side), rng.uniform(-side, side)) for i in range(n)}
+
+
+class TestNeighborSetEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_grid_matches_allpairs_on_random_layouts(self, seed):
+        positions = random_positions(60, seed)
+        assert grid_neighbor_sets(positions, 45.0) == allpairs_neighbor_sets(
+            positions, 45.0
+        )
+
+    def test_cell_boundary_positions(self):
+        # nodes exactly on cell edges and exactly at range distance: the
+        # disc predicate is <=, so range-distance pairs ARE neighbors
+        positions = {0: (0.0, 0.0), 1: (10.0, 0.0), 2: (20.0, 0.0), 3: (10.0, 10.0)}
+        grid = grid_neighbor_sets(positions, 10.0)
+        assert grid == allpairs_neighbor_sets(positions, 10.0)
+        assert grid[0] == (1,)
+        assert grid[1] == (0, 2, 3)
+
+    def test_negative_coordinates(self):
+        positions = {0: (-35.0, -35.0), 1: (-30.0, -30.0), 2: (5.0, 5.0)}
+        assert grid_neighbor_sets(positions, 12.0) == allpairs_neighbor_sets(
+            positions, 12.0
+        )
+
+    def test_coincident_nodes_are_mutual_neighbors(self):
+        positions = {0: (1.0, 1.0), 1: (1.0, 1.0), 2: (100.0, 100.0)}
+        grid = grid_neighbor_sets(positions, 5.0)
+        assert grid[0] == (1,) and grid[1] == (0,) and grid[2] == ()
+
+    def test_neighbor_tuples_are_sorted_by_address(self):
+        positions = random_positions(40, seed=3)
+        for addr, neighbors in grid_neighbor_sets(positions, 80.0).items():
+            assert list(neighbors) == sorted(neighbors)
+            assert addr not in neighbors
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(GeometryError):
+            grid_neighbor_sets({0: (0.0, 0.0)}, 0.0)
+        with pytest.raises(GeometryError):
+            allpairs_neighbor_sets({0: (0.0, 0.0)}, -1.0)
+        with pytest.raises(GeometryError):
+            Geometry(0.0)
+
+
+class TestGeometryQueries:
+    def test_in_range_is_symmetric_and_exact(self):
+        geo = Geometry(10.0)
+        geo.place(0, 0.0, 0.0)
+        geo.place(1, 10.0, 0.0)  # exactly at range
+        geo.place(2, 10.000001, 0.0)
+        assert geo.in_range(0, 1) and geo.in_range(1, 0)
+        assert not geo.in_range(0, 2)
+
+    def test_unplaced_node_is_an_error(self):
+        geo = Geometry(10.0)
+        geo.place(0, 0.0, 0.0)
+        with pytest.raises(GeometryError, match="no position"):
+            geo.position_of(7)
+        with pytest.raises(GeometryError, match="no position"):
+            geo.neighbors_of(7)
+        with pytest.raises(GeometryError, match="no position"):
+            geo.iter_in_range(0, [7])
+        with pytest.raises(GeometryError, match="unplaced"):
+            geo.move(7, 1.0, 1.0)
+
+    def test_iter_in_range_matches_neighbor_cache(self):
+        positions = random_positions(50, seed=5)
+        geo = make_geometry(positions, 60.0, index="allpairs")
+        addrs = sorted(positions)
+        for addr in addrs:
+            assert geo.iter_in_range(addr, addrs) == list(geo.neighbors_of(addr))
+
+    def test_make_geometry_empty_positions_is_none(self):
+        assert make_geometry({}, 10.0) is None
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(GeometryError, match="unknown neighbor index"):
+            Geometry(10.0, index="octree")
+
+
+class TestIndexInvalidation:
+    """The tentpole's cache contract: recompute on topology/mobility
+    change, never on plain traffic (queries)."""
+
+    def make_placed(self, n=20, index="grid"):
+        geo = make_geometry(random_positions(n, seed=11), 50.0, index=index)
+        geo.neighbors_of(0)  # force the initial build
+        return geo
+
+    def test_initial_build_happens_once(self):
+        geo = self.make_placed()
+        assert geo.rebuilds == 1
+
+    def test_queries_never_rebuild(self):
+        geo = self.make_placed()
+        for _ in range(100):
+            geo.neighbors_of(3)
+            geo.adjacency()
+            geo.in_range(0, 1)
+            geo.iter_in_range(0, list(range(20)))
+        assert geo.rebuilds == 1
+
+    def test_move_invalidates_once_per_rebuild(self):
+        geo = self.make_placed()
+        geo.move(4, 0.0, 0.0)
+        assert geo.moves == 1
+        assert geo.rebuilds == 1  # lazy: no rebuild until the next query
+        geo.neighbors_of(4)
+        assert geo.rebuilds == 2
+        geo.neighbors_of(4)
+        assert geo.rebuilds == 2  # clean again
+
+    def test_batched_moves_cost_one_rebuild(self):
+        geo = self.make_placed()
+        for addr in range(5):
+            geo.move(addr, float(addr), float(addr))
+        geo.adjacency()
+        assert geo.rebuilds == 2
+
+    def test_place_new_node_invalidates(self):
+        geo = self.make_placed()
+        geo.place(99, 1.0, 1.0)
+        geo.neighbors_of(99)
+        assert geo.rebuilds == 2
+        assert geo.moves == 0  # a fresh placement is not a mobility event
+
+    def test_remove_invalidates(self):
+        geo = self.make_placed()
+        geo.remove(7)
+        assert 7 not in geo
+        geo.adjacency()
+        assert geo.rebuilds == 2
+        geo.remove(7)  # idempotent, no further invalidation
+        geo.adjacency()
+        assert geo.rebuilds == 2
+
+    def test_mobility_updates_neighbor_sets(self):
+        geo = Geometry(10.0)
+        geo.place(0, 0.0, 0.0)
+        geo.place(1, 100.0, 0.0)
+        assert geo.neighbors_of(0) == ()
+        geo.move(1, 5.0, 0.0)
+        assert geo.neighbors_of(0) == (1,)
+        assert geo.neighbors_of(1) == (0,)
+
+    def test_allpairs_index_obeys_the_same_discipline(self):
+        geo = self.make_placed(index="allpairs")
+        for _ in range(50):
+            geo.neighbors_of(1)
+        assert geo.rebuilds == 1
+        geo.move(1, 0.0, 0.0)
+        geo.neighbors_of(1)
+        assert geo.rebuilds == 2

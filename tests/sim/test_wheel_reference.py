@@ -6,169 +6,31 @@ traces depend on it.  These property-style tests drive the same randomized
 schedule/cancel/rearm/run workload through :class:`repro.sim.kernel.
 Simulator` and through a deliberately naive single-heap kernel, and assert
 the two dispatch logs, clocks, and pending counts never diverge.
+
+The reference kernel and the workload live in ``tests/support/lockstep.py``
+(shared with the spatial-medium differential suite).
 """
 
 import random
-from heapq import heappop, heappush
 
 import pytest
 
-from repro.sim.kernel import (
-    WHEEL_HORIZON_NS,
-    WHEEL_SLOT_NS,
-    Simulator,
+from repro.sim.kernel import WHEEL_HORIZON_NS, Simulator
+from tests.support.lockstep import (
+    ReferenceKernel,
+    TimerWorkload,
+    assert_logs_identical,
 )
-
-
-class _RefHandle:
-    """Cancellation handle of the reference kernel."""
-
-    __slots__ = ("when", "seq", "callback", "args", "cancelled")
-
-    def __init__(self, when, seq, callback, args):
-        self.when = when
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-
-    def cancel(self):
-        self.cancelled = True
-
-
-class ReferenceKernel:
-    """The classic all-heap kernel: one binary heap, lazy cancellation.
-
-    Implements just enough of the :class:`Simulator` surface for the
-    equivalence workload: ``now``, ``at``, ``after``, ``rearm``, ``run``,
-    ``pending``.
-    """
-
-    def __init__(self):
-        self._now = 0
-        self._seq = 0
-        self._heap = []
-
-    @property
-    def now(self):
-        return self._now
-
-    def at(self, when, callback, *args):
-        assert when >= self._now
-        handle = _RefHandle(int(when), self._seq, callback, args)
-        self._seq += 1
-        heappush(self._heap, (handle.when, handle.seq, handle))
-        return handle
-
-    def after(self, delay, callback, *args):
-        return self.at(self._now + int(delay), callback, *args)
-
-    def rearm(self, handle, when):
-        # Reference semantics: a rearm is indistinguishable from a fresh at.
-        return self.at(when, handle.callback, *handle.args)
-
-    def run(self, until=None):
-        executed = 0
-        heap = self._heap
-        while heap:
-            when, _seq, handle = heap[0]
-            if handle.cancelled:
-                heappop(heap)
-                continue
-            if until is not None and when >= until:
-                break
-            heappop(heap)
-            self._now = when
-            handle.callback(*handle.args)
-            executed += 1
-        if until is not None and self._now < until:
-            self._now = until
-        return executed
-
-    def pending(self):
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
-
-
-class _Workload:
-    """One deterministic schedule/cancel/rearm workload bound to a kernel.
-
-    All decisions come from a private ``random.Random(seed)``: as long as
-    both kernels dispatch in the same order, both harnesses draw the same
-    random sequence and therefore issue identical operations.  Any ordering
-    divergence desynchronizes the logs, which the test asserts against.
-    """
-
-    #: Offsets crossing every placement class: same-tick, same-slot,
-    #: near-future wheel slots, exactly one slot, the wheel horizon, and
-    #: deep overflow-heap territory.
-    OFFSETS = (
-        0,
-        1,
-        1_337,
-        WHEEL_SLOT_NS - 1,
-        WHEEL_SLOT_NS,
-        3 * WHEEL_SLOT_NS + 17,
-        WHEEL_HORIZON_NS - 1,
-        WHEEL_HORIZON_NS,
-        2 * WHEEL_HORIZON_NS + 23,
-    )
-
-    def __init__(self, sim, seed, max_items=400):
-        self.sim = sim
-        self.rng = random.Random(seed)
-        self.max_items = max_items
-        self.next_id = 0
-        self.log = []
-        self.live = {}  # id -> handle, scheduled but not fired/cancelled
-        self.fired_handles = []  # candidates for rearm
-
-    def schedule(self, when):
-        rng = self.rng
-        if self.fired_handles and rng.random() < 0.4:
-            # Rearm reuses the fired timer object: same callback, same item
-            # id, so the entry fires (and logs) again under its old id on
-            # both kernels in lockstep.
-            self.sim.rearm(self.fired_handles.pop(), when)
-            return
-        if self.next_id >= self.max_items:
-            return
-        item_id = self.next_id
-        self.next_id += 1
-        self.live[item_id] = self.sim.at(when, self.fire, item_id)
-
-    def fire(self, item_id):
-        self.log.append((self.sim.now, item_id))
-        handle = self.live.pop(item_id, None)
-        if handle is not None:
-            self.fired_handles.append(handle)
-        rng = self.rng
-        for _ in range(rng.randrange(3)):
-            self.schedule(self.sim.now + rng.choice(self.OFFSETS))
-        if self.live and rng.random() < 0.25:
-            victim = rng.choice(sorted(self.live))
-            self.live.pop(victim).cancel()
-
-    def play(self):
-        """Phases of root scheduling and bounded runs, then run to empty."""
-        rng = self.rng
-        for _ in range(6):
-            for _ in range(20):
-                self.schedule(self.sim.now + rng.choice(self.OFFSETS))
-            self.sim.run(until=self.sim.now + rng.choice(
-                (WHEEL_SLOT_NS, WHEEL_HORIZON_NS // 2, WHEEL_HORIZON_NS * 3)
-            ))
-        self.sim.run()
-        return self.log
 
 
 @pytest.mark.parametrize("seed", range(12))
 def test_wheel_matches_reference_heap(seed):
     """Same workload, same dispatch log, clock, and pending count."""
-    wheel = _Workload(Simulator(), seed)
-    ref = _Workload(ReferenceKernel(), seed)
+    wheel = TimerWorkload(Simulator(), seed)
+    ref = TimerWorkload(ReferenceKernel(), seed)
     wheel_log = wheel.play()
     ref_log = ref.play()
-    assert wheel_log == ref_log
+    assert_logs_identical(wheel_log, ref_log, "wheel", "reference")
     assert wheel.sim.now == ref.sim.now
     assert wheel.sim.pending() == ref.sim.pending()
     assert len(wheel_log) > 100  # the workload must actually exercise things
@@ -191,8 +53,8 @@ def test_wheel_matches_reference_under_horizon_runs(seed):
         sim.run(until=horizon)
         ref.run(until=horizon)
         assert sim.now == ref.now
-        assert log_a == log_b
+        assert_logs_identical(log_a, log_b, "wheel", "reference")
     sim.run()
     ref.run()
-    assert log_a == log_b
+    assert_logs_identical(log_a, log_b, "wheel", "reference")
     assert len(log_a) == 150

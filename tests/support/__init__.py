@@ -1,0 +1,1 @@
+"""Shared test scaffolding (not a test package; no test_* modules here)."""

@@ -1,0 +1,157 @@
+"""Tests for the parametric topology generators (:mod:`repro.topo`).
+
+The generator contract (seeded determinism, connectivity, canonical
+addressing) is what the scale tier's reproducibility rests on: a config's
+``(topology, n_nodes, seed)`` triple must pin the exact radio graph, byte
+for byte, across processes and platforms.
+"""
+
+import pytest
+
+from repro.phy.spatial import allpairs_neighbor_sets
+from repro.topo import (
+    TOPOLOGY_GENERATORS,
+    DisconnectedTopologyError,
+    Topology,
+    building_topology,
+    corridor_topology,
+    grid_topology,
+    line_topology,
+    make_topology,
+    random_geometric_topology,
+)
+
+ALL_KINDS = sorted(TOPOLOGY_GENERATORS)
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_same_parameters_same_layout(self, kind):
+        a = make_topology(kind, 50, seed=9)
+        b = make_topology(kind, 50, seed=9)
+        assert a.positions == b.positions  # byte-identical floats
+        assert a.adjacency() == b.adjacency()
+        assert a.tree_edges() == b.tree_edges()
+
+    def test_rgg_seed_changes_layout(self):
+        a = random_geometric_topology(40, seed=1)
+        b = random_geometric_topology(40, seed=2)
+        assert a.positions != b.positions
+
+    def test_deterministic_kinds_ignore_the_seed(self):
+        for kind in ("line", "grid", "building", "corridor"):
+            assert (
+                make_topology(kind, 30, seed=1).positions
+                == make_topology(kind, 30, seed=999).positions
+            )
+
+    def test_rgg_is_stable_across_processes(self):
+        """The sub-seed derivation is sha256-based, not hash()-based: the
+        first node's position is a pinned constant."""
+        topo = random_geometric_topology(10, seed=1)
+        x, y = topo.positions[0]
+        assert (x, y) == (39.36030070005407, 14.86077281823839)
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("n", (1, 2, 10, 100))
+    def test_generated_layouts_are_connected(self, kind, n):
+        topo = make_topology(kind, n, seed=4)
+        assert topo.connected
+        edges = topo.tree_edges()
+        assert len(edges) == n - 1
+        # every non-root node appears exactly once as a child
+        children = [child for _parent, child in edges]
+        assert sorted(children) == list(range(1, n))
+
+    def test_impossible_rgg_raises_after_deterministic_retries(self):
+        with pytest.raises(DisconnectedTopologyError, match="disconnected"):
+            random_geometric_topology(
+                30, seed=1, radio_range_m=1.0, side_m=1000.0, max_attempts=3
+            )
+
+    def test_require_connected_false_returns_flagged_layout(self):
+        topo = random_geometric_topology(
+            30, seed=1, radio_range_m=1.0, side_m=1000.0, require_connected=False
+        )
+        assert not topo.connected
+        with pytest.raises(DisconnectedTopologyError):
+            topo.tree_edges()
+
+    def test_addresses_must_be_dense_from_zero(self):
+        with pytest.raises(ValueError, match="0..n-1"):
+            Topology("line", {1: (0.0, 0.0), 2: (1.0, 0.0)}, 5.0)
+
+
+class TestDegreeDistributions:
+    """Sanity bounds per kind: the layouts must have the *structure* their
+    names promise, not just connectivity."""
+
+    def test_line_degrees(self):
+        degrees = line_topology(20).degrees()
+        assert degrees[0] == degrees[-1] == 1
+        assert all(d == 2 for d in degrees[1:-1])
+
+    def test_grid_interior_degree_is_eight(self):
+        topo = grid_topology(25)  # 5x5 with diagonals in range
+        degrees = topo.degrees()
+        assert degrees[12] == 8  # center
+        assert degrees[0] == 3  # corner
+        assert max(degrees) == 8
+
+    def test_corridor_is_thin(self):
+        degrees = corridor_topology(60).degrees()
+        # a corridor is nearly a path: low degree everywhere, plus the odd
+        # corner-hugging pair
+        assert max(degrees) <= 4
+        assert sum(degrees) / len(degrees) < 3.0
+
+    def test_building_couples_adjacent_floors_only(self):
+        topo = building_topology(30, rooms_per_floor=10)
+        adj = topo.adjacency()
+        # room 15 sits on floor 1: neighbors on floors 0..2 only
+        assert all(abs(peer // 10 - 1) <= 1 for peer in adj[15])
+        # the room directly above (25) and below (5) are in range
+        assert 5 in adj[15] and 25 in adj[15]
+
+    def test_rgg_hits_the_target_degree_regime(self):
+        topo = random_geometric_topology(200, seed=2, target_degree=8.0)
+        degrees = topo.degrees()
+        mean = sum(degrees) / len(degrees)
+        # boundary effects pull the mean below the interior expectation;
+        # the point is the regime (supercritical), not the exact value
+        assert 4.0 < mean < 14.0
+
+    def test_bfs_tree_depth_is_bounded_by_graph_structure(self):
+        # 100-node grid: BFS tree depth ~ lattice radius, far below n
+        topo = grid_topology(100)
+        edges = dict((child, parent) for parent, child in topo.tree_edges())
+
+        def depth(node):
+            d = 0
+            while node != 0:
+                node = edges[node]
+                d += 1
+            return d
+
+        assert max(depth(n) for n in range(1, 100)) <= 10
+
+
+class TestFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            make_topology("torus", 10)
+
+    def test_range_and_spacing_overrides(self):
+        wide = make_topology("line", 10, radio_range_m=60.0)
+        assert wide.radio_range_m == 60.0
+        sparse = make_topology("line", 10, spacing_m=50.0)
+        assert sparse.positions[1] == (50.0, 0.0)
+
+    def test_adjacency_matches_reference_builder(self):
+        for kind in ALL_KINDS:
+            topo = make_topology(kind, 40, seed=6)
+            assert topo.adjacency() == allpairs_neighbor_sets(
+                topo.positions, topo.radio_range_m
+            )

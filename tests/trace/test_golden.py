@@ -56,9 +56,28 @@ THREE_HOP = ExperimentConfig(
     trace_layers="sixlo,ip,coap",
 )
 
+#: The scale tier's pinned fixture: 100 nodes on a seeded random-geometric
+#: layout, statconn links along the BFS tree of the radio graph, delivery
+#: gated by the spatial grid index.  Traced at ip/coap only -- the layer
+#: pair that witnesses end-to-end multi-hop forwarding -- to keep the
+#: fixture well under 500 KB.
+SCALE_100 = ExperimentConfig(
+    name="golden-scale100",
+    topology="rgg",
+    n_nodes=100,
+    duration_s=2.0,
+    warmup_s=5.0,
+    drain_s=0.5,
+    producer_interval_s=1.0,
+    seed=13,
+    trace=True,
+    trace_layers="ip,coap",
+)
+
 SCENARIOS = {
     "trace_2node.jsonl": TWO_NODE,
     "trace_3hop.jsonl": THREE_HOP,
+    "trace_scale100.jsonl": SCALE_100,
 }
 
 
