@@ -143,7 +143,7 @@ class Advertiser:
         """
         medium = self.controller.medium
         for scanner in medium.scanners_hearing(self.controller.addr):
-            if not scanner.wants(self.controller.addr):
+            if not scanner.wants(self.controller):
                 continue
             if not scanner.controller.scheduler.is_free(now):
                 continue
@@ -206,17 +206,25 @@ class Scanner:
         self.active = False
         self.controller.medium.unregister_scanner(self)
 
-    def wants(self, advertiser_addr: int) -> bool:
-        """Whether this scanner is hunting for ``advertiser_addr``."""
+    def wants(self, advertiser: "BleController") -> bool:
+        """Whether this scanner is hunting for ``advertiser``.
+
+        Matching is by *identity*: the scan path is where RPA resolution
+        happens (see :mod:`repro.ble.rpa`), so a targeted scanner keeps
+        finding its peer after the peer rotated its on-air address, and the
+        ``accept`` filter sees stable identities.
+        """
         if not self.active:
             return False
-        if advertiser_addr == self.controller.addr:
+        identity = advertiser.identity
+        if identity == self.controller.identity:
             return False
-        if self.target_addr is not None and advertiser_addr != self.target_addr:
+        self.controller.resolver.observe(advertiser)
+        if self.target_addr is not None and identity != self.target_addr:
             return False
-        if self.controller.connection_to(advertiser_addr) is not None:
+        if self.controller.connection_to(identity) is not None:
             return False
-        return self.accept is None or self.accept(advertiser_addr)
+        return self.accept is None or self.accept(identity)
 
     def current_channel(self, now: int) -> int:
         """The advertising channel the scanner currently dwells on.

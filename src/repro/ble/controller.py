@@ -17,6 +17,7 @@ from repro.ble.adv import Advertiser, Scanner
 from repro.ble.bufpool import BufferPool
 from repro.ble.config import BleConfig, ConnParams
 from repro.ble.conn import Connection, DisconnectReason, Role
+from repro.ble.rpa import IdentityResolver
 from repro.ble.sched import RadioScheduler
 from repro.phy.medium import BleMedium
 from repro.sim.clock import DriftingClock
@@ -47,9 +48,17 @@ class BleController:
     ) -> None:
         self.sim = sim
         self.medium = medium
+        #: The immutable identity address (RFC 7668 IID source; every table
+        #: above the air interface keys peers by it).  See :mod:`repro.ble.rpa`.
+        self.identity = addr
+        #: The *current on-air* address; equals the identity until the first
+        #: :meth:`rotate_address`.  Only the medium/geometry plane uses it.
         self.addr = addr
         medium.register_node(addr, self)
         self.name = name or f"ble-{addr}"
+        self.resolver = IdentityResolver(self)
+        #: Completed address rotations (diagnostics).
+        self.rotations = 0
         self.clock = clock or DriftingClock(sim)
         self.config = config or BleConfig()
         self.rng = rng or random.Random(addr)
@@ -96,12 +105,27 @@ class BleController:
         """This node's role on ``conn``."""
         return conn.endpoint_of(self).role
 
-    def connection_to(self, peer_addr: int) -> Optional[Connection]:
-        """The live connection to ``peer_addr``, if any."""
+    def connection_to(self, peer_identity: int) -> Optional[Connection]:
+        """The live connection to the peer with ``peer_identity``, if any."""
         for conn in self.connections:
-            if conn.peer_of(self).addr == peer_addr:
+            if conn.peer_of(self).identity == peer_identity:
                 return conn
         return None
+
+    def rotate_address(self, new_addr: int) -> None:
+        """Adopt a fresh on-air address (RPA rotation; identity unchanged).
+
+        The medium re-keys its node registry, any registered scanners, and
+        the geometry position (invalidating the spatial index live); live
+        connections are untouched -- they were established object-to-object
+        and every upper-layer table keys by :attr:`identity`.
+        """
+        old = self.addr
+        if new_addr == old:
+            return
+        self.medium.rotate_node(old, new_addr)
+        self.addr = new_addr
+        self.rotations += 1
 
     def used_intervals_ns(self) -> List[int]:
         """Connection intervals currently active on this node (§6.3 checks)."""

@@ -21,6 +21,10 @@ from typing import List, Optional, Protocol, Tuple
 from repro.obs.registry import METRICS
 from repro.trace.tracer import TRACE
 
+#: The busy-until sentinel of a fail-stopped radio: far beyond any
+#: simulated horizon, so every is_free() check denies until resume().
+FAIL_STOP_NS: int = 1 << 62
+
 
 class RadioActivity(Protocol):
     """Anything that periodically needs the node's radio."""
@@ -65,6 +69,30 @@ class RadioScheduler:
     def is_free(self, at_ns: int) -> bool:
         """Whether the radio is unclaimed at ``at_ns``."""
         return at_ns >= self._busy_until
+
+    @property
+    def failed(self) -> bool:
+        """Whether the radio is fail-stopped (see :meth:`fail_stop`)."""
+        return self._busy_until >= FAIL_STOP_NS
+
+    def fail_stop(self) -> None:
+        """Silence the radio mid-whatever: hard fail-stop fault injection.
+
+        The transceiver is marked busy until the far side of the simulated
+        universe, so every connection event and advertising event on this
+        node is denied from now on -- exactly the observable behaviour of a
+        node whose radio died without a disconnect.  Peers discover the
+        death the way the spec makes them: supervision timeout.  The claim
+        currently in progress (if any) is left accounted; no state other
+        than the busy horizon changes, so :meth:`resume` is exact.
+        """
+        self._busy_until = FAIL_STOP_NS
+        self._busy_owner = None
+
+    def resume(self, now_ns: int) -> None:
+        """Revive a fail-stopped radio at ``now_ns`` (idempotent)."""
+        if self._busy_until >= FAIL_STOP_NS:
+            self._busy_until = now_ns
 
     @property
     def busy_until(self) -> int:

@@ -241,7 +241,7 @@ class Dynconn:
 
     def _verify_ip_support(self, conn: Connection) -> None:
         """§3's capability check: GATT-discover the adopted peer's IPSS."""
-        peer = conn.peer_of(self.node.controller).addr
+        peer = conn.peer_of(self.node.controller).identity
 
         def verdict(supported: bool) -> None:
             if supported or not conn.open:

@@ -34,7 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class LinkSpec:
-    """One configured link from this node's point of view."""
+    """One configured link from this node's point of view.
+
+    ``peer_addr`` is the peer's *identity* address (stable across RPA
+    rotation, see :mod:`repro.ble.rpa`).
+    """
 
     peer_addr: int
     role: Role
@@ -177,7 +181,7 @@ class Statconn:
     # -- health monitoring -----------------------------------------------------
 
     def _on_conn_open(self, conn: Connection) -> None:
-        peer = conn.peer_of(self.node.controller).addr
+        peer = conn.peer_of(self.node.controller).identity
         spec = self._links.get(peer)
         if spec is None:
             return  # not one of ours
@@ -227,7 +231,7 @@ class Statconn:
             self._negotiate_interval(conn)
 
     def _on_conn_close(self, conn: Connection, reason: DisconnectReason) -> None:
-        peer = conn.peer_of(self.node.controller).addr
+        peer = conn.peer_of(self.node.controller).identity
         spec = self._links.get(peer)
         if spec is None:
             return

@@ -234,6 +234,15 @@ def main(argv: list[str] | None = None) -> int:
                        help="collect runtime metrics on every run; with "
                             "-o, also writes a merged metrics.json")
 
+    workload = sub.add_parser(
+        "workload",
+        help="churn seed-matrix smoke: write reconvergence.json, non-zero "
+             "exit if any cell fails to reconverge",
+    )
+    from repro.exp.workloadcmd import add_workload_arguments
+
+    add_workload_arguments(workload)
+
     args = parser.parse_args(argv)
 
     if args.command == "describe":
@@ -302,6 +311,11 @@ def main(argv: list[str] | None = None) -> int:
         report = run_traced(config, args.outdir, layers=args.layers)
         print(render_trace_summary(report), end="")
         return 0 if report.ok else 1
+
+    if args.command == "workload":
+        from repro.exp.workloadcmd import run_workload_cli
+
+        return run_workload_cli(args)
 
     config = ExperimentConfig.from_yaml(Path(args.description).read_text())
     config = _apply_overrides(config, args.overrides)

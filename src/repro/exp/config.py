@@ -23,7 +23,8 @@ import yaml
 #: stale on-disk results are invalidated wholesale instead of silently
 #: replayed (see :mod:`repro.exp.cache`).
 #: v4: spatial scale tier -- geometry/radio-range/spatial-index fields.
-CONFIG_SCHEMA_VERSION = 4
+#: v5: scenario dynamics -- churn/mobility/mac_rotation workload blocks.
+CONFIG_SCHEMA_VERSION = 5
 
 #: Topology kinds that generate node positions and run statconn over the
 #: BFS spanning tree of the radio graph (see :mod:`repro.topo`).  ``line``
@@ -177,6 +178,14 @@ class ExperimentConfig:
     node_spacing_m: float = 0.0
     spatial_index: str = "grid"
     max_children: int = 3
+    #: Scenario dynamics (see :mod:`repro.workload`): the ``churn:``,
+    #: ``mobility:``, and ``mac_rotation:`` blocks, kept as plain dicts so
+    #: they YAML-round-trip and canonicalize into the cache key.  Empty
+    #: dict = axis disabled.  ``dynamic`` topologies only; mobility
+    #: additionally requires a geometry.
+    churn: dict = field(default_factory=dict)
+    mobility: dict = field(default_factory=dict)
+    mac_rotation: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.drift_ppms is not None:
@@ -214,6 +223,27 @@ class ExperimentConfig:
         parse_interval_spec(self.conn_interval)  # validates
         if self.duration_s <= 0:
             raise ValueError("duration must be positive")
+        for block_name in ("churn", "mobility", "mac_rotation"):
+            block = getattr(self, block_name)
+            if not isinstance(block, dict):
+                raise ValueError(f"{block_name} must be a mapping")
+            if block and self.topology != "dynamic":
+                raise ValueError(
+                    f"{block_name} requires topology='dynamic' (the workload "
+                    f"layer drives dynconn/RPL healing)"
+                )
+        if self.mobility and self.geometry == "none":
+            raise ValueError("mobility requires a geometry (geometry != 'none')")
+        # Eager validation of the block contents (raises on bad keys/values).
+        from repro.workload.spec import (
+            ChurnSpec,
+            MacRotationSpec,
+            MobilitySpec,
+        )
+
+        ChurnSpec.from_dict(self.churn)
+        MobilitySpec.from_dict(self.mobility)
+        MacRotationSpec.from_dict(self.mac_rotation)
 
     @property
     def total_runtime_s(self) -> float:

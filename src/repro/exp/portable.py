@@ -196,6 +196,8 @@ class PortableResult(ResultMetricsMixin):
     #: counters/histogram states, picklable and deterministic, so metric
     #: snapshots merge identically whatever ``max_workers`` produced them.
     metrics: Optional[dict] = None
+    #: Workload summary (churn/mobility/rotation), already a plain dict.
+    workload: Optional[dict] = None
 
     @classmethod
     def from_result(cls, result: Any) -> "PortableResult":
@@ -212,6 +214,7 @@ class PortableResult(ResultMetricsMixin):
             node_currents_ua=result.fleet_current_ua(),
             trace_records=list(getattr(result, "trace_records", ())),
             metrics=getattr(result, "metrics", None),
+            workload=getattr(result, "workload", None),
         )
 
     # -- energy metrics (precomputed in the worker) --------------------------

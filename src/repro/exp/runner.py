@@ -54,6 +54,8 @@ from repro.topo import Topology, make_topology
 from repro.trace.record import TraceRecord
 from repro.trace.sinks import RingBufferSink
 from repro.trace.tracer import TRACE
+from repro.workload.driver import WorkloadDriver
+from repro.workload.spec import WorkloadSpec
 
 @dataclass
 class ExperimentResult(ResultMetricsMixin):
@@ -83,6 +85,10 @@ class ExperimentResult(ResultMetricsMixin):
     #: Runtime metrics payload (``{"sim_time_ns", "scopes", "series"}``)
     #: when the config asked for metrics collection; ``None`` otherwise.
     metrics: Optional[dict] = None
+    #: Workload summary (churn/mobility/rotation; see
+    #: :meth:`repro.workload.driver.WorkloadDriver.summary`) when the config
+    #: enabled any workload axis; ``None`` otherwise.
+    workload: Optional[dict] = None
 
     def to_portable(self) -> PortableResult:
         """Flatten into the picklable form (see :mod:`repro.exp.portable`)."""
@@ -361,6 +367,20 @@ class ExperimentRunner:
         for producer in producers:
             net.sim.at(stop_at, producer.stop)
 
+        # Scenario dynamics (churn / mobility / MAC rotation): only built
+        # when a workload block is configured, so workload-free runs execute
+        # byte-identically to runs predating the workload layer.
+        driver = None
+        workload_spec = WorkloadSpec.from_config(cfg)
+        if workload_spec is not None:
+            driver = WorkloadDriver(net, workload_spec, cfg.seed)
+            driver.bind_producers(
+                {p.node.node_id: p for p in producers},
+                traffic_start_ns=s_to_ns(cfg.warmup_s),
+                traffic_stop_ns=stop_at,
+            )
+            driver.install(s_to_ns(cfg.warmup_s), stop_at)
+
         link_series: Dict[Tuple[LinkKey, str], LinkSeries] = {}
         link_channels: Dict[Tuple[LinkKey, str], List[List[int]]] = {}
         flush_sampler = None
@@ -400,6 +420,7 @@ class ExperimentRunner:
             network=net,
             trace_records=list(ring.records()) if ring is not None else [],
             metrics=metrics_payload,
+            workload=driver.summary() if driver is not None else None,
         )
 
     def _hook_losses(self, node: Any, events: EventLog) -> None:
@@ -412,7 +433,7 @@ class ExperimentRunner:
                     node.sim.now,
                     "conn-loss",
                     node=node.node_id,
-                    peer=conn.peer_of(node.controller).addr,
+                    peer=conn.peer_of(node.controller).identity,
                     role=my_role.value,
                 )
 
@@ -447,8 +468,8 @@ class ExperimentRunner:
                     if conn.coord.controller is not node.controller:
                         continue
                     key: LinkKey = (
-                        conn.coord.controller.addr,
-                        conn.sub.controller.addr,
+                        conn.coord.controller.identity,
+                        conn.sub.controller.identity,
                     )
                     for direction, ep in (("up", conn.coord), ("down", conn.sub)):
                         snap = ep.stats.snapshot()

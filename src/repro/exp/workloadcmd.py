@@ -1,0 +1,187 @@
+"""``python -m repro workload`` -- the churn seed-matrix smoke.
+
+Runs the workload liveness acceptance matrix (fleet sizes x seeds, Poisson
+churn with a fail-stop mix under the 30 % simultaneous-departure cap) on
+bare :class:`~repro.testbed.dynamic.DynamicBleNetwork` fleets -- no
+traffic, no tracing, so a full matrix is seconds of wall clock -- and
+writes ``reconvergence.json``, the CI artifact recording per-cell healing
+behaviour: whether the DODAG reconverged inside the deadline, how long it
+took, and the re-attach latency of every churned node.
+
+The exit code is the gate: non-zero iff any cell failed to reconverge.
+The same property is asserted test-by-test in ``tests/workload/
+test_liveness.py``; this command exists so CI (and humans bisecting a
+liveness regression) get the whole matrix as one machine-readable
+document instead of a pytest failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.sim.units import SEC, ns_to_s
+from repro.workload import ChurnSpec, WorkloadDriver, WorkloadSpec
+
+#: Formation / healing deadlines (simulated seconds).  Healing mirrors
+#: tests.support.churnnet.HEAL_DEADLINE_S: the bound the liveness property
+#: promises.
+FORM_DEADLINE_S = 120
+HEAL_DEADLINE_S = 120
+
+#: Poll granularity of the reconvergence loop (simulated seconds).
+POLL_S = 5
+
+
+def run_churn_cell(
+    n_nodes: int,
+    seed: int,
+    churn: ChurnSpec,
+    window_s: float = 40.0,
+    heal_deadline_s: float = HEAL_DEADLINE_S,
+) -> Dict[str, Any]:
+    """One matrix cell: form, churn for ``window_s``, heal, report."""
+    from repro.testbed.dynamic import DynamicBleNetwork
+
+    net = DynamicBleNetwork(n_nodes, seed=seed)
+    net.start()
+    while not net.fully_joined() and net.sim.now < FORM_DEADLINE_S * SEC:
+        net.run(net.sim.now + POLL_S * SEC)
+    cell: Dict[str, Any] = {
+        "n_nodes": n_nodes,
+        "seed": seed,
+        "cap": max(1, int(churn.max_departed_fraction * (n_nodes - 1))),
+        "formed": net.fully_joined(),
+        "reconverged": False,
+        "healed_after_s": None,
+    }
+    if not net.fully_joined():
+        return cell
+
+    driver = WorkloadDriver(net, WorkloadSpec(churn=churn), seed)
+    start = net.sim.now
+    window_end = start + round(window_s * SEC)
+    driver.install(start, window_end)
+    net.run(window_end)
+    deadline = window_end + round(heal_deadline_s * SEC)
+    healed_at: Optional[int] = None
+    while net.sim.now < deadline:
+        if driver.reconverged() and not driver.departed_now():
+            healed_at = net.sim.now
+            break
+        net.run(net.sim.now + POLL_S * SEC)
+    if healed_at is None and driver.reconverged() and not driver.departed_now():
+        healed_at = net.sim.now
+
+    summary = driver.summary()
+    cell.update(
+        reconverged=healed_at is not None,
+        healed_after_s=(
+            None if healed_at is None else ns_to_s(healed_at - window_end)
+        ),
+        schedule_digest=summary["schedule_digest"],
+        departures=summary["departures"],
+        arrivals=summary["arrivals"],
+        failstops=summary["failstops"],
+        max_departed=summary["max_departed"],
+        orphan_timeouts=summary["orphan_timeouts"],
+        departed_at_end=summary["departed_at_end"],
+        reattach_latencies_s=[
+            round(ns_to_s(latency_ns), 3)
+            for _, latency_ns in driver.reattach_latencies
+        ],
+    )
+    return cell
+
+
+def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """CLI surface of the ``workload`` subcommand."""
+    parser.add_argument(
+        "-o", "--outdir", default="workload-out",
+        help="artifact directory for reconvergence.json "
+             "(default: workload-out)",
+    )
+    parser.add_argument(
+        "--sizes", default="6,9,12",
+        help="comma-separated fleet sizes (default: 6,9,12)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="seeds per fleet size, 1..N (default: 5)",
+    )
+    parser.add_argument(
+        "--mean-up", type=float, default=12.0,
+        help="mean node up-time in seconds (default: 12)",
+    )
+    parser.add_argument(
+        "--mean-down", type=float, default=5.0,
+        help="mean node down-time in seconds (default: 5)",
+    )
+    parser.add_argument(
+        "--fail-fraction", type=float, default=0.5,
+        help="fraction of departures that are hard fail-stops (default: 0.5)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=40.0,
+        help="churn window length in simulated seconds (default: 40)",
+    )
+
+
+def run_workload_cli(args: argparse.Namespace) -> int:
+    """Execute the matrix, write the artifact, gate on reconvergence."""
+    try:
+        sizes = [int(s) for s in str(args.sizes).split(",") if s.strip()]
+    except ValueError:
+        print(f"unparseable --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes or any(n < 2 for n in sizes) or args.seeds < 1:
+        print("--sizes needs fleets of >= 2 nodes and --seeds >= 1",
+              file=sys.stderr)
+        return 2
+    churn = ChurnSpec(
+        mean_up_s=args.mean_up,
+        mean_down_s=args.mean_down,
+        fail_fraction=args.fail_fraction,
+    )
+    cells: List[Dict[str, Any]] = []
+    for n_nodes in sizes:
+        for seed in range(1, args.seeds + 1):
+            cell = run_churn_cell(n_nodes, seed, churn, window_s=args.window)
+            cells.append(cell)
+            status = "ok" if cell["reconverged"] else "FAILED"
+            healed = cell.get("healed_after_s")
+            print(
+                f"  n={n_nodes:<4d} seed={seed:<3d} "
+                f"departures={cell.get('departures', 0):<3d} "
+                f"failstops={cell.get('failstops', 0):<3d} "
+                f"max_departed={cell.get('max_departed', 0)}/{cell['cap']} "
+                f"healed_after="
+                f"{'-' if healed is None else f'{healed:.0f}s':<5} {status}"
+            )
+    failed = [c for c in cells if not c["reconverged"]]
+    document = {
+        "schema": "repro.workload/1",
+        "churn": {
+            "mean_up_s": churn.mean_up_s,
+            "mean_down_s": churn.mean_down_s,
+            "fail_fraction": churn.fail_fraction,
+            "max_departed_fraction": churn.max_departed_fraction,
+            "window_s": args.window,
+        },
+        "cells": cells,
+        "total_cells": len(cells),
+        "failed_cells": len(failed),
+    }
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / "reconvergence.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    if failed:
+        print(f"reconvergence: {len(failed)} of {len(cells)} cells FAILED")
+        return 1
+    print(f"reconvergence: all {len(cells)} cells reconverged")
+    return 0

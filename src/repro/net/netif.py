@@ -78,8 +78,13 @@ class BleNetif:
 
     @property
     def ll_addr(self) -> int:
-        """This interface's link-layer address."""
-        return self.controller.addr
+        """This interface's link-layer *identity* address.
+
+        The IID (RFC 7668) derives from the identity, not from the current
+        on-air address, so IPv6 addressing survives RPA rotation (see
+        :mod:`repro.ble.rpa`).
+        """
+        return self.controller.identity
 
     # -- link lifecycle ----------------------------------------------------
 
@@ -90,7 +95,7 @@ class BleNetif:
         coc = coc_of(conn, self.coc_config, handshake=True)
         coc.accept_psm(IPSP_PSM)
         end = coc.end_of(self.controller)
-        peer_ll = conn.peer_of(self.controller).addr
+        peer_ll = conn.peer_of(self.controller).identity
         end.on_sdu = lambda sdu, peer=peer_ll: self._on_rx_sdu(sdu, peer)
         end.on_sdu_sent = self._on_sdu_sent
         self._outstanding[conn] = 0
@@ -105,7 +110,7 @@ class BleNetif:
         if held:
             self.pktbuf.free(held)
         if self.ip is not None:
-            self.ip.neighbor_down(conn.peer_of(self.controller).addr)
+            self.ip.neighbor_down(conn.peer_of(self.controller).identity)
 
     # -- data path ----------------------------------------------------------
 
@@ -147,7 +152,7 @@ class BleNetif:
         """
         sent = 0
         for conn in list(self.controller.connections):
-            if conn.open and self.send(packet, conn.peer_of(self.controller).addr):
+            if conn.open and self.send(packet, conn.peer_of(self.controller).identity):
                 sent += 1
         return sent
 

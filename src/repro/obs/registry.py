@@ -43,6 +43,17 @@ RTT_BUCKETS_S: Tuple[float, ...] = (
     10.0, 15.0, 20.0, 30.0, 60.0, 120.0,
 )
 
+#: Re-attach latency buckets (seconds) for the churn workload: arrival
+#: until the RPL parent-change that rejoins the DODAG.  Healthy rejoins
+#: land in seconds (DIS solicitation resets the parent's Trickle timer);
+#: the tail out to 5 min covers orphan-timeout cycle breaks (20 s) plus a
+#: full re-formation round.
+REATTACH_BUCKETS_S: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 3.0, 5.0, 7.5,
+    10.0, 15.0, 20.0, 30.0, 45.0, 60.0,
+    90.0, 120.0, 180.0, 240.0, 300.0,
+)
+
 
 class Counter:
     """A monotonically increasing count."""

@@ -187,6 +187,34 @@ class BleMedium:
         """Release an address (node departure); idempotent."""
         self.nodes.pop(addr, None)
 
+    def rotate_node(self, old_addr: int, new_addr: int) -> None:
+        """Re-key a node's on-air address (RPA rotation, see repro.ble.rpa).
+
+        Moves the node registration, any registered scanners of the node,
+        and -- on a geometry-equipped medium -- the node's position (the
+        spatial index is invalidated live, exactly like a mobility event).
+        The new address must be unclaimed: two stacks answering for one
+        address is the same double-delivery bug duplicate registration
+        guards against.
+        """
+        if old_addr not in self.nodes:
+            raise MediumRegistrationError(
+                f"cannot rotate unregistered node address {old_addr}"
+            )
+        if new_addr in self.nodes:
+            raise MediumRegistrationError(
+                f"rotation target address {new_addr} is already registered "
+                f"on this medium"
+            )
+        self.nodes[new_addr] = self.nodes.pop(old_addr)
+        scanners = self._scanners_by_addr.pop(old_addr, None)
+        if scanners:
+            self._scanners_by_addr[new_addr] = scanners
+        if self.geometry is not None and old_addr in self.geometry:
+            x, y = self.geometry.position_of(old_addr)
+            self.geometry.remove(old_addr)
+            self.geometry.place(new_addr, x, y)
+
     # -- scanner registry -------------------------------------------------
 
     def register_scanner(self, scanner) -> None:

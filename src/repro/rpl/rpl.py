@@ -137,12 +137,38 @@ class RplInstance:
         self._running = True
         if self.is_root:
             self.trickle.start()
-        else:
+        elif not self._soliciting:
+            # A restart racing a still-pending DIS timer must not fork the
+            # solicitation chain -- the existing chain keeps going.
             self._solicit()
 
     def stop(self) -> None:
         """Halt the router."""
         self._running = False
+        self.trickle.stop()
+
+    def reset(self) -> None:
+        """Forget all DODAG state (node re-arrival after a departure).
+
+        A returning node must rejoin from scratch: stale parent, rank,
+        neighbour ranks, and sub-DODAG routes all describe a topology that
+        moved on while the node was gone.  The router must be stopped;
+        call :meth:`start` afterwards to begin soliciting again.
+        """
+        if self._running:
+            raise RuntimeError("reset() requires a stopped RPL instance")
+        if not self.is_root:
+            self.rank = INFINITE_RANK
+            self.parent = None
+            self.dodag_id = None
+        self.neighbor_ranks.clear()
+        for target in list(self._dao_targets):
+            self.node.ip.fib.remove_host_route(target)
+        self._dao_targets.clear()
+        self.node.ip.fib.clear_default_route()
+        if self._dao_timer is not None:
+            self._dao_timer.cancel()
+            self._dao_timer = None
         self.trickle.stop()
 
     @property
@@ -311,7 +337,7 @@ class RplInstance:
     def _on_conn_close(self, conn, reason) -> None:
         if not self._running or self.parent is None:
             return
-        peer = conn.peer_of(self.node.controller).addr
+        peer = conn.peer_of(self.node.controller).identity
         if Ipv6Address.mesh_local(peer) == self.parent:
             self.detach()
         else:

@@ -14,7 +14,7 @@ This package provides the timing foundation for every other subsystem in
 
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.clock import DriftingClock
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, subseed
 from repro.sim.units import (
     NSEC,
     USEC,
@@ -31,6 +31,7 @@ __all__ = [
     "Timer",
     "DriftingClock",
     "RngRegistry",
+    "subseed",
     "NSEC",
     "USEC",
     "MSEC",

@@ -12,7 +12,21 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Union
+
+
+def subseed(*parts: Union[int, str]) -> int:
+    """A 64-bit seed derived from ``parts`` via SHA-256.
+
+    The canonical sub-seeding idiom of the repo: parts are joined with
+    ``":"`` and hashed, so a derived stream's draws depend only on its own
+    name, never on which other streams exist or how often they were pulled.
+    ``subseed(seed, name)`` reproduces the byte-exact seed of
+    :meth:`RngRegistry.stream`; :mod:`repro.topo` and :mod:`repro.workload`
+    derive their attempt/schedule seeds through the same function.
+    """
+    digest = hashlib.sha256(":".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class RngRegistry:
@@ -33,12 +47,10 @@ class RngRegistry:
         """
         rng = self._streams.get(name)
         if rng is None:
-            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
-            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            rng = random.Random(subseed(self.seed, name))
             self._streams[name] = rng
         return rng
 
     def fork(self, name: str) -> "RngRegistry":
         """Derive a child registry (e.g. one per repetition of a sweep)."""
-        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
-        return RngRegistry(int.from_bytes(digest[:8], "big"))
+        return RngRegistry(subseed(self.seed, "fork", name))

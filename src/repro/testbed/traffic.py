@@ -65,6 +65,10 @@ class Producer:
         self.rng = rng or random.Random(node.node_id ^ 0x7A11)
         self.endpoint = CoapEndpoint(node)
         self.running = False
+        #: Incremented on every start(); pending ticks from an older
+        #: start/stop generation see a stale epoch and die, so a node that
+        #: departs and returns (churn) never runs two tick chains at once.
+        self._epoch = 0
         # Metrics.
         self.requests_sent = 0
         self.acks_received = 0
@@ -76,9 +80,15 @@ class Producer:
         self.ack_times: List[int] = []
 
     def start(self, delay_ns: int = 0) -> None:
-        """Begin producing after ``delay_ns`` (plus one jittered interval)."""
+        """Begin producing after ``delay_ns`` (plus one jittered interval).
+
+        Restart-safe: a second start() supersedes any still-pending tick of
+        the previous generation instead of doubling the tick chain.
+        """
         self.running = True
-        self.node.sim.after(delay_ns + self._next_gap(), self._tick)
+        self._epoch += 1
+        epoch = self._epoch
+        self.node.sim.after(delay_ns + self._next_gap(), self._tick, epoch)
 
     def stop(self) -> None:
         """Stop producing (in-flight requests still complete)."""
@@ -91,8 +101,8 @@ class Producer:
         )
         return max(gap, 1 * MSEC)
 
-    def _tick(self) -> None:
-        if not self.running:
+    def _tick(self, epoch: int) -> None:
+        if not self.running or epoch != self._epoch:
             return
         sent_at = self.node.sim.now
         payload = bytes(self.config.payload_len)
@@ -107,7 +117,7 @@ class Producer:
         self.request_times.append(sent_at)
         if not ok:
             self.send_failures += 1
-        self.node.sim.after(self._next_gap(), self._tick)
+        self.node.sim.after(self._next_gap(), self._tick, epoch)
 
     def _on_ack(self, sent_at: int, rtt_ns: int) -> None:
         self.acks_received += 1

@@ -17,11 +17,12 @@ Shared contract (pinned by ``tests/topo/test_generators.py``):
 
 from __future__ import annotations
 
-import hashlib
 import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.rng import subseed
 
 from repro.phy.spatial import (
     Geometry,
@@ -175,9 +176,8 @@ def random_geometric_topology(
     last: Optional[Topology] = None
     for attempt in range(max_attempts):
         # process-stable sub-seed derivation (hash() would depend on
-        # PYTHONHASHSEED; sha256 matches repro.sim.rng.RngRegistry's idiom)
-        digest = hashlib.sha256(f"rgg:{seed}:{attempt}".encode()).digest()
-        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        # PYTHONHASHSEED; subseed is the RngRegistry sha256 idiom)
+        rng = random.Random(subseed("rgg", seed, attempt))
         positions = {
             i: (rng.uniform(0.0, side_m), rng.uniform(0.0, side_m))
             for i in range(n)

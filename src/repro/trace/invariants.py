@@ -303,6 +303,88 @@ class FragmentReassemblyChecker(Checker):
             )
 
 
+class ReattachChecker(Checker):
+    """Churn/rotation hygiene: departed nodes are silent, resolutions unique.
+
+    Two spec-level properties of the workload layer
+    (:mod:`repro.workload`):
+
+    * **departed silence** -- between a ``workload.depart`` and the
+      matching ``workload.arrive``, no data PDU is delivered to the node
+      (no ``sixlo.rx`` with its id): a graceful departure closed every
+      link, a fail-stop silenced the radio, and either way nothing may
+      reach the stack of a node that is gone;
+    * **resolution uniqueness** -- every ``ble.rpa_resolve`` maps a peer
+      identity to an on-air address some ``workload.rotate`` actually
+      assigned, and each observer resolves a given ``(identity, new)``
+      pair at most once (exactly once per rotation per observer that
+      hears the rotated node at all).
+    """
+
+    name = "reattach"
+    consumes = (
+        "workload.depart",
+        "workload.arrive",
+        "workload.rotate",
+        "sixlo.rx",
+        "ble.rpa_resolve",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._departed: Set[int] = set()
+        #: identity -> every on-air address a rotation ever assigned it.
+        self._assigned: Dict[int, Set[int]] = {}
+        #: (observer, identity, new_addr) resolutions already seen.
+        self._resolved: Set[Tuple[str, int, int]] = set()
+        #: Whether any rotate record was seen; without one (e.g. a layer
+        #: filter dropped the workload layer) the assignment cross-check
+        #: would false-positive, so it only arms once rotations are visible.
+        self._saw_rotation = False
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        kind = record.kind
+        if kind == "depart":
+            self._departed.add(record.get("id"))
+            return
+        if kind == "arrive":
+            self._departed.discard(record.get("id"))
+            return
+        if kind == "rotate":
+            ident = record.get("id")
+            self._assigned.setdefault(ident, {ident}).add(record.get("new"))
+            self._saw_rotation = True
+            return
+        if kind == "rx":
+            node = record.get("node")
+            if node in self._departed:
+                self.fail(
+                    record,
+                    f"node {node}: data PDU delivered while departed",
+                )
+            return
+        # ble.rpa_resolve
+        observer = record.get("node")
+        ident = record.get("identity")
+        new = record.get("new")
+        assigned = self._assigned.get(ident)
+        if self._saw_rotation and (assigned is None or new not in assigned):
+            self.fail(
+                record,
+                f"{observer}: resolved identity {ident} to address {new}, "
+                f"which no rotation ever assigned",
+            )
+        key = (observer, ident, new)
+        if key in self._resolved:
+            self.fail(
+                record,
+                f"{observer}: identity {ident} -> {new} resolved twice "
+                f"(must be exactly once per rotation per observer)",
+            )
+        self._resolved.add(key)
+
+
 def default_checkers() -> List[Checker]:
     """A fresh instance of every built-in checker."""
     return [
@@ -311,6 +393,7 @@ def default_checkers() -> List[Checker]:
         SeqAckChecker(),
         SupervisionChecker(),
         FragmentReassemblyChecker(),
+        ReattachChecker(),
     ]
 
 

@@ -38,6 +38,7 @@ SCHEMAS = {
     "ble.crc_loss": 1,  # conn, role, channel, len
     "ble.radio_claim": 1,  # node, start, end
     "ble.radio_deny": 1,  # node
+    "ble.rpa_resolve": 1,  # node, identity, old, new
     # -- L2CAP ------------------------------------------------------------
     "l2cap.kframe_tx": 1,  # conn, node, frame_len, credits_left, last
     "l2cap.credits": 1,  # conn, node, granted
@@ -60,6 +61,12 @@ SCHEMAS = {
     "coap.response": 1,  # node, mid, rtt_ns
     "coap.retransmit": 1,  # node, mid, retransmits_left
     "coap.timeout": 1,  # node, mid
+    # -- workload (scenario dynamics; see repro.workload) ------------------
+    "workload.depart": 1,  # node, id, fail
+    "workload.arrive": 1,  # node, id
+    "workload.reattach": 1,  # node, id, latency_ns
+    "workload.rotate": 1,  # node, id, old, new
+    "workload.move": 1,  # node, x, y
 }
 
 

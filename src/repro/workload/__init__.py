@@ -1,0 +1,53 @@
+"""Scenario dynamics: node churn, waypoint mobility, RPA rotation.
+
+The paper's evaluation runs a *static* scenario -- fixed nodes, fixed
+addresses, links only failing through interference.  Its future-work
+section (§9) asks how the architecture behaves in "dynamic environments";
+this package is that layer: a seeded, reproducible workload that perturbs
+a running experiment along three axes:
+
+* **churn** (:mod:`repro.workload.schedule`): nodes depart -- gracefully
+  (disconnecting first) or by hard fail-stop (radio silent mid-connection,
+  peers discover it via supervision timeout) -- and later return, having
+  forgotten their routing state;
+* **mobility** (:mod:`repro.workload.mobility`): random-waypoint motion
+  feeding :meth:`repro.phy.spatial.Geometry.move`, so the spatial index is
+  invalidated live while the network runs;
+* **MAC rotation** (:mod:`repro.workload.rotation`): periodic resolvable-
+  private-address changes (see :mod:`repro.ble.rpa`); peering must survive
+  because every layer above the air interface keys by identity.
+
+Everything is driven by named sub-seeded RNG streams
+(:func:`repro.sim.rng.subseed`), so enabling any workload axis never
+perturbs the draws of the traffic, medium, or topology streams -- and a
+run with the workload disabled is byte-identical to one predating this
+package.
+"""
+
+from repro.workload.driver import WorkloadDriver
+from repro.workload.mobility import WaypointMobility
+from repro.workload.rotation import MacRotator
+from repro.workload.schedule import (
+    ChurnEvent,
+    ChurnSchedule,
+    build_churn_schedule,
+)
+from repro.workload.spec import (
+    ChurnSpec,
+    MacRotationSpec,
+    MobilitySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnSpec",
+    "MacRotationSpec",
+    "MobilitySpec",
+    "WaypointMobility",
+    "MacRotator",
+    "WorkloadDriver",
+    "WorkloadSpec",
+    "build_churn_schedule",
+]

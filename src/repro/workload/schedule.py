@@ -1,0 +1,198 @@
+"""Churn schedules: pure, seeded, capacity-capped departure/arrival plans.
+
+A schedule is computed *before* the simulation runs, as a pure function of
+``(spec, seed, n_nodes, window)`` -- no simulator state, no wall clock, no
+shared RNG.  That purity is what the differential suite leans on: the same
+inputs must produce the byte-identical schedule in every worker process,
+under either spatial index, on any platform (:meth:`ChurnSchedule.digest`
+is the proof handle).
+
+Generation rules:
+
+* node 0 (the DODAG root / traffic consumer) never churns;
+* each churnable node draws an alternating ``Exp(mean_up)`` /
+  ``Exp(mean_down)`` timeline from its own ``workload-churn-{i}`` stream
+  (:func:`repro.sim.rng.subseed`), so adding a node never shifts another
+  node's draws;
+* whether a departure is graceful or fail-stop is drawn at generation time
+  (``fail_fraction``);
+* the ``max_departed_fraction`` cap is enforced at generation by a
+  deterministic sweep over the merged timeline: a departure interval that
+  would push the simultaneously-departed count over the cap is dropped
+  wholesale (its arrival too) -- the liveness suite relies on never having
+  more than 30 % of the network gone at once;
+* every accepted departure has a matching arrival inside the window
+  (clamped to the window end), so the post-churn network contains all
+  nodes and "reconverges to a connected DODAG" is well-defined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim.rng import subseed
+from repro.sim.units import s_to_ns
+from repro.workload.spec import ChurnSpec
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled lifecycle transition of one node."""
+
+    time_ns: int
+    node_id: int
+    action: str  # "depart" | "arrive"
+    #: Departures only: hard fail-stop (radio silent) vs graceful close.
+    fail: bool = False
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """An ordered, validated churn plan."""
+
+    events: Tuple[ChurnEvent, ...]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical event lines (byte-identity proofs)."""
+        lines = "\n".join(
+            f"{e.time_ns}:{e.node_id}:{e.action}:{int(e.fail)}"
+            for e in self.events
+        )
+        return hashlib.sha256(lines.encode("ascii")).hexdigest()
+
+    def max_departed(self) -> int:
+        """Peak number of simultaneously-departed nodes."""
+        departed = 0
+        peak = 0
+        for event in self.events:
+            if event.action == "depart":
+                departed += 1
+                peak = max(peak, departed)
+            else:
+                departed -= 1
+        return peak
+
+    def departures(self) -> int:
+        """Total departure events."""
+        return sum(1 for e in self.events if e.action == "depart")
+
+
+def _poisson_intervals(
+    spec: ChurnSpec, seed: int, node_id: int, start_ns: int, end_ns: int
+) -> List[Tuple[int, int, bool]]:
+    """One node's candidate ``(depart_ns, arrive_ns, fail)`` intervals."""
+    rng = random.Random(subseed(seed, "workload-churn", node_id))
+    intervals: List[Tuple[int, int, bool]] = []
+    t = start_ns
+    while True:
+        t += s_to_ns(rng.expovariate(1.0 / spec.mean_up_s))
+        if t >= end_ns:
+            return intervals
+        down_ns = s_to_ns(rng.expovariate(1.0 / spec.mean_down_s))
+        fail = rng.random() < spec.fail_fraction
+        arrive = min(t + max(down_ns, 1), end_ns)
+        intervals.append((t, arrive, fail))
+        t = arrive
+
+
+def _apply_cap(
+    intervals: List[Tuple[int, int, bool, int]], cap: int
+) -> List[Tuple[int, int, bool, int]]:
+    """Drop intervals that would exceed ``cap`` simultaneous departures.
+
+    A deterministic sweep in ``(depart_ns, node_id)`` order: an interval is
+    accepted iff, at its departure instant, fewer than ``cap`` accepted
+    intervals are still open.  Dropping the whole interval (not trimming
+    it) keeps every accepted departure paired with its arrival.
+    """
+    accepted: List[Tuple[int, int, bool, int]] = []
+    open_until: List[int] = []  # arrival times of accepted, still-open intervals
+    for depart, arrive, fail, node in sorted(
+        intervals, key=lambda iv: (iv[0], iv[3])
+    ):
+        open_until = [a for a in open_until if a > depart]
+        if len(open_until) >= cap:
+            continue
+        open_until.append(arrive)
+        accepted.append((depart, arrive, fail, node))
+    return accepted
+
+
+def build_churn_schedule(
+    spec: ChurnSpec,
+    seed: int,
+    n_nodes: int,
+    start_ns: int,
+    end_ns: int,
+) -> ChurnSchedule:
+    """Generate the churn plan for one run (pure; see module docstring).
+
+    :param spec: the parsed ``churn:`` block.
+    :param seed: the experiment seed (sub-seeded per node; never the raw
+        traffic/medium streams).
+    :param n_nodes: network size (node 0 exempt).
+    :param start_ns / end_ns: the churn window in simulated nanoseconds
+        (already resolved against the spec's ``start_s``/``end_s``).
+    :raises ValueError: trace mode only -- when the explicit event list is
+        inconsistent (unpaired events, root churn, cap exceeded).
+    """
+    if end_ns <= start_ns or n_nodes < 2:
+        return ChurnSchedule(events=())
+    churnable = n_nodes - 1  # node 0 never churns
+    cap = max(1, int(spec.max_departed_fraction * churnable))
+
+    if spec.mode == "trace":
+        return _replay_schedule(spec, n_nodes, cap, end_ns)
+
+    candidates: List[Tuple[int, int, bool, int]] = []
+    for node_id in range(1, n_nodes):
+        for depart, arrive, fail in _poisson_intervals(
+            spec, seed, node_id, start_ns, end_ns
+        ):
+            candidates.append((depart, arrive, fail, node_id))
+    events: List[ChurnEvent] = []
+    for depart, arrive, fail, node in _apply_cap(candidates, cap):
+        events.append(ChurnEvent(depart, node, "depart", fail))
+        events.append(ChurnEvent(arrive, node, "arrive"))
+    events.sort(key=lambda e: (e.time_ns, e.node_id, e.action))
+    return ChurnSchedule(events=tuple(events))
+
+
+def _replay_schedule(
+    spec: ChurnSpec, n_nodes: int, cap: int, end_ns: int
+) -> ChurnSchedule:
+    """Validate and order an explicit trace-replay event list."""
+    events: List[ChurnEvent] = []
+    for t_s, node, action, fail in spec.events:
+        if node == 0:
+            raise ValueError("churn trace must not churn node 0 (the root)")
+        if node >= n_nodes:
+            raise ValueError(f"churn trace names node {node} of {n_nodes}")
+        events.append(ChurnEvent(s_to_ns(t_s), node, action, fail))
+    events.sort(key=lambda e: (e.time_ns, e.node_id, e.action))
+    departed: set = set()
+    peak = 0
+    for event in events:
+        if event.time_ns >= end_ns:
+            raise ValueError("churn trace event beyond the churn window")
+        if event.action == "depart":
+            if event.node_id in departed:
+                raise ValueError(f"node {event.node_id} departs twice in a row")
+            departed.add(event.node_id)
+            peak = max(peak, len(departed))
+        else:
+            if event.node_id not in departed:
+                raise ValueError(f"node {event.node_id} arrives while present")
+            departed.discard(event.node_id)
+    if departed:
+        raise ValueError(
+            f"churn trace leaves nodes departed: {sorted(departed)}"
+        )
+    if peak > cap:
+        raise ValueError(
+            f"churn trace peaks at {peak} simultaneous departures, cap is {cap}"
+        )
+    return ChurnSchedule(events=tuple(events))

@@ -1,0 +1,232 @@
+"""Workload specifications (the ``churn:`` / ``mobility:`` /
+``mac_rotation:`` config blocks).
+
+Each spec parses from the plain dict an
+:class:`~repro.exp.config.ExperimentConfig` carries (YAML-round-trippable,
+canonicalized into the cache key), validates eagerly, and is otherwise an
+immutable bag of numbers.  An empty dict means "axis disabled".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _require_number(block: str, key: str, value: Any, minimum: float = 0.0) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{block}.{key} must be a number, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{block}.{key} must be >= {minimum}, got {value!r}")
+    return float(value)
+
+
+def _reject_unknown(block: str, data: Dict[str, Any], known: Tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValueError(f"unknown {block} keys: {', '.join(unknown)}")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Node arrival/departure dynamics.
+
+    :param mode: ``"poisson"`` -- per-node alternating exponential up/down
+        periods -- or ``"trace"`` -- replay the explicit ``events`` list.
+    :param mean_up_s: mean up-time between departures (poisson mode).
+    :param mean_down_s: mean down-time before the node returns.
+    :param fail_fraction: probability a departure is a hard fail-stop
+        (radio silent, peers left to the supervision timeout) instead of a
+        graceful disconnect.
+    :param max_departed_fraction: generation-time cap on the fraction of
+        churnable nodes simultaneously departed; departure intervals that
+        would exceed it are dropped (see
+        :func:`repro.workload.schedule.build_churn_schedule`).
+    :param start_s / end_s: churn window in absolute simulated seconds;
+        ``0`` defers to the run's measured window (warmup start / traffic
+        stop).
+    :param events: trace mode only -- ``{"t_s", "node", "action", "fail"}``
+        dicts (``action`` in ``depart``/``arrive``; ``fail`` optional).
+    """
+
+    mode: str = "poisson"
+    mean_up_s: float = 30.0
+    mean_down_s: float = 10.0
+    fail_fraction: float = 0.5
+    max_departed_fraction: float = 0.3
+    start_s: float = 0.0
+    end_s: float = 0.0
+    events: Tuple[Tuple[float, int, str, bool], ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> Optional["ChurnSpec"]:
+        """Parse the ``churn:`` block; ``None``/empty disables churn."""
+        if not data:
+            return None
+        _reject_unknown(
+            "churn",
+            data,
+            (
+                "mode",
+                "mean_up_s",
+                "mean_down_s",
+                "fail_fraction",
+                "max_departed_fraction",
+                "start_s",
+                "end_s",
+                "events",
+            ),
+        )
+        mode = str(data.get("mode", "poisson"))
+        if mode not in ("poisson", "trace"):
+            raise ValueError(f"churn.mode must be 'poisson' or 'trace', got {mode!r}")
+        events: List[Tuple[float, int, str, bool]] = []
+        for i, entry in enumerate(data.get("events") or ()):
+            if not isinstance(entry, dict):
+                raise ValueError(f"churn.events[{i}] must be a mapping")
+            _reject_unknown(f"churn.events[{i}]", entry, ("t_s", "node", "action", "fail"))
+            t_s = _require_number("churn.events", "t_s", entry.get("t_s"))
+            node = entry.get("node")
+            if isinstance(node, bool) or not isinstance(node, int) or node < 0:
+                raise ValueError(f"churn.events[{i}].node must be an int >= 0")
+            action = str(entry.get("action", ""))
+            if action not in ("depart", "arrive"):
+                raise ValueError(
+                    f"churn.events[{i}].action must be 'depart' or 'arrive'"
+                )
+            events.append((t_s, node, action, bool(entry.get("fail", False))))
+        if mode == "trace" and not events:
+            raise ValueError("churn.mode='trace' requires a non-empty events list")
+        if mode == "poisson" and events:
+            raise ValueError("churn.events is only valid with mode='trace'")
+        spec = cls(
+            mode=mode,
+            mean_up_s=_require_number(
+                "churn", "mean_up_s", data.get("mean_up_s", 30.0), minimum=1e-9
+            ),
+            mean_down_s=_require_number(
+                "churn", "mean_down_s", data.get("mean_down_s", 10.0), minimum=1e-9
+            ),
+            fail_fraction=_require_number(
+                "churn", "fail_fraction", data.get("fail_fraction", 0.5)
+            ),
+            max_departed_fraction=_require_number(
+                "churn",
+                "max_departed_fraction",
+                data.get("max_departed_fraction", 0.3),
+            ),
+            start_s=_require_number("churn", "start_s", data.get("start_s", 0.0)),
+            end_s=_require_number("churn", "end_s", data.get("end_s", 0.0)),
+            events=tuple(events),
+        )
+        if spec.fail_fraction > 1.0:
+            raise ValueError("churn.fail_fraction must be <= 1")
+        if spec.max_departed_fraction > 1.0:
+            raise ValueError("churn.max_departed_fraction must be <= 1")
+        return spec
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Random-waypoint motion over the run's geometry.
+
+    :param speed_min_mps / speed_max_mps: per-leg speed draw bounds.
+    :param step_s: position-update cadence (each step calls
+        :meth:`repro.phy.spatial.Geometry.move`, invalidating the index).
+    :param pause_s: dwell time at a reached waypoint before the next leg.
+    """
+
+    model: str = "waypoint"
+    speed_min_mps: float = 0.5
+    speed_max_mps: float = 1.5
+    step_s: float = 1.0
+    pause_s: float = 2.0
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> Optional["MobilitySpec"]:
+        """Parse the ``mobility:`` block; ``None``/empty disables motion."""
+        if not data:
+            return None
+        _reject_unknown(
+            "mobility",
+            data,
+            ("model", "speed_min_mps", "speed_max_mps", "step_s", "pause_s"),
+        )
+        model = str(data.get("model", "waypoint"))
+        if model != "waypoint":
+            raise ValueError(f"mobility.model must be 'waypoint', got {model!r}")
+        spec = cls(
+            model=model,
+            speed_min_mps=_require_number(
+                "mobility", "speed_min_mps", data.get("speed_min_mps", 0.5)
+            ),
+            speed_max_mps=_require_number(
+                "mobility", "speed_max_mps", data.get("speed_max_mps", 1.5), 1e-9
+            ),
+            step_s=_require_number("mobility", "step_s", data.get("step_s", 1.0), 1e-3),
+            pause_s=_require_number("mobility", "pause_s", data.get("pause_s", 2.0)),
+        )
+        if spec.speed_min_mps > spec.speed_max_mps:
+            raise ValueError("mobility.speed_min_mps must be <= speed_max_mps")
+        return spec
+
+
+@dataclass(frozen=True)
+class MacRotationSpec:
+    """Periodic resolvable-private-address rotation (see :mod:`repro.ble.rpa`).
+
+    :param period_s: nominal rotation period (the BT spec suggests 15 min;
+        experiments compress it to exercise re-resolution).
+    :param jitter_s: uniform jitter half-width added per rotation.
+    """
+
+    period_s: float = 60.0
+    jitter_s: float = 5.0
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> Optional["MacRotationSpec"]:
+        """Parse the ``mac_rotation:`` block; ``None``/empty disables it."""
+        if not data:
+            return None
+        _reject_unknown("mac_rotation", data, ("period_s", "jitter_s"))
+        spec = cls(
+            period_s=_require_number(
+                "mac_rotation", "period_s", data.get("period_s", 60.0), 1e-3
+            ),
+            jitter_s=_require_number(
+                "mac_rotation", "jitter_s", data.get("jitter_s", 5.0)
+            ),
+        )
+        if spec.jitter_s >= spec.period_s:
+            raise ValueError("mac_rotation.jitter_s must be < period_s")
+        return spec
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The three optional workload axes of one experiment."""
+
+    churn: Optional[ChurnSpec] = None
+    mobility: Optional[MobilitySpec] = None
+    rotation: Optional[MacRotationSpec] = None
+
+    @classmethod
+    def from_config(cls, config: Any) -> Optional["WorkloadSpec"]:
+        """Build from an :class:`~repro.exp.config.ExperimentConfig`.
+
+        Returns ``None`` when every axis is disabled, so callers can skip
+        driver construction entirely (and stay byte-identical to runs that
+        predate the workload layer).
+        """
+        spec = cls(
+            churn=ChurnSpec.from_dict(getattr(config, "churn", None)),
+            mobility=MobilitySpec.from_dict(getattr(config, "mobility", None)),
+            rotation=MacRotationSpec.from_dict(getattr(config, "mac_rotation", None)),
+        )
+        if spec.churn is None and spec.mobility is None and spec.rotation is None:
+            return None
+        return spec
+
+
+# Re-exported for config validation without import cycles.
+WORKLOAD_BLOCKS = ("churn", "mobility", "mac_rotation")

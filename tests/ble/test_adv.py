@@ -131,17 +131,18 @@ def test_wildcard_scanner_skips_self_and_connected(plane):
     from repro.ble.config import ConnParams
 
     scanner = plane.nodes[0].initiate(None, ConnParams)
-    assert not scanner.wants(0)  # never itself
-    assert scanner.wants(1)
+    assert not scanner.wants(plane.nodes[0])  # never itself
+    assert scanner.wants(plane.nodes[1])
     plane.connect(0, 1)
-    assert not scanner.wants(1)  # already connected
+    assert not scanner.wants(plane.nodes[1])  # already connected
 
 
-def test_scanner_accept_filter(plane):
+def test_scanner_accept_filter(make_plane):
     from repro.ble.config import ConnParams
 
+    plane = make_plane(n_nodes=3)
     scanner = plane.nodes[0].initiate(
         None, ConnParams, accept=lambda addr: addr % 2 == 0
     )
-    assert scanner.wants(2)
-    assert not scanner.wants(1)
+    assert scanner.wants(plane.nodes[2])
+    assert not scanner.wants(plane.nodes[1])

@@ -99,7 +99,7 @@ class TestCanonicalSerialization:
     #: serialization regressed (fix it): every on-disk cache is invalidated
     #: either way, which must be a deliberate decision.
     GOLDEN_DEFAULT_HASH = (
-        "e7b97ce9707f9115365b7bb0d90f911bed2a064f11f579b9b6ab546b207b8451"
+        "94f830e1f8c559569c2ced39eb0b3318fa4dcb44e420575f5351ac6e23ff3b7e"
     )
 
     def test_default_config_hash_is_golden_constant(self):

@@ -108,11 +108,21 @@ class TestKeyInvalidation:
             "node_spacing_m": 10.0,
             "spatial_index": "allpairs",
             "max_children": 5,
+            "churn": {"mean_up_s": 20.0},
+            "mobility": {"step_s": 2.0},
+            "mac_rotation": {"period_s": 30.0},
         }
         # some replacements are only valid alongside another field change
-        # (geometry gates on a dynamic topology); compare against a base
-        # carrying the same companions so the tested field stays isolated
-        companions = {"geometry": {"topology": "dynamic"}}
+        # (geometry gates on a dynamic topology; workload blocks gate on
+        # dynamic, mobility additionally on a geometry); compare against a
+        # base carrying the same companions so the tested field stays
+        # isolated
+        companions = {
+            "geometry": {"topology": "dynamic"},
+            "churn": {"topology": "dynamic"},
+            "mobility": {"topology": "dynamic", "geometry": "rgg"},
+            "mac_rotation": {"topology": "dynamic"},
+        }
         fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
         assert fields == set(replacements), (
             "new config fields must get a replacement value here so key "

@@ -1,0 +1,66 @@
+"""Reusable churn-cycle scaffolding for the workload proof suite.
+
+The liveness, property, and mutation suites under ``tests/workload/`` all
+share one shape: warm a :class:`~repro.testbed.dynamic.DynamicBleNetwork`
+until the DODAG is fully formed, bolt a
+:class:`~repro.workload.WorkloadDriver` onto it, run a churn window, and
+then drive the simulator until the network reconverges (or a deadline
+proves it never will).  This module holds that shape once.
+"""
+
+from repro.sim.units import SEC
+from repro.testbed.dynamic import DynamicBleNetwork
+from repro.workload import WorkloadDriver, WorkloadSpec
+
+#: Formation deadline: every seed/size pair used by the suites forms well
+#: inside this; blowing it means formation itself regressed.
+FORM_DEADLINE_S = 120
+
+#: Healing deadline after the churn window closes.  The paper-scale bound
+#: the liveness property asserts: a network that lost <= 30 % of its nodes
+#: reconverges to a connected DODAG within this much simulated time.
+HEAL_DEADLINE_S = 120
+
+
+def warm_joined_net(n_nodes, seed, **net_kwargs):
+    """A started :class:`DynamicBleNetwork` run until fully joined."""
+    net = DynamicBleNetwork(n_nodes, seed=seed, **net_kwargs)
+    net.start()
+    deadline = FORM_DEADLINE_S * SEC
+    while not net.fully_joined() and net.sim.now < deadline:
+        net.run(net.sim.now + 5 * SEC)
+    assert net.fully_joined(), (
+        f"DODAG formation stalled (n={n_nodes}, seed={seed})"
+    )
+    return net
+
+
+def install_driver(net, spec, seed, window_s):
+    """Attach a driver and arm a churn window starting now."""
+    driver = WorkloadDriver(net, spec, seed)
+    start = net.sim.now
+    driver.install(start, start + round(window_s * SEC))
+    return driver
+
+
+def run_window_and_heal(net, driver, window_s, heal_deadline_s=HEAL_DEADLINE_S):
+    """Run through the churn window, then until reconvergence or deadline.
+
+    Returns ``True`` iff every scheduled arrival has happened and every
+    present node is joined to the DODAG before the deadline.
+    """
+    net.run(net.sim.now + round(window_s * SEC))
+    deadline = net.sim.now + heal_deadline_s * SEC
+    while net.sim.now < deadline:
+        if driver.reconverged() and not driver.departed_now():
+            return True
+        net.run(net.sim.now + 5 * SEC)
+    return driver.reconverged() and not driver.departed_now()
+
+
+def churn_cycle(n_nodes, seed, churn, window_s=40, heal_deadline_s=HEAL_DEADLINE_S):
+    """One full warm-up / churn / heal cycle; returns ``(net, driver, ok)``."""
+    net = warm_joined_net(n_nodes, seed)
+    driver = install_driver(net, WorkloadSpec(churn=churn), seed, window_s)
+    ok = run_window_and_heal(net, driver, window_s, heal_deadline_s)
+    return net, driver, ok

@@ -74,10 +74,36 @@ SCALE_100 = ExperimentConfig(
     trace_layers="ip,coap",
 )
 
+#: The workload tier's pinned fixture: a 25-node dynamic mesh on a seeded
+#: random-geometric layout under Poisson churn (graceful + fail-stop mix),
+#: random-waypoint mobility, and compressed MAC rotation.  Traced at
+#: ip/coap (end-to-end forwarding witness) plus the workload layer itself
+#: (departures, arrivals, re-attaches, rotations, moves), so any drift in
+#: scenario dynamics -- schedule draws, mobility steps, rotation timing --
+#: is a byte-level diff here.
+CHURN_25 = ExperimentConfig(
+    name="golden-churn25",
+    topology="dynamic",
+    n_nodes=25,
+    conn_interval="[65:85]",
+    duration_s=10.0,
+    warmup_s=30.0,
+    drain_s=5.0,
+    producer_interval_s=1.0,
+    seed=17,
+    geometry="rgg",
+    trace=True,
+    trace_layers="ip,coap,workload",
+    churn={"mean_up_s": 20.0, "mean_down_s": 6.0},
+    mobility={"step_s": 1.0},
+    mac_rotation={"period_s": 15.0, "jitter_s": 3.0},
+)
+
 SCENARIOS = {
     "trace_2node.jsonl": TWO_NODE,
     "trace_3hop.jsonl": THREE_HOP,
     "trace_scale100.jsonl": SCALE_100,
+    "trace_churn.jsonl": CHURN_25,
 }
 
 

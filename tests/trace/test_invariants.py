@@ -11,6 +11,7 @@ from repro.trace.invariants import (
     CheckerSink,
     FragmentReassemblyChecker,
     RadioExclusiveChecker,
+    ReattachChecker,
     SeqAckChecker,
     SupervisionChecker,
     check_records,
@@ -250,6 +251,85 @@ class TestFragmentReassembly:
         assert checker.violations == []
 
 
+def _depart(t, node):
+    return rec(t, "workload", "depart", node=f"n{node}", id=node, fail=True)
+
+
+def _arrive(t, node):
+    return rec(t, "workload", "arrive", node=f"n{node}", id=node)
+
+
+def _rotate(t, node, old, new):
+    return rec(t, "workload", "rotate", node=f"n{node}", id=node, old=old, new=new)
+
+
+def _resolve(t, observer, identity, old, new):
+    return rec(t, "ble", "rpa_resolve", node=observer, identity=identity,
+               old=old, new=new)
+
+
+def _sixlo_rx(t, node):
+    return rec(t, "sixlo", "rx", node=node, peer=0, len=10, data=b"")
+
+
+class TestReattach:
+    def test_clean_churn_cycle_is_silent(self):
+        checker = ReattachChecker()
+        checker.observe(_depart(0, 2))
+        checker.observe(_sixlo_rx(1, 3))  # others keep receiving: fine
+        checker.observe(_arrive(2, 2))
+        checker.observe(_sixlo_rx(3, 2))  # back, may receive again
+        assert checker.violations == []
+
+    def test_delivery_to_departed_node_fails(self):
+        checker = ReattachChecker()
+        checker.observe(_depart(0, 2))
+        checker.observe(_sixlo_rx(1, 2))
+        assert len(checker.violations) == 1
+        assert "while departed" in checker.violations[0].message
+
+    def test_delivery_after_return_is_legal_again(self):
+        checker = ReattachChecker()
+        checker.observe(_depart(0, 2))
+        checker.observe(_arrive(1, 2))
+        checker.observe(_sixlo_rx(2, 2))
+        assert checker.violations == []
+
+    def test_resolution_must_match_an_assigned_address(self):
+        checker = ReattachChecker()
+        checker.observe(_rotate(0, 2, old=2, new=0x100000))
+        checker.observe(_resolve(1, "n0", identity=2, old=2, new=0x999999))
+        assert len(checker.violations) == 1
+        assert "no rotation ever assigned" in checker.violations[0].message
+
+    def test_each_observer_resolves_each_rotation_once(self):
+        checker = ReattachChecker()
+        checker.observe(_rotate(0, 2, old=2, new=0x100000))
+        checker.observe(_resolve(1, "n0", identity=2, old=2, new=0x100000))
+        checker.observe(_resolve(1, "n3", identity=2, old=2, new=0x100000))
+        assert checker.violations == []  # distinct observers: one each
+        checker.observe(_resolve(2, "n0", identity=2, old=2, new=0x100000))
+        assert len(checker.violations) == 1
+        assert "resolved twice" in checker.violations[0].message
+
+    def test_successive_rotations_resolve_cleanly(self):
+        checker = ReattachChecker()
+        checker.observe(_rotate(0, 2, old=2, new=0x100000))
+        checker.observe(_resolve(1, "n0", identity=2, old=2, new=0x100000))
+        checker.observe(_rotate(2, 2, old=0x100000, new=0x100001))
+        checker.observe(_resolve(3, "n0", identity=2, old=0x100000,
+                                 new=0x100001))
+        assert checker.violations == []
+
+    def test_unseen_rotations_disarm_the_assignment_check(self):
+        """With the workload layer filtered out of the trace, resolutions
+        cannot be matched to assignments -- the checker must stay quiet
+        rather than false-positive."""
+        checker = ReattachChecker()
+        checker.observe(_resolve(0, "n0", identity=2, old=2, new=0x100000))
+        assert checker.violations == []
+
+
 class TestCheckerSink:
     def test_dispatch_routes_only_consumed_kinds(self):
         sink = CheckerSink([RadioExclusiveChecker()])
@@ -283,4 +363,5 @@ class TestCheckerSink:
             "SeqAckChecker",
             "SupervisionChecker",
             "FragmentReassemblyChecker",
+            "ReattachChecker",
         }

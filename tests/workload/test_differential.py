@@ -1,0 +1,148 @@
+"""Differential proof: churn runtime behaviour is byte-identical across
+worker counts and spatial indexes.
+
+One pinned churn + mobility + MAC-rotation scenario runs (a) inline in
+this process, (b) in forked workers, and (c) under the brute-force
+all-pairs spatial index instead of the grid.  All three must serialize to
+the byte-identical JSONL trace and carry the same churn-schedule digest:
+the workload layer adds randomness only through sha256 sub-seeded streams
+(:func:`repro.sim.rng.subseed`), never through process- or index-dependent
+state.
+
+The complementary regression -- a run with every workload axis *disabled*
+is byte-identical to the pre-workload simulator -- is carried by the three
+pinned goldens in ``tests/trace/test_golden.py`` (committed before the
+workload layer existed and untouched since) plus the explicit
+``test_workload_off_run_is_clean`` here.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.parallel import ParallelEngine
+from repro.exp.runner import run_experiment
+from repro.sim.units import s_to_ns
+from repro.trace.sinks import records_to_jsonl
+from repro.workload import WorkloadSpec, build_churn_schedule
+from tests.support.lockstep import assert_logs_identical
+
+#: The pinned differential scenario: 10 nodes on a seeded random-geometric
+#: layout, Poisson churn with a fail-stop mix, random-waypoint mobility
+#: invalidating the spatial index every simulated second, and compressed
+#: RPA rotation so identities out-live several MAC changes.
+CHURN_CFG = ExperimentConfig(
+    name="workload-differential",
+    topology="dynamic",
+    n_nodes=10,
+    conn_interval="[65:85]",
+    warmup_s=20.0,
+    duration_s=12.0,
+    drain_s=8.0,
+    seed=5,
+    geometry="rgg",
+    spatial_index="grid",
+    trace=True,
+    trace_layers="sixlo,ip,coap,workload",
+    churn={"mean_up_s": 14.0, "mean_down_s": 5.0},
+    mobility={"step_s": 1.0},
+    mac_rotation={"period_s": 12.0, "jitter_s": 3.0},
+)
+
+
+@pytest.fixture(scope="module")
+def inline_run():
+    """The scenario executed inline (``max_workers=1``), shared: the run is
+    the slow part, the comparisons are cheap."""
+    results = ParallelEngine(max_workers=1).run([CHURN_CFG])
+    assert results[0].ok, results[0].error
+    return results[0].result
+
+
+@pytest.fixture(scope="module")
+def forked_run():
+    results = ParallelEngine(max_workers=4).run([CHURN_CFG])
+    assert results[0].ok, results[0].error
+    return results[0].result
+
+
+def _jsonl_lines(result):
+    return records_to_jsonl(result.trace_records).splitlines()
+
+
+def test_scenario_actually_churns(inline_run):
+    """Guard against a vacuous differential: the pinned scenario must
+    exercise every axis it claims to compare."""
+    wl = inline_run.workload
+    assert wl["departures"] >= 3
+    assert wl["failstops"] >= 1
+    assert wl["failstops"] < wl["departures"]  # both departure flavours
+    assert wl["moves"] > 100
+    assert wl["rotations"] >= 10
+    assert wl["reconverged"] and wl["departed_at_end"] == []
+
+
+def test_trace_identical_across_worker_counts(inline_run, forked_run):
+    assert_logs_identical(
+        _jsonl_lines(inline_run), _jsonl_lines(forked_run), "w1", "w4"
+    )
+
+
+def test_workload_summary_ships_through_workers(inline_run, forked_run):
+    assert forked_run.workload == inline_run.workload
+
+
+def test_trace_identical_across_spatial_indexes(inline_run):
+    allpairs = run_experiment(
+        dataclasses.replace(CHURN_CFG, spatial_index="allpairs")
+    )
+    assert_logs_identical(
+        _jsonl_lines(inline_run), _jsonl_lines(allpairs), "grid", "allpairs"
+    )
+    assert allpairs.workload == inline_run.workload
+
+
+def test_repeat_run_in_warm_process_is_byte_identical(inline_run):
+    """Hundreds of simulations may precede this one in the test process;
+    the trace must not care."""
+    again = run_experiment(CHURN_CFG)
+    assert_logs_identical(_jsonl_lines(inline_run), _jsonl_lines(again))
+
+
+def test_schedule_digest_matches_offline_recomputation(inline_run):
+    """The digest in the result is reproducible from the config alone --
+    the handle CI artifacts and cross-machine comparisons key on."""
+    spec = WorkloadSpec.from_config(CHURN_CFG)
+    sched = build_churn_schedule(
+        spec.churn,
+        CHURN_CFG.seed,
+        CHURN_CFG.n_nodes,
+        s_to_ns(CHURN_CFG.warmup_s),
+        s_to_ns(CHURN_CFG.warmup_s + CHURN_CFG.duration_s),
+    )
+    assert sched.digest() == inline_run.workload["schedule_digest"]
+    assert sched.departures() == inline_run.workload["departures"]
+
+
+def test_workload_off_run_is_clean():
+    """With every axis disabled no driver is built: no workload records,
+    no workload summary, and (run twice) a byte-identical trace -- the
+    explicit half of the 'mobility-off equals pre-workload' regression."""
+    cfg = ExperimentConfig(
+        name="workload-off",
+        topology="dynamic",
+        n_nodes=6,
+        conn_interval="[65:85]",
+        warmup_s=15.0,
+        duration_s=8.0,
+        drain_s=5.0,
+        seed=9,
+        trace=True,
+        trace_layers="sixlo,ip,coap,workload",
+    )
+    first = run_experiment(cfg)
+    second = run_experiment(cfg)
+    assert first.workload is None
+    assert not any(r.layer == "workload" for r in first.trace_records)
+    assert_logs_identical(_jsonl_lines(first), _jsonl_lines(second))

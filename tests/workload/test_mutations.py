@@ -1,0 +1,164 @@
+"""Mutation proofs: the churn checkers fire when healing logic is broken.
+
+A liveness suite that always passes proves little until something breaks
+it on purpose.  Each test here disables one load-bearing piece of the
+arrival path (radio resume, dynconn restart, RPL state reset, radio
+silencing) and asserts the matching detector -- the reconvergence check,
+the re-attach measurement, or the streaming
+:class:`~repro.trace.invariants.ReattachChecker` -- reports exactly that
+defect.  The healthy control runs live in ``test_liveness.py``.
+"""
+
+import pytest
+
+from repro.sim.units import SEC
+from repro.testbed.dynamic import DynamicBleNetwork
+from repro.testbed.traffic import Consumer, Producer, TrafficConfig
+from repro.trace.invariants import CheckerSink, ReattachChecker
+from repro.trace.tracer import TRACE
+from repro.workload import ChurnSpec, WorkloadSpec
+from tests.support.churnnet import (
+    install_driver,
+    run_window_and_heal,
+    warm_joined_net,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_singleton():
+    TRACE.reset()
+    yield
+    TRACE.reset()
+
+
+def _single_victim_cycle(net, victim, down_s=12.0, seed=0):
+    """Arm a one-departure trace-mode churn window starting shortly."""
+    t0_s = net.sim.now / SEC + 1.0
+    spec = WorkloadSpec(churn=ChurnSpec(
+        mode="trace",
+        events=(
+            (t0_s, victim, "depart", True),
+            (t0_s + down_s, victim, "arrive", False),
+        ),
+    ))
+    window_s = t0_s + down_s + 1.0 - net.sim.now / SEC
+    return install_driver(net, spec, seed, window_s), window_s
+
+
+class TestHealingMutations:
+    def test_broken_radio_resume_fails_reconvergence(self):
+        """A radio that stays dead after 'arrival' must be caught by the
+        liveness gate: the victim can never advertise, so the network
+        cannot reconverge."""
+        net = warm_joined_net(6, seed=11)
+        victim = 2
+        net.nodes[victim].controller.scheduler.resume = lambda now_ns: None
+        driver, window_s = _single_victim_cycle(net, victim, seed=11)
+        ok = run_window_and_heal(net, driver, window_s, heal_deadline_s=60)
+        assert driver.arrivals == 1  # the arrival event itself ran
+        assert not ok, "dead radio went undetected by the liveness check"
+        assert not net.rpls[victim].joined
+
+    def test_broken_dynconn_restart_fails_reconvergence(self):
+        """If the returning node never restarts topology formation it
+        stays detached forever -- same gate, different broken stage."""
+        net = warm_joined_net(6, seed=11)
+        victim = 3
+        net.dynconns[victim].start = lambda: None
+        driver, window_s = _single_victim_cycle(net, victim, seed=11)
+        ok = run_window_and_heal(net, driver, window_s, heal_deadline_s=60)
+        assert driver.arrivals == 1
+        assert not ok
+        assert not net.rpls[victim].joined
+
+    def test_broken_rpl_reset_is_caught_by_reattach_accounting(self):
+        """A no-op ``rpl.reset`` leaves the victim *claiming* a stale
+        DODAG membership, so the coarse reconvergence predicate is blind
+        to it -- the re-attach measurement and the joined-implies-uplink
+        invariant are what catch this mutation class."""
+        net = warm_joined_net(6, seed=11)
+        victim = 4
+        net.rpls[victim].reset = lambda: None
+        driver, window_s = _single_victim_cycle(net, victim, seed=11)
+        run_window_and_heal(net, driver, window_s, heal_deadline_s=60)
+        assert driver.arrivals == 1
+        assert driver.reattach_latencies == [], (
+            "a node that never truly rejoined must not report a re-attach"
+        )
+        # the contradictory state the structural invariant trips on:
+        # membership claimed on stale rank, with no live uplink behind it
+        assert net.rpls[victim].joined
+        assert not net.dynconns[victim].has_uplink()
+
+    def test_unbroken_control_heals_and_measures(self):
+        """The same cycle with nothing stubbed: reconverges, measures one
+        re-attach -- the mutations above fail for their stated reasons,
+        not because the scenario is impossible."""
+        net = warm_joined_net(6, seed=11)
+        driver, window_s = _single_victim_cycle(net, 2, seed=11)
+        ok = run_window_and_heal(net, driver, window_s, heal_deadline_s=60)
+        assert ok
+        assert [node_id for node_id, _ in driver.reattach_latencies] == [2]
+
+
+class TestReattachCheckerLive:
+    """The streaming checker against a real stack with a broken fail-stop."""
+
+    def _traced_relay_net(self, seed=8):
+        """A churn-ready net with the checker armed and traffic relaying
+        through a depth-1 router (so its silence is observable)."""
+        checkers = CheckerSink([ReattachChecker()])
+        TRACE.configure(sinks=[checkers])
+        net = DynamicBleNetwork(6, seed=seed)
+        TRACE.attach_sim(net.sim)
+        net.start()
+        deadline = 120 * SEC
+        while not net.fully_joined() and net.sim.now < deadline:
+            net.run(net.sim.now + 5 * SEC)
+        assert net.fully_joined()
+        # a child routing through a non-root parent
+        child = next(
+            (n for n in range(1, 6) if net.rpls[n].hops_to_root() == 2), None
+        )
+        assert child is not None, "topology has no depth-2 node; pick a new seed"
+        parent_addr = net.rpls[child].parent
+        victim = next(
+            n for n in range(1, 6)
+            if net.nodes[n].mesh_local == parent_addr
+        )
+        Consumer(net.nodes[0])
+        producer = Producer(
+            net.nodes[child],
+            net.nodes[0].mesh_local,
+            config=TrafficConfig(interval_ns=SEC // 4, jitter_ns=SEC // 20),
+        )
+        producer.start()
+        return net, checkers, victim
+
+    def test_broken_fail_stop_trips_departed_silence(self):
+        """Mutation: the 'fail-stop' never silences the radio.  The
+        departed relay keeps receiving its child's packets, which is
+        exactly the no-data-to-departed-nodes invariant."""
+        net, checkers, victim = self._traced_relay_net()
+        net.run(net.sim.now + 5 * SEC)
+        checkers.finish()
+        assert checkers.violations == [], "healthy relay already violated"
+        net.nodes[victim].controller.scheduler.fail_stop = lambda: None
+        driver, window_s = _single_victim_cycle(net, victim, down_s=20.0)
+        net.run(net.sim.now + round(window_s * SEC))
+        found = [
+            v for v in checkers.violations
+            if v.checker == "reattach" and "while departed" in v.message
+        ]
+        assert found, "undead departed node went undetected"
+
+    def test_honest_fail_stop_keeps_the_checker_silent(self):
+        """Control: with the real fail-stop, the relay goes silent and the
+        checker has nothing to say through an identical cycle."""
+        net, checkers, victim = self._traced_relay_net()
+        net.run(net.sim.now + 5 * SEC)
+        driver, window_s = _single_victim_cycle(net, victim, down_s=20.0)
+        ok = run_window_and_heal(net, driver, window_s)
+        checkers.finish()
+        assert ok
+        assert [v for v in checkers.violations if v.checker == "reattach"] == []

@@ -1,0 +1,22 @@
+"""Scale-tier churn liveness (non-blocking CI step, ``-m scale``).
+
+The same reconvergence property ``test_liveness.py`` gates at paper-scale
+fleet sizes, pushed to a 40-node fleet with heavier concurrent churn.
+Excluded from tier-1 (minutes of formation wall clock); CI runs it in the
+non-blocking scale step alongside the 500/1000-node spatial differentials.
+"""
+
+import pytest
+
+from repro.workload import ChurnSpec
+from tests.support.churnnet import churn_cycle
+
+
+@pytest.mark.scale
+@pytest.mark.parametrize("seed", (1, 2, 3))
+def test_scale_fleet_reconverges_after_churn(seed):
+    churn = ChurnSpec(mean_up_s=15.0, mean_down_s=6.0, fail_fraction=0.5)
+    net, driver, ok = churn_cycle(40, seed, churn, window_s=60)
+    assert driver.schedule.max_departed() <= max(1, int(0.3 * 39))
+    assert driver.departures >= 5, "scale cell churned too little to prove anything"
+    assert ok, f"40-node fleet failed to reconverge (seed {seed}): {driver.summary()}"

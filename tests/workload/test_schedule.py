@@ -1,0 +1,205 @@
+"""Churn-schedule purity: the generator is a deterministic function.
+
+The differential suite (``test_differential.py``) proves the *runtime* is
+byte-identical across worker counts and spatial indexes; this file proves
+the *plan* itself is pure -- same ``(spec, seed, n_nodes, window)``, same
+events, same digest, in any process, with no dependence on how many other
+nodes exist or which RNG streams the rest of the simulator has pulled.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.rng import RngRegistry, subseed
+from repro.sim.units import SEC
+from repro.workload import ChurnSpec, build_churn_schedule
+
+WINDOW = (10 * SEC, 300 * SEC)
+
+
+def build(spec=None, seed=42, n_nodes=16, window=WINDOW):
+    return build_churn_schedule(spec or ChurnSpec(), seed, n_nodes, *window)
+
+
+class TestDeterminism:
+    #: Digest of ``build_churn_schedule(ChurnSpec(), 42, 16, 10s, 300s)``,
+    #: pinned.  A change means the generator's draws moved -- every churn
+    #: golden trace is invalidated with it, which must be deliberate.
+    GOLDEN_DIGEST = (
+        "32994406c8b5b18c783cec40755adb022f6bab16a89646944b7e7110191e31fa"
+    )
+
+    def test_repeated_builds_are_identical(self):
+        a, b = build(), build()
+        assert a.events == b.events
+        assert a.digest() == b.digest()
+
+    def test_pinned_digest(self):
+        assert build().digest() == self.GOLDEN_DIGEST
+
+    def test_digest_varies_with_seed_and_window(self):
+        assert build(seed=43).digest() != self.GOLDEN_DIGEST
+        assert build(window=(10 * SEC, 299 * SEC)).digest() != self.GOLDEN_DIGEST
+
+    def test_node_streams_are_independent_of_fleet_size(self):
+        """Adding nodes never shifts an existing node's draws.
+
+        With ``max_departed_fraction=1`` the cap can never drop an
+        interval (each node has at most one open at a time), so the
+        per-node event streams must match between a 6- and a 9-node build.
+        """
+        spec = ChurnSpec(max_departed_fraction=1.0)
+        small = build(spec, n_nodes=6)
+        large = build(spec, n_nodes=9)
+        for node in range(1, 6):
+            assert [e for e in small.events if e.node_id == node] == [
+                e for e in large.events if e.node_id == node
+            ]
+
+    def test_building_draws_nothing_from_registry_streams(self):
+        """The satellite-3 fix, stated directly: churn planning derives its
+        randomness via sha256 sub-seeds, so enabling it cannot perturb the
+        traffic/medium/interval streams a run would otherwise draw."""
+        rngs = RngRegistry(42)
+        names = ("medium", "clock-drift", "traffic-3", "intervals-2", "node1")
+        before = {name: rngs.stream(name).getstate() for name in names}
+        build()
+        for name in names:
+            assert rngs.stream(name).getstate() == before[name]
+
+    def test_workload_subseeds_are_mutually_disjoint(self):
+        streams = {
+            subseed(42, "workload-churn", 1),
+            subseed(42, "workload-mobility", 1),
+            subseed(42, "workload-rotation", 1),
+            subseed(42, "traffic-1"),
+            subseed(42, "medium"),
+        }
+        assert len(streams) == 5
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_events_are_paired_ordered_and_windowed(self, seed):
+        start, end = WINDOW
+        sched = build(seed=seed)
+        assert list(sched.events) == sorted(
+            sched.events, key=lambda e: (e.time_ns, e.node_id, e.action)
+        )
+        departed = {}
+        for event in sched.events:
+            assert 1 <= event.node_id < 16  # node 0 (the root) never churns
+            if event.action == "depart":
+                assert event.node_id not in departed
+                assert start <= event.time_ns < end
+                departed[event.node_id] = event.time_ns
+            else:
+                assert event.action == "arrive"
+                assert not event.fail  # fail marks departures only
+                assert event.time_ns > departed.pop(event.node_id)
+                assert event.time_ns <= end
+        assert not departed, "every departure must have a paired arrival"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_cap_bounds_simultaneous_departures(self, seed):
+        spec = ChurnSpec(mean_up_s=5.0, mean_down_s=20.0)  # heavy pressure
+        sched = build(spec, seed=seed, n_nodes=11)
+        assert sched.max_departed() <= max(1, int(0.3 * 10))
+
+    def test_fail_fraction_extremes(self):
+        all_graceful = build(ChurnSpec(fail_fraction=0.0))
+        assert not any(e.fail for e in all_graceful.events)
+        all_fail = build(ChurnSpec(fail_fraction=1.0))
+        departs = [e for e in all_fail.events if e.action == "depart"]
+        assert departs and all(e.fail for e in departs)
+
+    def test_degenerate_inputs_yield_empty_schedules(self):
+        assert build(window=(300 * SEC, 10 * SEC)).events == ()
+        assert build(n_nodes=1).events == ()
+
+    def test_digest_of_empty_schedule_is_stable(self):
+        assert build(n_nodes=1).digest() == build(n_nodes=1).digest()
+
+
+def _trace_spec(events):
+    return ChurnSpec(mode="trace", events=tuple(events))
+
+
+class TestTraceReplay:
+    def test_valid_trace_is_ordered_and_kept(self):
+        spec = _trace_spec([
+            (30.0, 2, "depart", True),
+            (40.0, 2, "arrive", False),
+            (20.0, 1, "depart", False),
+            (25.0, 1, "arrive", False),
+        ])
+        sched = build(spec, n_nodes=4, window=(0, 100 * SEC))
+        assert [e.node_id for e in sched.events] == [1, 1, 2, 2]
+        assert [e.time_ns for e in sched.events] == [
+            20 * SEC, 25 * SEC, 30 * SEC, 40 * SEC,
+        ]
+
+    @pytest.mark.parametrize(
+        "events, message",
+        [
+            ([(5.0, 0, "depart", False), (6.0, 0, "arrive", False)], "root"),
+            ([(5.0, 9, "depart", False), (6.0, 9, "arrive", False)], "names node 9"),
+            (
+                [
+                    (5.0, 1, "depart", False),
+                    (6.0, 1, "depart", False),
+                    (7.0, 1, "arrive", False),
+                ],
+                "departs twice",
+            ),
+            ([(5.0, 1, "arrive", False)], "arrives while present"),
+            ([(5.0, 1, "depart", False)], "leaves nodes departed"),
+            (
+                [(500.0, 1, "depart", False), (501.0, 1, "arrive", False)],
+                "beyond the churn window",
+            ),
+        ],
+    )
+    def test_inconsistent_traces_are_rejected(self, events, message):
+        with pytest.raises(ValueError, match=message):
+            build(_trace_spec(events), n_nodes=4, window=(0, 100 * SEC))
+
+    def test_trace_peaking_over_cap_is_rejected(self):
+        events = [(5.0 + i, i, "depart", False) for i in range(1, 4)]
+        events += [(50.0 + i, i, "arrive", False) for i in range(1, 4)]
+        with pytest.raises(ValueError, match="cap is"):
+            build(_trace_spec(events), n_nodes=8, window=(0, 100 * SEC))
+
+
+class TestCapSweep:
+    def test_dropped_intervals_vanish_wholesale(self):
+        """The cap drops a departure *and* its arrival, never just one
+        side -- checked by brute-force replay of the accepted schedule."""
+        spec = ChurnSpec(mean_up_s=3.0, mean_down_s=30.0)
+        for seed in range(10):
+            sched = build(spec, seed=seed, n_nodes=8)
+            per_node = {}
+            for event in sched.events:
+                per_node.setdefault(event.node_id, []).append(event.action)
+            for actions in per_node.values():
+                assert actions == ["depart", "arrive"] * (len(actions) // 2)
+
+    def test_cap_never_below_one(self):
+        """Even a tiny fraction admits one departure at a time."""
+        spec = ChurnSpec(mean_up_s=5.0, mean_down_s=10.0,
+                         max_departed_fraction=0.01)
+        sched = build(spec, seed=3, n_nodes=5)
+        assert sched.departures() > 0
+        assert sched.max_departed() == 1
+
+
+def test_generation_is_independent_of_global_rng_state():
+    """The module-level ``random`` state never leaks into a schedule."""
+    random.seed(123)
+    a = build()
+    random.seed(999)
+    for _ in range(100):
+        random.random()
+    b = build()
+    assert a.digest() == b.digest()
