@@ -37,6 +37,7 @@ from repro.obs.registry import METRICS
 from repro.phy.frames import T_IFS_NS, ble_air_time_ns, ble_air_time_table
 from repro.phy.medium import BleMedium
 from repro.sim.kernel import Simulator, Timer
+from repro.spans.hub import SPANS
 from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -682,11 +683,20 @@ class Connection:
             event_end = end
         elif coord_runs:
             # TX into the void: one unanswered packet, then the event closes.
-            retx = TRACE.enabled and self.coord._outstanding is not None
+            spans_on = SPANS.enabled
+            retx = (trace_on or spans_on) and self.coord._outstanding is not None
             pdu = self.coord.build_tx_pdu()
             if trace_on:
                 self.coord._trace_tx(pdu, t0, retx)
             dur = ble_air_time_ns(len(pdu.payload), self.phy)
+            if spans_on:
+                tag = pdu.tag
+                if type(tag) is tuple and tag[0] == "kframe":
+                    # Nobody listened: on-air but lost for span purposes.
+                    SPANS.ll_tx(
+                        tag[2], t0, t0 + dur, len(pdu.payload),
+                        True, retx, t0, interval_true,
+                    )
             if not pdu.is_empty:
                 self.coord.stats.per_channel[channel][0] += 1
                 if metrics_on:
@@ -792,6 +802,7 @@ class Connection:
         # connection event, and the PHY / abort policy are fixed per event.
         trace_on = TRACE.enabled
         metrics_on = METRICS.enabled
+        spans_on = SPANS.enabled
         phy = self.phy
         air = ble_air_time_table(phy)
         abort_on_crc = coord_ctrl.config.abort_event_on_crc_error
@@ -848,7 +859,7 @@ class Connection:
             # connection drops and "beneficial reconnects").  Additional
             # exchanges are only *started* while they fit the budget (the
             # `needed` check below).
-            retx_c = trace_on and coord._outstanding is not None
+            retx_c = (trace_on or spans_on) and coord._outstanding is not None
             pdu_c = coord.build_tx_pdu()
             if trace_on:
                 coord._trace_tx(pdu_c, t, retx_c)
@@ -876,6 +887,13 @@ class Connection:
             else:
                 lost_c = packet_lost(channel, len_c + 10)
             t += air[len_c]
+            if spans_on:
+                tag = pdu_c.tag
+                if type(tag) is tuple and tag[0] == "kframe":
+                    SPANS.ll_tx(
+                        tag[2], t - air[len_c], t, len_c,
+                        lost_c, retx_c, t0, interval_true,
+                    )
             if lost_c:
                 if trace_on:
                     TRACE.emit(
@@ -900,11 +918,19 @@ class Connection:
                 self._sync_true = t0
                 self._sync_counter = self.event_counter
                 self._sync_local = self._sub_clock.to_local(t0)
-            sub.process_rx(pdu_c, t, channel)
+            if spans_on:
+                # Publish the exact in-event time: sim.now is frozen at the
+                # anchor, but spans opened or closed by this delivery chain
+                # must carry the true air-time instant to tile exactly.
+                SPANS.now_hint = t
+                sub.process_rx(pdu_c, t, channel)
+                SPANS.now_hint = None
+            else:
+                sub.process_rx(pdu_c, t, channel)
             sub_active = True
 
             t += T_IFS_NS
-            retx_s = trace_on and sub._outstanding is not None
+            retx_s = (trace_on or spans_on) and sub._outstanding is not None
             pdu_s = sub.build_tx_pdu()
             if trace_on:
                 sub._trace_tx(pdu_s, t, retx_s)
@@ -932,6 +958,13 @@ class Connection:
             else:
                 lost_s = packet_lost(channel, len_s + 10)
             t += air[len_s]
+            if spans_on:
+                tag = pdu_s.tag
+                if type(tag) is tuple and tag[0] == "kframe":
+                    SPANS.ll_tx(
+                        tag[2], t - air[len_s], t, len_s,
+                        lost_s, retx_s, t0, interval_true,
+                    )
             if lost_s:
                 if trace_on:
                     TRACE.emit(
@@ -950,7 +983,12 @@ class Connection:
                     break
                 t += T_IFS_NS
                 continue
-            coord.process_rx(pdu_s, t, channel)
+            if spans_on:
+                SPANS.now_hint = t
+                coord.process_rx(pdu_s, t, channel)
+                SPANS.now_hint = None
+            else:
+                coord.process_rx(pdu_s, t, channel)
             coord_active = True
             first = False
 

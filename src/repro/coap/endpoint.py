@@ -23,6 +23,7 @@ from repro.obs.registry import METRICS, RTT_BUCKETS_S
 from repro.sim.kernel import Timer
 from repro.sim.units import SEC
 from repro.sixlowpan.ipv6 import Ipv6Address
+from repro.spans.hub import SPANS
 from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -124,7 +125,21 @@ class CoapEndpoint:
             on_timeout=on_timeout,
             retransmits_left=MAX_RETRANSMIT if confirmable else 0,
         )
-        if not self._transmit(message, dst):
+        if SPANS.enabled:
+            # The journey context covers the whole synchronous send chain:
+            # every hop span the datagram opens below attaches to it.
+            span_prev = SPANS.journey_begin(
+                self.node.node_id, str(dst), token, mid, confirmable
+            )
+            try:
+                sent = self._transmit(message, dst)
+            finally:
+                SPANS.ctx_restore(span_prev)
+            if not sent:
+                SPANS.journey_complete(self.node.node_id, token, mid, "drop")
+        else:
+            sent = self._transmit(message, dst)
+        if not sent:
             return False
         self.requests_sent += 1
         if METRICS.enabled:
@@ -165,6 +180,10 @@ class CoapEndpoint:
                     self.node.sim.now, "coap", "timeout",
                     node=self.node.node_id, mid=key[1],
                 )
+            if SPANS.enabled:
+                SPANS.journey_complete(
+                    self.node.node_id, key[0], key[1], "timeout"
+                )
             if pending.on_timeout is not None:
                 pending.on_timeout()
             return
@@ -178,7 +197,16 @@ class CoapEndpoint:
                 node=self.node.node_id, mid=key[1],
                 retransmits_left=pending.retransmits_left,
             )
-        self._transmit(pending.message, pending.dst)
+        if SPANS.enabled:
+            span_prev = SPANS.journey_retransmit(
+                self.node.node_id, key[0], key[1]
+            )
+            try:
+                self._transmit(pending.message, pending.dst)
+            finally:
+                SPANS.ctx_restore(span_prev)
+        else:
+            self._transmit(pending.message, pending.dst)
         pending.timeout_ns *= 2  # binary exponential backoff
         pending.timer = self.node.sim.after(
             pending.timeout_ns, self._retransmit, key
@@ -213,21 +241,28 @@ class CoapEndpoint:
             else:
                 reply = message.make_ack(CoapCode.CONTENT, response_payload)
         self.acks_sent += 1
+        if SPANS.enabled:
+            # The reply rides the same journey context the delivered
+            # request installed; hops below here are the response leg.
+            SPANS.response_leg()
         self.node.udp.sendto(reply.encode(), src, src_port, self.port)
 
     def _complete(self, message: CoapMessage) -> None:
         """Match a response/ACK against the pending table."""
         pending = None
+        matched_key: Optional[Tuple[bytes, int]] = None
         if message.mtype is CoapType.ACK and message.code is CoapCode.EMPTY:
             # empty ACKs carry no token: match by message id
             for key, cand in self._pending.items():
                 if key[1] == message.mid:
                     pending = self._pending.pop(key)
+                    matched_key = key
                     break
         else:
             for key in list(self._pending):
                 if key[0] == message.token:
                     pending = self._pending.pop(key)
+                    matched_key = key
                     break
         if pending is None:
             return  # duplicate or stale response
@@ -245,6 +280,10 @@ class CoapEndpoint:
             TRACE.emit(
                 self.node.sim.now, "coap", "response",
                 node=self.node.node_id, mid=message.mid, rtt_ns=rtt_ns,
+            )
+        if SPANS.enabled and matched_key is not None:
+            SPANS.journey_complete(
+                self.node.node_id, matched_key[0], matched_key[1], "ok"
             )
         if pending.on_response is not None:
             pending.on_response(message, rtt_ns)

@@ -234,6 +234,31 @@ def main(argv: list[str] | None = None) -> int:
                        help="collect runtime metrics on every run; with "
                             "-o, also writes a merged metrics.json")
 
+    journeys = sub.add_parser(
+        "journeys",
+        help="span-traced run: waterfalls, attribution, Chrome-trace "
+             "export; non-zero exit on a phase-tiling violation",
+    )
+    journeys.add_argument("description", nargs="?", default=None,
+                          help="experiment YAML (default: a short 3-hop "
+                               "line with spans=True)")
+    journeys.add_argument("-o", "--outdir", default="journeys-out",
+                          help="journeys artifact directory "
+                               "(default: journeys-out)")
+    journeys.add_argument("--set", dest="overrides", action="append",
+                          default=[], metavar="KEY=VALUE",
+                          help="override a config field")
+    journeys.add_argument("--ab-check", action="store_true",
+                          help="instead of a traced run: interleaved "
+                               "spans-off/spans-on overhead measurement on "
+                               "the Fig. 8a cell (non-zero exit over the "
+                               "bar)")
+    journeys.add_argument("--repeats", type=int, default=3,
+                          help="measured A/B repetitions (default 3)")
+    journeys.add_argument("--bar", type=float, default=0.02,
+                          help="tolerated B/A overhead fraction "
+                               "(default 0.02)")
+
     workload = sub.add_parser(
         "workload",
         help="churn seed-matrix smoke: write reconvergence.json, non-zero "
@@ -310,6 +335,37 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         report = run_traced(config, args.outdir, layers=args.layers)
         print(render_trace_summary(report), end="")
+        return 0 if report.ok else 1
+
+    if args.command == "journeys":
+        from repro.exp.journeyscmd import (
+            example_config,
+            render_ab_summary,
+            render_journeys_summary,
+            run_ab_check,
+            run_journeys,
+        )
+
+        if args.ab_check:
+            if args.repeats < 1:
+                raise SystemExit("--repeats must be >= 1")
+            print(f"A/B overhead check: {args.repeats} interleaved "
+                  f"repetitions on the Fig. 8a cell ...", file=sys.stderr)
+            check = run_ab_check(repeats=args.repeats, bar=args.bar)
+            print(render_ab_summary(check))
+            return 0 if check["ok"] else 1
+        if args.description:
+            config = ExperimentConfig.from_yaml(
+                Path(args.description).read_text()
+            )
+        else:
+            config = example_config()
+        config = _apply_overrides(config, args.overrides)
+        print(f"spanning {config.name!r}: {config.topology} topology, "
+              f"{config.n_nodes} nodes, {config.duration_s:.0f}s ...",
+              file=sys.stderr)
+        report = run_journeys(config, args.outdir)
+        print(render_journeys_summary(report))
         return 0 if report.ok else 1
 
     if args.command == "workload":

@@ -24,7 +24,8 @@ import yaml
 #: replayed (see :mod:`repro.exp.cache`).
 #: v4: spatial scale tier -- geometry/radio-range/spatial-index fields.
 #: v5: scenario dynamics -- churn/mobility/mac_rotation workload blocks.
-CONFIG_SCHEMA_VERSION = 5
+#: v6: packet-journey spans -- the ``spans`` collection flag.
+CONFIG_SCHEMA_VERSION = 6
 
 #: Topology kinds that generate node positions and run statconn over the
 #: BFS spanning tree of the radio graph (see :mod:`repro.topo`).  ``line``
@@ -172,6 +173,12 @@ class ExperimentConfig:
     #: attached to the result as a ``metrics`` payload.  Off by default for
     #: the same reason as ``trace``.
     metrics: bool = False
+    #: Collect packet-journey spans (see :mod:`repro.spans`): one causal
+    #: span tree per CoAP exchange -- every hop, fragment, and
+    #: retransmission, with per-hop phases that exactly tile the journey's
+    #: end-to-end latency.  Off by default like ``trace``/``metrics``; the
+    #: span payload rides along on the result.
+    spans: bool = False
     #: Spatial scale tier (see :mod:`repro.topo` / :mod:`repro.phy.spatial`).
     geometry: str = "none"
     radio_range_m: float = 0.0

@@ -1,0 +1,274 @@
+"""The ``python -m repro journeys`` subcommand: span-traced runs.
+
+Runs one experiment with packet-journey span collection on, writes the
+span payload (``journeys.json``), a Perfetto-loadable Chrome-trace export
+(``journeys_trace.json``), and the rendered waterfall/attribution tables
+(``waterfall.txt``), then prints the attribution summary.  The process
+exits non-zero when the streaming phase-tiling checker recorded any
+conformance violation -- the CI ``journeys`` job uses exactly that as its
+gate.
+
+``--ab-check`` instead measures what a *spans-off* run pays for the
+instrumentation existing at all -- the one ``SPANS.enabled`` predicate
+per seam -- on the Fig. 8a line cell, gated on the <2% bar.  See
+:func:`run_ab_check` for the decomposition.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import ExperimentResult, run_experiment
+from repro.obs.wallclock import perf_counter
+from repro.sim.units import SEC
+from repro.spans.chrome import dumps_chrome_trace
+from repro.spans.hub import SPANS, SpanHub
+from repro.spans.render import render_attribution, render_waterfall
+
+#: Waterfalls rendered into ``waterfall.txt`` (the slowest journeys first;
+#: the JSON payload always carries every journey).
+MAX_WATERFALLS = 8
+
+
+def example_config(description: str = "") -> ExperimentConfig:
+    """The default scenario for ``repro journeys``: a short 3-hop line.
+
+    The same 4-node line the ``trace`` subcommand uses -- the smallest
+    topology where a journey crosses multiple connection events, the
+    relay nodes shade each other, and the response leg retraces the
+    request's hops -- with span collection enabled.
+    """
+    return ExperimentConfig(
+        name=description or "journeys",
+        topology="line",
+        n_nodes=4,
+        duration_s=10.0,
+        warmup_s=2.0,
+        drain_s=1.0,
+        producer_interval_s=1.0,
+        seed=3,
+        spans=True,
+    )
+
+
+@dataclass
+class JourneysReport:
+    """What one span-traced run produced."""
+
+    result: ExperimentResult
+    outdir: Path
+    payload: Dict[str, Any]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every journey's spans nested and tiled exactly."""
+        return not self.violations
+
+
+def dumps_payload(payload: Dict[str, Any]) -> str:
+    """Byte-stable JSON rendering of a journeys payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def run_journeys(config: ExperimentConfig, outdir: str) -> JourneysReport:
+    """Run ``config`` with spans on; write the artifacts into ``outdir``."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    if not config.spans:
+        raise ValueError("run_journeys needs a config with spans=True")
+    result = run_experiment(config)
+    payload = result.spans
+    assert payload is not None  # guaranteed by config.spans
+    (out / "journeys.json").write_text(dumps_payload(payload))
+    (out / "journeys_trace.json").write_text(dumps_chrome_trace(payload))
+    (out / "waterfall.txt").write_text(render_waterfalls(payload) + "\n")
+    return JourneysReport(
+        result=result,
+        outdir=out,
+        payload=payload,
+        violations=list(payload.get("violations", [])),
+    )
+
+
+def _journey_duration(journey: Dict[str, Any]) -> int:
+    end = journey["end_ns"]
+    return (end - journey["begin_ns"]) if end is not None else 0
+
+
+def render_waterfalls(payload: Dict[str, Any]) -> str:
+    """The slowest journeys' waterfalls plus the attribution table."""
+    journeys = payload.get("journeys", [])
+    slowest = sorted(journeys, key=_journey_duration, reverse=True)
+    blocks = [
+        render_waterfall(journey) for journey in slowest[:MAX_WATERFALLS]
+    ]
+    blocks.append(render_attribution(journeys))
+    return "\n\n".join(blocks)
+
+
+def render_journeys_summary(report: JourneysReport) -> str:
+    """The journeys report as one text block (printed by the CLI)."""
+    summary = report.payload.get("summary", {})
+    outcomes = ", ".join(
+        f"{k}={v}" for k, v in summary.get("outcomes", {}).items()
+    )
+    lines = [
+        f"journeys: {summary.get('journeys', 0)} "
+        f"({outcomes or 'none'}), {summary.get('hops', 0)} hops, "
+        f"{summary.get('frames', 0)} link-layer frames",
+        f"artifacts: {report.outdir}/journeys.json, journeys_trace.json, "
+        f"waterfall.txt",
+        "",
+        render_attribution(report.payload.get("journeys", [])),
+        "",
+    ]
+    if report.ok:
+        lines.append("conformance: every journey's phases tile exactly")
+    else:
+        lines.append(f"conformance: {len(report.violations)} VIOLATION(S)")
+        for violation in report.violations:
+            lines.append(
+                f"  [{violation['time_ns'] / SEC:.6f}s] "
+                f"journey {violation['journey_id']} "
+                f"{violation['rule']}: {violation['message']}"
+            )
+    return "\n".join(lines)
+
+
+# -- the interleaved A/B overhead check ----------------------------------
+
+
+def ab_config() -> ExperimentConfig:
+    """The Fig. 8a cell the overhead check times: the 4-node line at the
+    paper's default 75 ms interval, cut to a CI-sized duration."""
+    return ExperimentConfig(
+        name="journeys-ab",
+        topology="line",
+        n_nodes=4,
+        duration_s=20.0,
+        warmup_s=3.0,
+        drain_s=2.0,
+        producer_interval_s=1.0,
+        seed=7,
+    )
+
+
+#: Iterations per guard-cost microbatch: long enough that one batch takes
+#: milliseconds (resolvable), short enough to interleave many batches.
+GUARD_LOOP = 200_000
+
+
+def _bare_batch(n: int) -> float:
+    """A: the reference loop body without the guard."""
+    t0 = perf_counter()
+    x = 0
+    for _ in range(n):
+        x += 1
+    return perf_counter() - t0
+
+
+def _guarded_batch(n: int, hub: Any) -> float:
+    """B: the same body behind the seam shape -- attribute read + branch."""
+    t0 = perf_counter()
+    x = 0
+    for _ in range(n):
+        if hub.enabled:
+            x -= 1  # pragma: no cover - hub stays disabled
+        x += 1
+    return perf_counter() - t0
+
+
+class _CountingHub(SpanHub):
+    """Class-swap shim: counts ``enabled`` reads while staying disabled."""
+
+    __slots__ = ()
+    reads = 0
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:  # type: ignore[override]
+        _CountingHub.reads += 1
+        return False
+
+
+def _count_guard_reads(cfg: ExperimentConfig) -> int:
+    """Exactly how many ``SPANS.enabled`` predicates one run evaluates."""
+    _CountingHub.reads = 0
+    SPANS.__class__ = _CountingHub
+    try:
+        run_experiment(cfg)
+    finally:
+        SPANS.__class__ = SpanHub
+    return _CountingHub.reads
+
+
+def run_ab_check(repeats: int = 3, bar: float = 0.02) -> Dict[str, Any]:
+    """Estimate the disabled path's overhead on the Fig. 8a cell.
+
+    The guard-free code no longer exists in this build, so a naive run
+    A/B cannot time what a spans-off run pays for the instrumentation.
+    The check decomposes the estimate into three measurables instead:
+
+    * **per-guard cost** -- interleaved A (bare loop) / B (guarded loop)
+      microbatches; interleaving ABAB... cancels machine-state drift, and
+      B - A is the cost of one ``SPANS.enabled`` attribute read + branch;
+    * **guard count** -- the exact number of ``enabled`` predicates a
+      Fig. 8a run evaluates, counted by temporarily swapping a counting
+      property onto the hub (the run stays fully disabled);
+    * **run wall time** -- the spans-off run's median wall seconds, timed
+      in the same interleaved schedule, as the denominator.
+
+    ``overhead = guard_count * per_guard_s / median_wall_s`` must stay
+    under ``bar``.  The first repetition is a discarded warmup (one-time
+    import and allocator costs).
+    """
+    cfg = ab_config()
+    guard_reads = _count_guard_reads(cfg)
+    wall: List[float] = []
+    per_guard: List[float] = []
+    for rep in range(repeats + 1):
+        t0 = perf_counter()
+        run_experiment(cfg)
+        dt_run = perf_counter() - t0
+        bare = _bare_batch(GUARD_LOOP)
+        guarded = _guarded_batch(GUARD_LOOP, SPANS)
+        if rep == 0:
+            continue  # warmup
+        wall.append(dt_run)
+        per_guard.append(max(0.0, (guarded - bare) / GUARD_LOOP))
+    med_wall = statistics.median(wall)
+    med_guard = statistics.median(per_guard)
+    guard_cost_s = guard_reads * med_guard
+    overhead = guard_cost_s / med_wall if med_wall > 0 else 0.0
+    return {
+        "repeats": repeats,
+        "wall_s": [round(w, 4) for w in wall],
+        "median_wall_s": round(med_wall, 4),
+        "per_guard_ns": [round(g * 1e9, 2) for g in per_guard],
+        "median_per_guard_ns": round(med_guard * 1e9, 2),
+        "guard_reads": guard_reads,
+        "guard_cost_s": round(guard_cost_s, 6),
+        "overhead": round(overhead, 5),
+        "bar": bar,
+        "ok": overhead < bar,
+    }
+
+
+def render_ab_summary(check: Dict[str, Any]) -> str:
+    """The A/B check as one text block (printed by the CLI)."""
+    lines = [
+        f"spans-off run: median {check['median_wall_s']:.3f}s "
+        f"over {check['repeats']} runs {check['wall_s']}",
+        f"guard cost: {check['median_per_guard_ns']:.1f}ns per check "
+        f"(interleaved A/B), {check['guard_reads']} checks per run "
+        f"= {check['guard_cost_s'] * 1e3:.3f}ms",
+        f"disabled-path overhead: {check['overhead'] * 100:+.3f}% "
+        f"(bar {check['bar'] * 100:.0f}%)",
+        "overhead: OK" if check["ok"] else "overhead: OVER THE BAR",
+    ]
+    return "\n".join(lines)

@@ -198,6 +198,8 @@ class PortableResult(ResultMetricsMixin):
     metrics: Optional[dict] = None
     #: Workload summary (churn/mobility/rotation), already a plain dict.
     workload: Optional[dict] = None
+    #: Packet-journey span payload (see :mod:`repro.spans`), a plain dict.
+    spans: Optional[dict] = None
 
     @classmethod
     def from_result(cls, result: Any) -> "PortableResult":
@@ -215,6 +217,7 @@ class PortableResult(ResultMetricsMixin):
             trace_records=list(getattr(result, "trace_records", ())),
             metrics=getattr(result, "metrics", None),
             workload=getattr(result, "workload", None),
+            spans=getattr(result, "spans", None),
         )
 
     # -- energy metrics (precomputed in the worker) --------------------------

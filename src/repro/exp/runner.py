@@ -41,6 +41,7 @@ from repro.obs.sampler import MetricsSnapshotter
 from repro.phy.medium import InterferenceModel
 from repro.sim import RngRegistry
 from repro.sim.units import SEC, s_to_ns
+from repro.spans.hub import SPANS
 from repro.testbed.dynamic import DynamicBleNetwork
 from repro.testbed.iotlab import JAMMED_CHANNEL
 from repro.testbed.topology import (
@@ -89,6 +90,10 @@ class ExperimentResult(ResultMetricsMixin):
     #: :meth:`repro.workload.driver.WorkloadDriver.summary`) when the config
     #: enabled any workload axis; ``None`` otherwise.
     workload: Optional[dict] = None
+    #: Packet-journey span payload (see
+    #: :meth:`repro.spans.hub.SpanHub.export_payload`) when the config
+    #: asked for span collection; ``None`` otherwise.
+    spans: Optional[dict] = None
 
     def to_portable(self) -> PortableResult:
         """Flatten into the picklable form (see :mod:`repro.exp.portable`)."""
@@ -315,6 +320,9 @@ class ExperimentRunner:
         own_metrics = cfg.metrics and not METRICS.enabled
         if own_metrics:
             METRICS.configure()
+        own_spans = cfg.spans and not SPANS.enabled
+        if own_spans:
+            SPANS.configure()
         try:
             return self._run(ring)
         finally:
@@ -322,6 +330,8 @@ class ExperimentRunner:
                 TRACE.reset()
             if own_metrics:
                 METRICS.reset()
+            if own_spans:
+                SPANS.reset()
 
     def _run(self, ring: Optional[RingBufferSink]) -> ExperimentResult:
         cfg = self.config
@@ -334,6 +344,8 @@ class ExperimentRunner:
             net = self._build_802154()
         if TRACE.enabled:
             TRACE.attach_sim(net.sim)
+        if SPANS.enabled:
+            SPANS.attach_sim(net.sim)
         events = EventLog()
 
         # connection-loss hooks (BLE only; 802.15.4 has no connections)
@@ -402,6 +414,12 @@ class ExperimentRunner:
             # final partial window: the kernel stops *before* the horizon's
             # events, so the last periodic sample never lands at the end
             flush_sampler()
+        spans_payload = None
+        if SPANS.enabled:
+            # Journeys still in flight flush as lost at the horizon; the
+            # streaming checker has then judged every journey of the run.
+            SPANS.finish(net.sim.now)
+            spans_payload = SPANS.export_payload()
         metrics_payload = None
         if snapper is not None:
             snapper.finish()
@@ -421,6 +439,7 @@ class ExperimentRunner:
             trace_records=list(ring.records()) if ring is not None else [],
             metrics=metrics_payload,
             workload=driver.summary() if driver is not None else None,
+            spans=spans_payload,
         )
 
     def _hook_losses(self, node: Any, events: EventLog) -> None:

@@ -20,6 +20,7 @@ from repro.sixlowpan import frag
 from repro.sixlowpan.adapt import BleAdaptation
 from repro.sixlowpan.iphc import UNCOMPRESSED_IPV6_DISPATCH
 from repro.sixlowpan.ipv6 import Ipv6Packet
+from repro.spans.hub import SPANS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.ip import Ipv6Stack
@@ -65,7 +66,16 @@ class Netif154:
         if len(wire) <= FRAME_BUDGET:
             if not self.pktbuf.try_alloc(len(wire)):
                 self.drops_pktbuf += 1
+                if SPANS.enabled:
+                    SPANS.drop("pktbuf")
                 return False
+            if SPANS.enabled:
+                # Coarse single-phase hop: the datagram bytes key it, and
+                # the receiver reconstructs the same key on delivery.
+                SPANS.hop_open_coarse(
+                    ("154", self.ll_addr, next_hop_ll, wire),
+                    f"node{self.ll_addr}", f"node{next_hop_ll}",
+                )
             self.mac.send(next_hop_ll, wire, tag=len(wire))
             self.tx_packets += 1
             return True
@@ -83,7 +93,16 @@ class Netif154:
         total = sum(len(f) for f in fragments)
         if not self.pktbuf.try_alloc(total):
             self.drops_pktbuf += 1
+            if SPANS.enabled:
+                SPANS.drop("pktbuf")
             return False
+        if SPANS.enabled:
+            # Keyed by the pre-fragmentation datagram: the reassembler
+            # hands the identical bytes back on the far side.
+            SPANS.hop_open_coarse(
+                ("154", self.ll_addr, next_hop_ll, raw),
+                f"node{self.ll_addr}", f"node{next_hop_ll}",
+            )
         for piece in fragments:
             self.mac.send(next_hop_ll, piece, tag=len(piece))
         self.tx_packets += 1
@@ -95,6 +114,13 @@ class Netif154:
             self.pktbuf.free(frame.tag)
         if not ok:
             self.drops_mac += 1
+            if SPANS.enabled:
+                # Only matches unfragmented datagrams (a fragment's bytes
+                # are not the datagram key); lost fragments flush at the
+                # end of the run instead.
+                SPANS.hop_lost_coarse(
+                    ("154", frame.src, frame.dst, frame.payload)
+                )
 
     def _on_frame(self, frame: Frame154) -> None:
         if frag.is_fragment(frame.payload):
@@ -106,6 +132,18 @@ class Netif154:
         self._deliver(datagram, sender)
 
     def _deliver(self, wire: bytes, sender_ll: int) -> None:
+        if SPANS.enabled:
+            key = ("154", sender_ll, self.ll_addr, wire)
+            span_prev = SPANS.rx_enter_coarse(key)
+            try:
+                SPANS.hop_delivered_coarse(key)
+                self._deliver_inner(wire, sender_ll)
+            finally:
+                SPANS.ctx_restore(span_prev)
+        else:
+            self._deliver_inner(wire, sender_ll)
+
+    def _deliver_inner(self, wire: bytes, sender_ll: int) -> None:
         try:
             packet = self.adaptation.from_link(
                 wire,
@@ -114,6 +152,8 @@ class Netif154:
             )
         except ValueError:
             self.rx_decode_errors += 1
+            if SPANS.enabled:
+                SPANS.drop("decode")
             return
         self.rx_packets += 1
         if self.ip is not None:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Optional
 from repro.ble.conn import Connection, Endpoint
 from repro.ble.pdu import DataPdu, Llid
 from repro.obs.registry import METRICS
+from repro.spans.hub import SPANS
 from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -136,7 +137,15 @@ class _CocEnd:
         """Queue one SDU for segmentation and transfer."""
         if len(sdu) > self.config.mtu:
             raise ValueError(f"SDU of {len(sdu)} bytes exceeds MTU {self.config.mtu}")
-        self.tx_sdus.append(_SduRecord(sdu, tag))
+        rec = _SduRecord(sdu, tag)
+        self.tx_sdus.append(rec)
+        if SPANS.enabled:
+            controller = self.ll_end.controller
+            peer = self.coc.conn.peer_of(controller).identity
+            SPANS.hop_open(
+                rec, self.coc.conn,
+                f"node{controller.identity}", f"node{peer}",
+            )
         self.pump()
 
     def pump(self) -> None:
@@ -235,7 +244,19 @@ class _CocEnd:
         if cid == SIGNALLING_CID:
             self._on_signalling(body)
         elif cid == DEFAULT_COC_CID:
-            self._on_kframe(body)
+            tag = pdu.tag
+            if SPANS.enabled and isinstance(tag, tuple) and tag[0] == "kframe":
+                # Install the carrying hop's journey context around the
+                # whole delivery chain: reassembly completion closes this
+                # hop, and a forwarded SDU opens the next one under the
+                # same journey.
+                span_prev = SPANS.rx_enter(tag[2])
+                try:
+                    self._on_kframe(body)
+                finally:
+                    SPANS.ctx_restore(span_prev)
+            else:
+                self._on_kframe(body)
         else:
             handler = self.coc.fixed_handlers.get(
                 (cid, self.ll_end.controller)
@@ -287,6 +308,8 @@ class _CocEnd:
                     len=len(sdu), frames=frames,
                 )
             self._return_credits(frames)
+            if SPANS.enabled:
+                SPANS.hop_delivered()
             if self.on_sdu is not None:
                 self.on_sdu(sdu)
 

@@ -14,6 +14,7 @@ from repro.net.fib import ForwardingTable
 from repro.net.nib import NeighborCache
 from repro.obs.registry import METRICS
 from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet
+from repro.spans.hub import SPANS
 from repro.trace.tracer import TRACE
 
 
@@ -143,6 +144,8 @@ class Ipv6Stack:
 
     def _drop(self, packet: Ipv6Packet, cause: str) -> None:
         """Account one dropped packet; every drop cause routes through here."""
+        if SPANS.enabled:
+            SPANS.drop(cause)
         if METRICS.enabled:
             METRICS.inc_vec(
                 f"node{self.node_id}", "ip.drops", cause, label_key="cause"

@@ -23,6 +23,7 @@ from repro.l2cap import CocConfig, L2capCoc
 from repro.net.pktbuf import PacketBuffer
 from repro.sixlowpan.adapt import BleAdaptation
 from repro.sixlowpan.ipv6 import Ipv6Packet
+from repro.spans.hub import SPANS
 from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,6 +110,8 @@ class BleNetif:
         held = self._outstanding.pop(conn, 0)
         if held:
             self.pktbuf.free(held)
+        if SPANS.enabled:
+            SPANS.conn_closed(conn)
         if self.ip is not None:
             self.ip.neighbor_down(conn.peer_of(self.controller).identity)
 
@@ -123,6 +126,8 @@ class BleNetif:
         conn = self.controller.connection_to(next_hop_ll)
         if conn is None or not conn.open:
             self.drops_no_link += 1
+            if SPANS.enabled:
+                SPANS.drop("no-link")
             return False
         wire = self.adaptation.to_link(
             packet,
@@ -131,6 +136,8 @@ class BleNetif:
         )
         if not self.pktbuf.try_alloc(len(wire)):
             self.drops_pktbuf += 1
+            if SPANS.enabled:
+                SPANS.drop("pktbuf")
             return False
         if TRACE.enabled:
             TRACE.emit(

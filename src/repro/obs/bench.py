@@ -26,24 +26,33 @@ scenarios (grid index only); CI runs that tier in a separate,
 non-blocking step.  Don't ``--compare`` across tiers: a baseline written
 by one tier reports the other tier's scenarios as missing.
 
-No timestamps are recorded: reruns on the same machine and commit should
-produce comparable documents.
+No timestamps are recorded in the baseline document: reruns on the same
+machine and commit should produce comparable documents.  Longitudinal
+tracking lives elsewhere -- ``--append-history BENCH_history.jsonl``
+appends one line per scenario (timestamp, git revision, events/sec) to a
+machine-local perf log that CI uploads as an artifact.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.exp.config import ExperimentConfig
 from repro.exp.runner import run_experiment
 from repro.obs.profiler import PROFILER
+from repro.obs.wallclock import unix_time
 from repro.sim.units import s_to_ns
 
 #: Schema tag of the baseline document.
 BENCH_SCHEMA = "repro.obs.bench/1"
+
+#: Schema tag of one bench-history JSONL line.
+BENCH_HISTORY_SCHEMA = "repro.obs.bench-history/1"
 
 #: Default tolerated throughput drop before the compare gate fails (25 %).
 DEFAULT_REGRESSION_THRESHOLD = 0.25
@@ -195,6 +204,57 @@ def render_comparison(current: dict, baseline: dict) -> str:
     return "\n".join(lines)
 
 
+def git_revision() -> str:
+    """The current git revision (short), or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def history_lines(
+    doc: dict, tier: str, rev: str, ts_unix: float
+) -> List[dict]:
+    """One history record per scenario of a bench document.
+
+    The timestamp and git revision are wall-clock/workspace facts, which
+    is exactly the point: the history file is the machine-local perf log
+    (like ``profile.json``), never a reproducible result document.
+    """
+    stamp = datetime.fromtimestamp(ts_unix, timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
+    lines = []
+    for label, row in sorted(doc.get("scenarios", {}).items()):
+        lines.append({
+            "schema": BENCH_HISTORY_SCHEMA,
+            "ts": stamp,
+            "rev": rev,
+            "tier": tier,
+            "scenario": label,
+            "n_nodes": row["n_nodes"],
+            "events": row["events"],
+            "wall_s": row["wall_s"],
+            "events_per_wall_s": row["events_per_wall_s"],
+        })
+    return lines
+
+
+def append_history(path: Path, doc: dict, tier: str) -> int:
+    """Append the document's per-scenario records to the JSONL history
+    file; returns the number of lines appended."""
+    lines = history_lines(doc, tier, git_revision(), unix_time())
+    with path.open("a") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the ``bench`` options (shared by the CLI subcommand)."""
     parser.add_argument(
@@ -220,6 +280,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "or 'scale' (500/1000-node runs; use a separate --out and "
              "baseline)",
     )
+    parser.add_argument(
+        "--append-history", default=None, metavar="JSONL",
+        help="also append one line per scenario (timestamp, git rev, "
+             "events/sec) to this JSONL perf log (e.g. BENCH_history.jsonl)",
+    )
 
 
 def run_bench_cli(args: argparse.Namespace) -> int:
@@ -239,6 +304,10 @@ def run_bench_cli(args: argparse.Namespace) -> int:
             f"x{row['sim_s_per_wall_s']:.0f} real time"
         )
     print(f"baseline written to {out}")
+    history = getattr(args, "append_history", None)
+    if history is not None:
+        appended = append_history(Path(history), doc, args.tier)
+        print(f"{appended} history line(s) appended to {history}")
     if baseline is None:
         return 0
     print(render_comparison(doc, baseline))

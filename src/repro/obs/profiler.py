@@ -19,6 +19,7 @@ instead.
 
 from __future__ import annotations
 
+from functools import partial
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
@@ -56,7 +57,13 @@ class Profiler:
         INSTR.bump()
 
     def subsystem_of(self, callback: Callable[..., Any]) -> str:
-        """The subsystem owning ``callback`` (second ``repro.X`` segment)."""
+        """The subsystem owning ``callback`` (second ``repro.X`` segment).
+
+        ``functools.partial`` objects carry no ``__module__``, so a partial
+        of a ``repro.workload`` timer would land in the catch-all bucket;
+        the partial chain is unwrapped to the underlying callable first and
+        classified by *its* module.
+        """
         func = getattr(callback, "__func__", callback)
         try:
             cached = self._cache.get(func)
@@ -65,7 +72,10 @@ class Profiler:
             func = None
         if cached is not None:
             return cached
-        module = getattr(callback, "__module__", "") or ""
+        inner: Any = callback
+        while isinstance(inner, partial):
+            inner = inner.func
+        module = getattr(inner, "__module__", "") or ""
         parts = module.split(".")
         if parts[0] == "repro" and len(parts) > 1:
             subsystem = parts[1]
@@ -102,13 +112,18 @@ class Profiler:
         (one dict update per event instead of a :meth:`record` call).
         """
         func = getattr(callback, "__func__", callback)
-        entry = self._entry_cache.get(func)
+        try:
+            entry = self._entry_cache.get(func)
+        except TypeError:  # unhashable callable; classify every time
+            entry = None
+            func = None
         if entry is None:
             subsystem = self.subsystem_of(callback)
             entry = self._by_subsystem.get(subsystem)
             if entry is None:
                 entry = self._by_subsystem[subsystem] = [0, 0.0]
-            self._entry_cache[func] = entry
+            if func is not None:
+                self._entry_cache[func] = entry
         entry[0] += count
         entry[1] += wall_s
 

@@ -54,6 +54,17 @@ REATTACH_BUCKETS_S: Tuple[float, ...] = (
     90.0, 120.0, 180.0, 240.0, 300.0,
 )
 
+#: Bucket bounds (seconds) for per-hop phase attribution histograms
+#: (:mod:`repro.spans`).  Finer than the RTT buckets at the bottom: a
+#: single PDU's air time is tens of microseconds, an anchor wait is a
+#: fraction of a connection interval (tens of milliseconds), and the
+#: retransmission tail runs into seconds.
+PHASE_BUCKETS_S: Tuple[float, ...] = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
 
 class Counter:
     """A monotonically increasing count."""

@@ -15,5 +15,12 @@ hash, or a serialized result document.
 from __future__ import annotations
 
 from time import monotonic, perf_counter
+from time import time as _wall_time
 
-__all__ = ["monotonic", "perf_counter"]
+__all__ = ["monotonic", "perf_counter", "unix_time"]
+
+
+def unix_time() -> float:
+    """Seconds since the Unix epoch -- for operator-facing timestamps only
+    (bench history lines, progress output), never simulation input."""
+    return _wall_time()

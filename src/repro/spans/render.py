@@ -1,0 +1,121 @@
+"""Waterfall tables and latency-attribution summaries for journeys.
+
+Renders an exported journeys payload (plain dicts, the same shape the
+Chrome exporter consumes) as fixed-width text: a per-journey waterfall --
+one row per hop, phase bars drawn on the journey's shared time axis -- and
+an aggregated attribution table answering the paper's central question,
+*where does multi-hop latency go?*, phase by phase.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.exp.report import format_table
+from repro.sim.units import ns_to_s
+from repro.spans.model import PHASE_NAMES
+
+#: One character per phase for the waterfall bars.
+PHASE_CHARS: Dict[str, str] = {
+    "anchor_wait": "a",
+    "queue": "q",
+    "air": "#",
+    "turnaround": "-",
+    "event_wait": "e",
+    "retx_wait": "r",
+    "reassembly": "R",
+    "stalled": "x",
+    "link": "#",
+}
+
+
+def _iter_hops(journey: Dict[str, Any]) -> List[Dict[str, Any]]:
+    hops: List[Dict[str, Any]] = []
+    for attempt in journey["attempts"]:
+        hops.extend(attempt["hops"])
+    return hops
+
+
+def render_waterfall(journey: Dict[str, Any], width: int = 64) -> str:
+    """One journey as a per-hop waterfall on a shared time axis.
+
+    Each row is a hop; its bar starts at the hop's offset into the journey
+    and is painted with one character per phase (see :data:`PHASE_CHARS`),
+    so queue waits, anchor waits, air time and retransmit cycles line up
+    visually across hops.
+    """
+    begin = journey["begin_ns"]
+    end = journey["end_ns"]
+    total = max(1, (end or begin) - begin)
+    scale = width / total
+    header = (
+        f"journey {journey['id']}: {journey['src']} -> {journey['dst']} "
+        f"mid={journey['mid']} {'CON' if journey['con'] else 'NON'} "
+        f"{journey['outcome']}  "
+        f"({ns_to_s(total) * 1000:.2f} ms, "
+        f"{len(journey['attempts'])} attempt(s))"
+    )
+    rows: List[Sequence[Any]] = []
+    for attempt in journey["attempts"]:
+        for hop in attempt["hops"]:
+            hop_end = hop["end_ns"]
+            if hop_end is None:
+                continue
+            cells = [" "] * width
+            for phase in hop["phases"]:
+                char = PHASE_CHARS.get(phase["name"], "?")
+                lo = int((phase["begin_ns"] - begin) * scale)
+                hi = int((phase["end_ns"] - begin) * scale)
+                lo = min(max(lo, 0), width - 1)
+                hi = min(max(hi, lo + 1), width)
+                for i in range(lo, hi):
+                    cells[i] = char
+            rows.append([
+                f"a{attempt['index']}",
+                f"{hop['src']}->{hop['dst']}",
+                hop["leg"][:4],
+                f"{ns_to_s(hop['begin_ns'] - begin) * 1000:.2f}",
+                f"{ns_to_s(hop_end - hop['begin_ns']) * 1000:.2f}",
+                "".join(cells),
+            ])
+    table = format_table(
+        ["at", "hop", "leg", "t0_ms", "dur_ms", "timeline"], rows
+    )
+    legend = "legend: " + "  ".join(
+        f"{PHASE_CHARS[name]}={name}" for name in PHASE_NAMES
+        if PHASE_CHARS.get(name)
+    )
+    return "\n".join([header, table, legend])
+
+
+def attribution(journeys: Sequence[Dict[str, Any]]) -> Dict[str, Dict[str, int]]:
+    """Total nanoseconds per phase name, over all hops of ``journeys``."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for journey in journeys:
+        for hop in _iter_hops(journey):
+            for phase in hop["phases"]:
+                agg = totals.setdefault(phase["name"], {"ns": 0, "count": 0})
+                agg["ns"] += phase["end_ns"] - phase["begin_ns"]
+                agg["count"] += 1
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def render_attribution(journeys: Sequence[Dict[str, Any]]) -> str:
+    """The aggregated where-does-latency-go table."""
+    totals = attribution(journeys)
+    grand = sum(agg["ns"] for agg in totals.values())
+    rows: List[Sequence[Any]] = []
+    # Stable presentation order: biggest contributor first, name tie-break.
+    for name in sorted(totals, key=lambda n: (-totals[n]["ns"], n)):
+        agg = totals[name]
+        share = 100 * agg["ns"] / grand if grand else 0.0
+        rows.append([
+            name,
+            f"{ns_to_s(agg['ns']) * 1000:.2f}",
+            f"{share:.1f}%",
+            agg["count"],
+        ])
+    return format_table(
+        ["phase", "total_ms", "share", "intervals"], rows,
+        title="latency attribution (all hops, all journeys)",
+    )

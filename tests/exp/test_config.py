@@ -99,7 +99,7 @@ class TestCanonicalSerialization:
     #: serialization regressed (fix it): every on-disk cache is invalidated
     #: either way, which must be a deliberate decision.
     GOLDEN_DEFAULT_HASH = (
-        "94f830e1f8c559569c2ced39eb0b3318fa4dcb44e420575f5351ac6e23ff3b7e"
+        "da3473e5b5482c30af5ff65cb93ef59b8fda23cb959422acbeefb9bd5498175f"
     )
 
     def test_default_config_hash_is_golden_constant(self):

@@ -103,6 +103,7 @@ class TestKeyInvalidation:
             "trace": True,
             "trace_layers": "ble,ip",
             "metrics": True,
+            "spans": True,
             "geometry": "rgg",
             "radio_range_m": 30.0,
             "node_spacing_m": 10.0,

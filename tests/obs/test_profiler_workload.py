@@ -1,0 +1,83 @@
+"""Profiler attribution for workload dispatches and partial callbacks.
+
+``repro.workload`` timers dispatch bound methods, which classify by their
+``__module__`` like everything else; ``functools.partial`` objects do not
+*have* a ``__module__``, so before the unwrap fix any partial-wrapped
+callback fell into the catch-all bucket.  This file pins both paths.
+"""
+
+from functools import partial
+
+from repro.obs.profiler import Profiler
+from repro.workload.driver import WorkloadDriver
+
+
+class TestWorkloadAttribution:
+    def test_bound_workload_method_classifies_as_workload(self):
+        profiler = Profiler()
+        assert profiler.subsystem_of(WorkloadDriver.install) == "workload"
+
+    def test_partial_of_workload_callable_classifies_as_workload(self):
+        profiler = Profiler()
+        wrapped = partial(WorkloadDriver.install, None)
+        assert profiler.subsystem_of(wrapped) == "workload"
+
+    def test_nested_partial_unwraps_to_the_innermost_callable(self):
+        profiler = Profiler()
+        wrapped = partial(partial(WorkloadDriver.install, None))
+        assert profiler.subsystem_of(wrapped) == "workload"
+
+    def test_record_attributes_partial_to_workload(self):
+        profiler = Profiler()
+        profiler.configure()
+        try:
+            profiler.record(partial(WorkloadDriver.install, None), 0.25)
+        finally:
+            profiler.reset()
+        report = profiler.report(events=1)
+        assert "workload" in report["subsystems"]
+        assert report["subsystems"]["workload"]["events"] == 1
+
+    def test_record_bulk_attributes_partial_to_workload(self):
+        profiler = Profiler()
+        profiler.configure()
+        try:
+            profiler.record_bulk(partial(WorkloadDriver.install, None), 7, 0.5)
+        finally:
+            profiler.reset()
+        report = profiler.report(events=7)
+        assert report["subsystems"]["workload"]["events"] == 7
+
+
+class _UnhashableCallable:
+    __hash__ = None  # type: ignore[assignment]
+
+    def __call__(self) -> None:
+        pass
+
+
+class TestUnhashableCallables:
+    def test_record_bulk_survives_unhashable_callback(self):
+        profiler = Profiler()
+        profiler.configure()
+        try:
+            profiler.record_bulk(_UnhashableCallable(), 3, 0.1)
+        finally:
+            profiler.reset()
+        report = profiler.report(events=3)
+        # classified fresh each call, but still accounted
+        assert sum(
+            row["events"] for row in report["subsystems"].values()
+        ) == 3
+
+    def test_record_survives_unhashable_callback(self):
+        profiler = Profiler()
+        profiler.configure()
+        try:
+            profiler.record(_UnhashableCallable(), 0.1)
+        finally:
+            profiler.reset()
+        report = profiler.report(events=1)
+        assert sum(
+            row["events"] for row in report["subsystems"].values()
+        ) == 1

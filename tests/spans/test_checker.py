@@ -1,0 +1,163 @@
+"""Mutation tests for the span-tree conformance checker.
+
+A checker that never fires is worse than no checker: each test builds a
+conforming journey, applies one targeted mutation an instrumentation bug
+would produce (a dropped span close, an overlapping retransmit phase),
+and asserts the exact rule fires.  The conforming tree itself must pass
+cleanly -- that is the baseline every mutation is measured against.
+"""
+
+from typing import List
+
+from repro.spans.check import check_journey
+from repro.spans.model import (
+    Journey,
+    Phase,
+    TxEvent,
+    compute_phases,
+)
+
+MS = 1_000_000  # ns
+
+
+def build_journey() -> Journey:
+    """A conforming two-hop journey: request over two links, delivered."""
+    journey = Journey(0, "node2", "fd00::1", "ab12", 7, True, 0)
+    attempt = journey.new_attempt(0)
+    hop1 = attempt.new_hop("node2", "node1", "request", 0)
+    hop1.txs.append(TxEvent(1 * MS, 2 * MS, 27, False, False, 0, 75 * MS))
+    hop1.close(2 * MS, "ok")
+    hop2 = attempt.new_hop("node1", "node0", "request", 2 * MS)
+    hop2.txs.append(
+        TxEvent(3 * MS, 4 * MS, 27, False, False, 2 * MS, 75 * MS)
+    )
+    hop2.close(4 * MS, "ok")
+    attempt.close(4 * MS, "ok")
+    journey.close(4 * MS, "ok")
+    return journey
+
+
+def rules(journey) -> List[str]:
+    return [v.rule for v in check_journey(journey)]
+
+
+class TestConformingTree:
+    def test_passes_cleanly(self):
+        assert check_journey(build_journey()) == []
+
+    def test_multi_attempt_overlap_is_legal(self):
+        # CoAP retransmits on a wall timer; the first attempt's fragments
+        # may still be in flight: sibling attempts only need containment.
+        journey = build_journey()
+        second = journey.new_attempt(1 * MS)
+        hop = second.new_hop("node2", "node1", "request", 1 * MS)
+        hop.close(3 * MS, "abandoned")
+        second.close(3 * MS, "abandoned")
+        assert check_journey(journey) == []
+
+
+class TestDroppedSpanClose:
+    """An instrumentation seam that loses a close event must be caught."""
+
+    def test_unclosed_journey(self):
+        journey = build_journey()
+        journey.end_ns = None
+        assert rules(journey) == ["journey-open"]
+
+    def test_unclosed_attempt(self):
+        journey = build_journey()
+        journey.attempts[0].end_ns = None
+        assert "attempt-open" in rules(journey)
+
+    def test_unclosed_hop(self):
+        journey = build_journey()
+        journey.attempts[0].hops[1].end_ns = None
+        assert "hop-open" in rules(journey)
+
+
+class TestOverlappingPhases:
+    def test_overlapping_retransmit_phase_fires_phase_tiling(self):
+        # the mutation: a retx_wait phase whose begin precedes the previous
+        # air phase's end -- exactly what a double-counted retransmission
+        # cycle would emit if phases were built from raw timestamps
+        # instead of the running boundary.
+        journey = build_journey()
+        hop = journey.attempts[0].hops[0]
+        air = hop.phases[-2]
+        overlap = Phase("retx_wait", air.end_ns - MS // 2, hop.end_ns)
+        hop.phases = list(hop.phases[:-1]) + [overlap]
+        violations = check_journey(journey)
+        assert [v.rule for v in violations] == ["phase-tiling"]
+        assert "overlaps" in violations[0].message
+
+    def test_gap_between_phases_fires_phase_tiling(self):
+        journey = build_journey()
+        hop = journey.attempts[0].hops[0]
+        tail = hop.phases[-1]
+        hop.phases = list(hop.phases[:-1]) + [
+            Phase(tail.name, tail.begin_ns + MS // 4, tail.end_ns)
+        ]
+        violations = check_journey(journey)
+        assert [v.rule for v in violations] == ["phase-tiling"]
+        assert "gap" in violations[0].message
+
+    def test_phases_stopping_short_of_hop_end_fires(self):
+        journey = build_journey()
+        hop = journey.attempts[0].hops[0]
+        hop.phases = hop.phases[:-1]  # drop the tail phase
+        assert "phase-tiling" in rules(journey)
+
+    def test_empty_phase_fires(self):
+        journey = build_journey()
+        hop = journey.attempts[0].hops[0]
+        first = hop.phases[0]
+        hop.phases = [Phase(first.name, first.begin_ns, first.begin_ns)] + \
+            list(hop.phases)
+        assert "phase-tiling" in rules(journey)
+
+    def test_unphased_nonempty_hop_fires(self):
+        journey = build_journey()
+        journey.attempts[0].hops[0].phases = []
+        assert "phase-tiling" in rules(journey)
+
+
+class TestHopChain:
+    def test_gap_between_hops_fires_hop_tiling(self):
+        journey = build_journey()
+        hop2 = journey.attempts[0].hops[1]
+        hop2.begin_ns += MS  # no longer starts where hop1 delivered
+        hop2.phases = compute_phases(
+            hop2.begin_ns, hop2.end_ns, hop2.txs, ok=True
+        )
+        assert "hop-tiling" in rules(journey)
+
+    def test_delivered_attempt_must_reach_its_end(self):
+        journey = build_journey()
+        attempt = journey.attempts[0]
+        attempt.end_ns = 5 * MS  # claims delivery later than the last hop
+        journey.end_ns = 5 * MS
+        assert "attempt-tail" in rules(journey)
+
+
+class TestNegativeAndEscapingSpans:
+    def test_negative_attempt_fires(self):
+        journey = build_journey()
+        journey.attempts[0].end_ns = -1
+        found = rules(journey)
+        assert "negative-span" in found
+
+    def test_attempt_escaping_journey_fires_containment(self):
+        journey = build_journey()
+        journey.attempts[0].end_ns = 9 * MS  # journey closed at 4ms
+        assert "containment" in rules(journey)
+
+    def test_first_attempt_must_anchor_at_journey_begin(self):
+        journey = build_journey()
+        journey.attempts[0].begin_ns = 1 * MS
+        assert "attempt-anchor" in rules(journey)
+
+    def test_journey_must_end_with_its_last_attempt(self):
+        journey = build_journey()
+        journey.end_ns = 9 * MS
+        found = rules(journey)
+        assert "journey-tail" in found

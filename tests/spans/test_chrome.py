@@ -1,0 +1,73 @@
+"""The Chrome-trace (Perfetto) export of a journeys payload.
+
+Perfetto accepts the JSON object form of the Trace Event Format: a
+``traceEvents`` array of ``X``/``M`` events with microsecond ``ts``/
+``dur``.  These tests pin the structural contract on the committed golden
+payload, so the export stays loadable without a browser in the loop.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.spans.chrome import chrome_trace_document, dumps_chrome_trace
+
+GOLDEN = Path(__file__).parent / "golden" / "journeys_line3.json"
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.fixture(scope="module")
+def doc(payload) -> dict:
+    return chrome_trace_document(payload)
+
+
+class TestChromeTraceExport:
+    def test_dumps_is_valid_json(self, payload):
+        parsed = json.loads(dumps_chrome_trace(payload))
+        assert isinstance(parsed["traceEvents"], list)
+
+    def test_document_shape(self, doc):
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"], "no events exported"
+        for event in doc["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_duration_events_are_nonnegative_microseconds(self, doc):
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        for event in xs:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["name"]
+
+    def test_every_journey_becomes_a_process(self, payload, doc):
+        meta_pids = {
+            e["pid"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert len(meta_pids) == len(payload["journeys"])
+
+    def test_phase_events_nest_inside_their_hop(self, doc):
+        # Trace Event nesting contract: a contained X event must begin at
+        # or after its container and end at or before it on the same tid.
+        by_tid = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                key = (event["pid"], event["tid"])
+                by_tid.setdefault(key, []).append(event)
+        saw_nesting = False
+        for events in by_tid.values():
+            events.sort(key=lambda e: (e["ts"], -e["dur"]))
+            for outer, inner in zip(events, events[1:]):
+                if inner["ts"] >= outer["ts"] and (
+                    inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+                ):
+                    saw_nesting = True
+        assert saw_nesting, "no phase nested inside a hop slice"

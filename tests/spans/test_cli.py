@@ -1,0 +1,103 @@
+"""End-to-end ``python -m repro journeys``: artifacts on disk, exit codes."""
+
+import json
+
+import pytest
+
+from repro.exp.cli import main
+from repro.exp.journeyscmd import (
+    _count_guard_reads,
+    ab_config,
+    example_config,
+    run_ab_check,
+    run_journeys,
+)
+from repro.spans.hub import SPANS, SpanHub
+
+#: Short run so the suite stays fast; journeys still complete end to end.
+FAST = [
+    "--set", "duration_s=4.0",
+    "--set", "warmup_s=1.5",
+    "--set", "drain_s=1.0",
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_singleton():
+    SPANS.reset()
+    yield
+    SPANS.reset()
+
+
+def test_journeys_subcommand_writes_artifacts_and_exits_zero(tmp_path, capsys):
+    out = tmp_path / "journeys-out"
+    rc = main(["journeys", "-o", str(out)] + FAST)
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "phases tile exactly" in stdout
+    assert "latency attribution" in stdout
+    payload = json.loads((out / "journeys.json").read_text())
+    assert payload["summary"]["journeys"] > 0
+    assert payload["violations"] == []
+    trace = json.loads((out / "journeys_trace.json").read_text())
+    assert trace["traceEvents"]
+    assert "legend" in (out / "waterfall.txt").read_text()
+
+
+def test_exit_code_keys_off_violations(tmp_path):
+    import dataclasses
+
+    config = dataclasses.replace(
+        example_config("probe"), duration_s=4.0, warmup_s=1.5, drain_s=1.0
+    )
+    report = run_journeys(config, str(tmp_path / "out"))
+    assert report.ok
+    report.violations.append({"time_ns": 0, "journey_id": 0,
+                              "rule": "fake", "message": "injected"})
+    assert not report.ok
+
+
+def test_run_journeys_requires_spans_enabled(tmp_path):
+    import dataclasses
+
+    config = dataclasses.replace(example_config(), spans=False)
+    with pytest.raises(ValueError):
+        run_journeys(config, str(tmp_path / "out"))
+
+
+def test_journeys_subcommand_leaves_the_global_hub_disarmed(tmp_path):
+    main(["journeys", "-o", str(tmp_path / "o")] + FAST)
+    assert not SPANS.enabled
+
+
+class TestAbCheck:
+    def test_guard_count_is_positive_and_class_restored(self):
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            ab_config(), duration_s=3.0, warmup_s=1.0, drain_s=0.5
+        )
+        reads = _count_guard_reads(cfg)
+        assert reads > 0, "no seam evaluated SPANS.enabled"
+        assert type(SPANS) is SpanHub  # the shim must never leak
+        assert not SPANS.enabled
+
+    def test_counting_shim_restored_even_on_error(self, monkeypatch):
+        import repro.exp.journeyscmd as mod
+
+        def boom(cfg):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(mod, "run_experiment", boom)
+        with pytest.raises(RuntimeError):
+            _count_guard_reads(ab_config())
+        assert type(SPANS) is SpanHub
+
+    def test_run_ab_check_shape_and_determinism_of_fields(self):
+        check = run_ab_check(repeats=1)
+        assert check["repeats"] == 1
+        assert check["guard_reads"] > 0
+        assert check["median_wall_s"] > 0
+        assert 0.0 <= check["overhead"]
+        assert check["bar"] == 0.02
+        assert isinstance(check["ok"], bool)

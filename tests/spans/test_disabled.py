@@ -1,0 +1,84 @@
+"""Spans must be free when off and invisible when on.
+
+Two halves of the observability contract:
+
+* **Invisible when on** -- span collection draws no randomness, schedules
+  no timers, and changes no wire bytes, so enabling it must leave the
+  committed golden *trace* of the 3-hop line byte-identical.  (The
+  spans-off direction is covered by ``tests/trace/test_golden.py``
+  itself, which runs the same scenario without spans on every CI pass.)
+* **Free when off** -- the disabled path is a single predicate per seam
+  (``SPANS.enabled``), cheap enough to sit in the BLE exchange loop; the
+  wall-clock A/B gate for the full <2% bar lives in the CI ``journeys``
+  job (``python -m repro journeys --ab-check``).
+"""
+
+from pathlib import Path
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_experiment
+from repro.obs.wallclock import perf_counter
+from repro.spans.hub import SPANS
+from repro.trace.sinks import records_to_jsonl
+
+TRACE_GOLDEN = (
+    Path(__file__).resolve().parents[1] / "trace" / "golden" / "trace_3hop.jsonl"
+)
+
+#: tests/trace/test_golden.py's pinned 3-hop scenario, plus spans.
+THREE_HOP_WITH_SPANS = ExperimentConfig(
+    name="golden-3hop",
+    topology="line",
+    n_nodes=4,
+    duration_s=2.0,
+    warmup_s=1.0,
+    drain_s=0.5,
+    producer_interval_s=0.5,
+    seed=11,
+    drift_ppms=(0.0, 1.5, -2.0, 0.5),
+    trace=True,
+    trace_layers="sixlo,ip,coap",
+    spans=True,
+)
+
+
+class TestSpansDoNotPerturbTheRun:
+    def test_golden_trace_byte_identical_with_spans_on(self):
+        result = run_experiment(THREE_HOP_WITH_SPANS)
+        assert result.spans is not None
+        assert result.spans["summary"]["journeys"] > 0
+        document = records_to_jsonl(result.trace_records)
+        assert document == TRACE_GOLDEN.read_text(), (
+            "enabling spans changed the golden trace: span hooks must not "
+            "draw randomness, schedule timers, or alter wire behaviour"
+        )
+
+    def test_spans_off_run_carries_no_payload(self):
+        config = ExperimentConfig(
+            name="no-spans",
+            topology="line",
+            n_nodes=2,
+            duration_s=2.0,
+            warmup_s=1.0,
+            drain_s=0.5,
+            producer_interval_s=0.5,
+            seed=7,
+        )
+        result = run_experiment(config)
+        assert result.spans is None
+        assert not SPANS.enabled
+
+
+class TestDisabledGuardIsCheap:
+    def test_disabled_guard_is_cheap(self):
+        # mirrors tests/trace/test_tracer.py: 200k guarded no-ops must be
+        # far under any per-run noise floor.  The guard is attribute
+        # access plus a branch -- the same shape the hot seams use.
+        assert not SPANS.enabled
+        hub = SPANS
+        start = perf_counter()
+        for _ in range(200_000):
+            if hub.enabled:  # pragma: no cover - never taken
+                hub.drop("never")
+        elapsed = perf_counter() - start
+        assert elapsed < 0.5, f"disabled guard took {elapsed:.3f}s"
