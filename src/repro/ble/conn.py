@@ -42,6 +42,7 @@ from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.ble.controller import BleController
+    from repro.l2cap.coc import L2capCoc
 
 
 class Role(enum.Enum):
@@ -196,7 +197,9 @@ class Endpoint:
         return pdu
 
     def _trace_tx(self, pdu: DataPdu, t: int, retx: bool) -> None:
-        """Emit one ``ble.ll_tx`` record (caller checks ``TRACE.enabled``)."""
+        """Emit one ``ble.ll_tx`` record (no-op when tracing is off)."""
+        if not TRACE.enabled:
+            return
         TRACE.emit(
             t, "ble", "ll_tx",
             conn=self.conn.conn_id, role=self.role.value,
@@ -276,6 +279,10 @@ class Connection:
     """
 
     _next_id = 0
+
+    #: The connection's shared IPSP channel, cached by ``coc_of`` on first
+    #: use (both endpoints' netifs must drive the same object).
+    _ipsp_coc: Optional["L2capCoc"]
 
     def __init__(
         self,

@@ -325,14 +325,14 @@ class ParallelEngine:
         """Block until at least one worker produces, dies, or times out."""
         timeout = None
         if self.timeout_s is not None:
-            now = monotonic()
+            now_s = monotonic()
             deadlines = [w.started + self.timeout_s for w in active]
-            timeout = max(0.0, min(deadlines) - now)
+            timeout = max(0.0, min(deadlines) - now_s)
         waitables = [w.conn for w in active if not w.got_msg]
         waitables += [w.proc.sentinel for w in active]
         ready = set(_mp_wait(waitables, timeout))
 
-        now = monotonic()
+        now_s = monotonic()
         finished: List[_Active] = []
         for worker in active:
             if worker.conn in ready and not worker.got_msg:
@@ -345,7 +345,7 @@ class ParallelEngine:
                 finished.append(worker)
             elif (
                 self.timeout_s is not None
-                and now - worker.started > self.timeout_s
+                and now_s - worker.started > self.timeout_s
             ):
                 worker.proc.terminate()
                 worker.msg = (

@@ -40,7 +40,7 @@ from repro.obs.registry import METRICS
 from repro.obs.sampler import MetricsSnapshotter
 from repro.phy.medium import InterferenceModel
 from repro.sim import RngRegistry
-from repro.sim.units import SEC, s_to_ns
+from repro.sim.units import MSEC, SEC, s_to_ns
 from repro.spans.hub import SPANS
 from repro.testbed.dynamic import DynamicBleNetwork
 from repro.testbed.iotlab import JAMMED_CHANNEL
@@ -165,7 +165,7 @@ class ExperimentRunner:
             base_ber=cfg.base_ber, jammed_channels=(JAMMED_CHANNEL,)
         )
         chan_map = ChannelMap.excluding([JAMMED_CHANNEL])
-        max_event_len_ns = int(cfg.max_event_len_ms * 1_000_000)
+        max_event_len_ns = int(cfg.max_event_len_ms * MSEC)
 
         def ble_factory(node_id: int) -> BleConfig:
             return BleConfig(
@@ -232,8 +232,8 @@ class ExperimentRunner:
             interval_mid_ns = (probe.lo_ns + probe.hi_ns) // 2
         else:
             interval_mid_ns = probe.interval_ns
-        duty_scale = min(max(1.0, interval_mid_ns / (75 * 1_000_000)), 2.0)
-        max_event_len_ns = int(cfg.max_event_len_ms * 1_000_000 * duty_scale)
+        duty_scale = min(max(1.0, interval_mid_ns / (75 * MSEC)), 2.0)
+        max_event_len_ns = int(cfg.max_event_len_ms * MSEC * duty_scale)
 
         def ble_factory(node_id: int) -> BleConfig:
             return BleConfig(

@@ -1,0 +1,92 @@
+"""Whole-project analysis cache: warm re-lints in well under a second.
+
+The interprocedural engine parses every file and runs three fixpoints;
+on a cold tree that is a few seconds.  The cache keys a full lint run on
+a single sha256 over (a) every target file's path and content hash and
+(b) every file of :mod:`repro.lint` itself, so *any* source edit or rule
+change invalidates it -- there is no partial invalidation to get wrong.
+A hit replays the stored findings verbatim; a miss lints and stores.
+
+The cache file is versioned JSON, safe to commit to a CI cache keyed on
+the same hash, and safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.core import Finding
+
+CACHE_SCHEMA = "repro.lint.cache/1"
+
+
+def _lint_package_files() -> List[Path]:
+    return sorted(Path(__file__).resolve().parent.glob("*.py"))
+
+
+def source_hash(targets: Sequence[Path]) -> str:
+    """One sha256 over the target set *and* the linter's own sources."""
+    digest = hashlib.sha256()
+    for path in list(targets) + _lint_package_files():
+        digest.update(str(path).encode("utf-8"))
+        digest.update(b"\0")
+        try:
+            digest.update(hashlib.sha256(path.read_bytes()).digest())
+        except OSError:
+            digest.update(b"<unreadable>")
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def load_cached(cache_file: Path, key: str) -> Optional[List[Finding]]:
+    """Stored findings for ``key``, or None on any mismatch/corruption."""
+    try:
+        doc = json.loads(Path(cache_file).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(doc, dict)
+        or doc.get("schema") != CACHE_SCHEMA
+        or doc.get("key") != key
+        or not isinstance(doc.get("findings"), list)
+    ):
+        return None
+    out: List[Finding] = []
+    try:
+        for item in doc["findings"]:
+            out.append(
+                Finding(
+                    code=item["code"],
+                    alias=item["alias"],
+                    severity=item["severity"],
+                    path=item["path"],
+                    module=item["module"],
+                    line=item["line"],
+                    col=item["col"],
+                    message=item["message"],
+                    text=item.get("text", ""),
+                )
+            )
+    except (KeyError, TypeError):
+        return None
+    return out
+
+
+def store(cache_file: Path, key: str, findings: Sequence[Finding]) -> None:
+    """Write the cache atomically (best effort; failures are non-fatal)."""
+    doc = {
+        "schema": CACHE_SCHEMA,
+        "key": key,
+        "findings": [f.to_dict() for f in findings],
+    }
+    cache_file = Path(cache_file)
+    try:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cache_file.with_suffix(cache_file.suffix + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=0) + "\n", encoding="utf-8")
+        tmp.replace(cache_file)
+    except OSError:
+        pass

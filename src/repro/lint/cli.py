@@ -39,7 +39,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -64,6 +64,25 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="SL00X",
+        help="print one rule's rationale/example/suppression page and exit",
+    )
+    parser.add_argument(
+        "--shared-state-report",
+        default=None,
+        metavar="FILE",
+        help="write the SL009 shared-state survey (JSON) to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="reuse/store findings in FILE, keyed on a hash of every target"
+        " and linter source file (warm re-lints are sub-second)",
     )
 
 
@@ -94,18 +113,65 @@ def _render_text(
     stream.write(summary + "\n")
 
 
+def _write_shared_state_report(
+    targets: List[Path], destination: str, out: TextIO
+) -> None:
+    """Emit the SL009 survey (module globals + instance state) as JSON."""
+    from repro.lint.core import build_project
+    from repro.lint.purity import compute_shared_state
+
+    report = compute_shared_state(build_project(targets)).report()
+    text = json.dumps(report, indent=2) + "\n"
+    if destination == "-":
+        out.write(text)
+    else:
+        Path(destination).write_text(text, encoding="utf-8")
+        print(
+            f"simlint: shared-state report written to {destination}",
+            file=sys.stderr,
+        )
+
+
 def run_lint(args: argparse.Namespace, stream: Optional[TextIO] = None) -> int:
     """Execute the lint subcommand; returns the process exit code."""
     out = stream if stream is not None else sys.stdout
     if args.list_rules:
         _print_rules(out)
         return 0
+    if args.explain:
+        from repro.lint.explain import explain
+
+        page = explain(args.explain)
+        if page is None:
+            print(f"simlint: unknown rule {args.explain!r}", file=sys.stderr)
+            return 2
+        out.write(page)
+        return 0
     targets = [Path(p) for p in args.paths] or [default_target()]
     missing = [str(p) for p in targets if not p.exists()]
     if missing:
         print(f"simlint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
-    findings = lint_paths(targets)
+
+    if args.shared_state_report:
+        _write_shared_state_report(targets, args.shared_state_report, out)
+        if args.shared_state_report == "-":
+            return 0  # report-only mode: keep stdout pure JSON
+
+    findings: Optional[List[Finding]] = None
+    cache_key: Optional[str] = None
+    if args.cache:
+        from repro.lint.cache import load_cached, source_hash
+        from repro.lint.core import iter_python_files
+
+        cache_key = source_hash(list(iter_python_files(targets)))
+        findings = load_cached(Path(args.cache), cache_key)
+    if findings is None:
+        findings = lint_paths(targets)
+        if args.cache and cache_key is not None:
+            from repro.lint.cache import store
+
+            store(Path(args.cache), cache_key, findings)
 
     if args.write_baseline:
         if not args.baseline:
@@ -138,7 +204,11 @@ def run_lint(args: argparse.Namespace, stream: Optional[TextIO] = None) -> int:
         findings = fresh
 
     files_hint = ", ".join(str(t) for t in targets)
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        out.write(render_sarif(findings))
+    elif args.format == "json":
         doc = {
             "schema": "repro.lint.report/1",
             "targets": [str(t) for t in targets],

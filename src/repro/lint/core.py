@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.graph import Project
     from repro.lint.rules import Rule
 
 SEVERITY_ERROR = "error"
@@ -108,6 +109,10 @@ class FileContext:
     source: str
     lines: list[str]
     tree: ast.Module
+    #: Whole-program context (symbol table, call graph, lazy analyses).
+    #: Always set by the engine -- a single-file lint gets a single-file
+    #: project -- but Optional so hand-built contexts stay constructible.
+    project: Optional["Project"] = None
 
     def line_text(self, lineno: int) -> str:
         """The stripped source text of a 1-based line (empty if out of range)."""
@@ -156,6 +161,8 @@ class Suppressions:
 
     #: line (1-based) -> set of suppressed rule codes on that line.
     by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: line (1-based) -> the mandatory reason text (feeds the SL009 report).
+    reasons: dict[int, str] = field(default_factory=dict)
     #: engine findings about the suppressions themselves (missing reason, ...).
     problems: list[Finding] = field(default_factory=list)
 
@@ -249,13 +256,16 @@ def parse_suppressions(
             codes.add(code)
         if not ok or not codes:
             continue
+        reason = match.group("reason") or ""
         out.by_line.setdefault(lineno, set()).update(codes)
+        out.reasons.setdefault(lineno, reason)
         if standalone:
             # standalone comment: covers the code line it annotates, skipping
             # over the rest of the comment block and any blank lines.
             j = lineno + 1
             while j <= len(ctx.lines):
                 out.by_line.setdefault(j, set()).update(codes)
+                out.reasons.setdefault(j, reason)
                 stripped = ctx.lines[j - 1].strip()
                 if stripped and not stripped.startswith("#"):
                     break
@@ -284,38 +294,23 @@ def _alias_map(rules: Sequence["Rule"]) -> dict[str, str]:
     return mapping
 
 
-def lint_source(
-    source: str,
-    path: Path | str,
-    *,
-    rules: Optional[Iterable["Rule"]] = None,
-    module: Optional[str] = None,
-) -> list[Finding]:
-    """Lint ``source`` as if it lived at ``path``; returns sorted findings.
-
-    The ``path``/``module`` indirection is what makes the mutation tests
-    possible: callers can lint hypothetical file contents under a real
-    module identity (e.g. a ``time.time()`` grafted into ``repro.ble.conn``)
-    without touching the working tree.
-    """
-    active = _resolve_rules(rules)
-    path = Path(path)
-    modname = module if module is not None else module_name_for(path)
+def _parse_context(
+    source: str, path: Path, modname: str
+) -> tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse one file into a context, or an SL000 parse finding."""
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                META_CODE,
-                META_ALIAS,
-                SEVERITY_ERROR,
-                str(path),
-                modname,
-                exc.lineno or 1,
-                (exc.offset or 1) - 1,
-                f"could not parse file: {exc.msg}",
-            )
-        ]
+        return None, Finding(
+            META_CODE,
+            META_ALIAS,
+            SEVERITY_ERROR,
+            str(path),
+            modname,
+            exc.lineno or 1,
+            (exc.offset or 1) - 1,
+            f"could not parse file: {exc.msg}",
+        )
     ctx = FileContext(
         path=path,
         module=modname,
@@ -323,10 +318,15 @@ def lint_source(
         lines=source.splitlines(),
         tree=tree,
     )
+    return ctx, None
+
+
+def _check_context(ctx: FileContext, active: Sequence["Rule"]) -> list[Finding]:
+    """Run every rule over one parsed context; filter suppressions, sort."""
     suppressions = parse_suppressions(ctx, _alias_map(active))
     findings: list[Finding] = []
     for rule in active:
-        if modname in rule.allowed_modules:
+        if ctx.module in rule.allowed_modules:
             continue
         findings.extend(rule.check(ctx))
     # nested expressions (e.g. chained BinOps) can report one defect several
@@ -344,10 +344,40 @@ def lint_source(
     return kept
 
 
+def lint_source(
+    source: str,
+    path: Path | str,
+    *,
+    rules: Optional[Iterable["Rule"]] = None,
+    module: Optional[str] = None,
+    project: Optional["Project"] = None,
+) -> list[Finding]:
+    """Lint ``source`` as if it lived at ``path``; returns sorted findings.
+
+    The ``path``/``module`` indirection is what makes the mutation tests
+    possible: callers can lint hypothetical file contents under a real
+    module identity (e.g. a ``time.time()`` grafted into ``repro.ble.conn``)
+    without touching the working tree.  Without an explicit ``project``
+    the file is analysed as a single-file program, so the interprocedural
+    rules still see laundering chains that live within the file.
+    """
+    from repro.lint.graph import Project
+
+    active = _resolve_rules(rules)
+    path = Path(path)
+    modname = module if module is not None else module_name_for(path)
+    ctx, parse_failure = _parse_context(source, path, modname)
+    if ctx is None:
+        assert parse_failure is not None
+        return [parse_failure]
+    ctx.project = project if project is not None else Project.from_contexts([ctx])
+    return _check_context(ctx, active)
+
+
 def lint_path(
     path: Path | str, *, rules: Optional[Iterable["Rule"]] = None
 ) -> list[Finding]:
-    """Lint one file on disk."""
+    """Lint one file on disk (as a single-file program)."""
     path = Path(path)
     return lint_source(path.read_text(encoding="utf-8"), path, rules=rules)
 
@@ -366,13 +396,55 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             yield entry
 
 
+def build_project(paths: Iterable[Path | str]) -> "Project":
+    """Parse every file under ``paths`` into one whole-program Project.
+
+    Used by ``--shared-state-report`` (and tests) to run the analyses
+    without collecting findings; unparseable files are skipped.
+    """
+    from repro.lint.graph import Project
+
+    contexts: list[FileContext] = []
+    for file in iter_python_files(paths):
+        ctx, _ = _parse_context(
+            Path(file).read_text(encoding="utf-8"), Path(file), module_name_for(file)
+        )
+        if ctx is not None:
+            contexts.append(ctx)
+    project = Project.from_contexts(contexts)
+    for ctx in contexts:
+        ctx.project = project
+    return project
+
+
 def lint_paths(
     paths: Iterable[Path | str], *, rules: Optional[Iterable["Rule"]] = None
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directory trees)."""
+    """Lint every ``.py`` file under ``paths`` as ONE program.
+
+    All files parse first, one :class:`~repro.lint.graph.Project` is built
+    over the whole set, and every rule then sees each file with the shared
+    whole-program context -- this is what lets SL001/SL002/SL005 taint flow
+    across modules and SL009 trace reachability from the kernel.
+    """
+    from repro.lint.graph import Project
+
     active = _resolve_rules(rules)
     findings: list[Finding] = []
+    contexts: list[FileContext] = []
     for file in iter_python_files(paths):
-        findings.extend(lint_path(file, rules=active))
+        modname = module_name_for(file)
+        ctx, parse_failure = _parse_context(
+            file.read_text(encoding="utf-8"), Path(file), modname
+        )
+        if ctx is None:
+            assert parse_failure is not None
+            findings.append(parse_failure)
+        else:
+            contexts.append(ctx)
+    project = Project.from_contexts(contexts)
+    for ctx in contexts:
+        ctx.project = project
+        findings.extend(_check_context(ctx, active))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

@@ -1,22 +1,28 @@
-"""The simlint rule set: SL001..SL006.
+"""The simlint rule set: SL001..SL009.
 
 Each rule targets a property the simulator's results actually depend on
-(see :mod:`repro.lint`).  Rules are small AST walkers over a shared
+(see :mod:`repro.lint`).  Rules are AST walkers over a shared
 :class:`repro.lint.core.FileContext`; they never execute the code under
-analysis.  False-positive escapes are inline suppressions with a mandatory
-reason -- the rules err toward flagging, the suppression inventory stays
-auditable.
+analysis.  Since simlint 2.0 every context also carries a whole-program
+:class:`repro.lint.graph.Project`, so SL001/SL002/SL005 flag *laundered*
+sources through call chains (:mod:`repro.lint.taint`), SL003 sees
+set-returning functions, and SL007..SL009 are interprocedural by nature.
+False-positive escapes are inline suppressions with a mandatory reason --
+the rules err toward flagging, the suppression inventory stays auditable.
 
-+--------+------------+---------------------------------------------------+
-| code   | alias      | property enforced                                 |
-+========+============+===================================================+
-| SL001  | wallclock  | no wall-clock reads outside profiler modules      |
-| SL002  | rng        | all randomness flows through repro.sim.rng        |
-| SL003  | set-order  | no order-sensitive iteration over sets            |
-| SL004  | float-time | no float arithmetic/equality on integer sim time  |
-| SL005  | env        | no environment/CPU introspection outside the CLI  |
-| SL006  | magic-time | protocol timing literals must be named constants  |
-+--------+------------+---------------------------------------------------+
++--------+----------------+-----------------------------------------------+
+| code   | alias          | property enforced                             |
++========+================+===============================================+
+| SL001  | wallclock      | no wall-clock reads outside profiler modules  |
+| SL002  | rng            | all randomness flows through repro.sim.rng    |
+| SL003  | set-order      | no order-sensitive iteration over sets        |
+| SL004  | float-time     | no float arith/equality on integer sim time   |
+| SL005  | env            | no env/CPU introspection outside the CLI      |
+| SL006  | magic-time     | timing literals must be named constants       |
+| SL007  | unit-mix       | no cross-unit time arithmetic/API crossings   |
+| SL008  | instr-guard    | hot-path hub calls sit behind .enabled        |
+| SL009  | shared-state   | dispatch-reachable mutable globals sanctioned |
++--------+----------------+-----------------------------------------------+
 """
 
 from __future__ import annotations
@@ -54,6 +60,41 @@ class Rule:
             message,
             ctx.line_text(lineno),
         )
+
+    def finding_at(
+        self, ctx: FileContext, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            self.code,
+            self.alias,
+            self.severity,
+            str(ctx.path),
+            ctx.module,
+            line,
+            col,
+            message,
+            ctx.line_text(line),
+        )
+
+    def _taint_findings(self, ctx: FileContext, kind: str, fix: str) -> Iterator[Finding]:
+        """Flow-aware half of SL001/SL002/SL005: tainted project calls."""
+        if ctx.project is None:
+            return
+        from repro.lint.taint import compute_taint
+
+        analysis = compute_taint(ctx.project)
+        for found_kind, _fn, site in analysis.call_site_findings(ctx.module):
+            if found_kind != kind:
+                continue
+            how = "wrapped in functools.partial" if site.via_partial else "called"
+            yield self.finding_at(
+                ctx,
+                site.line,
+                site.col,
+                f"'{site.chain[1].rsplit('.', 1)[-1]}' is {how} here and"
+                f" launders {site.chain[-1]} (chain:"
+                f" {site.render_chain()}) -- {fix}",
+            )
 
 
 def _terminal_name(node: ast.AST) -> Optional[str]:
@@ -175,6 +216,11 @@ class WallclockRule(Rule):
                         f"wall-clock read '{called}()' -- timestamps must come"
                         " from sim time, not the host calendar",
                     )
+        yield from self._taint_findings(
+            ctx,
+            "wallclock",
+            "route through repro.obs.wallclock or take sim time as a parameter",
+        )
 
 
 # -- SL002: randomness -------------------------------------------------------
@@ -285,28 +331,56 @@ class RngRule(Rule):
                             " all randomness must derive from the experiment"
                             " seed via RngRegistry",
                         )
+        yield from self._taint_findings(
+            ctx,
+            "rng",
+            "take a seeded random.Random from repro.sim.rng instead",
+        )
 
 
 # -- SL003: set iteration order ----------------------------------------------
 
 
-def _is_setish(node: ast.AST, tainted: Set[str]) -> bool:
-    """Does ``node`` evaluate to a set (literal, ctor, or tainted local)?"""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if (
+def _is_sorted_call(node: ast.AST) -> bool:
+    return (
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Name)
-        and node.func.id in ("set", "frozenset")
-    ):
+        and node.func.id == "sorted"
+    )
+
+
+def _is_setish(
+    node: ast.AST,
+    tainted: Set[str],
+    is_set_call: Optional["_SetCallPredicate"] = None,
+) -> bool:
+    """Does ``node`` evaluate to a set (literal, ctor, tainted local, or a
+    call to a set-returning project function)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
         return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        # interprocedural: `helper()` where helper is proven set-returning.
+        # sorted(...) is a Call and lands here too -> never setish, so
+        # `sorted(helper())` launders at every consumer.
+        return is_set_call is not None and is_set_call(node)
     if isinstance(node, ast.Name) and node.id in tainted:
         return True
+    if isinstance(node, ast.GeneratorExp) and node.generators:
+        # a genexp streams its source's order; one wrapping an immediate
+        # sorted(...) is deterministic and must stay clean.
+        source = node.generators[0].iter
+        if _is_sorted_call(source):
+            return False
+        return _is_setish(source, tainted, is_set_call)
     if isinstance(node, ast.BinOp) and isinstance(
         node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
     ):
         # set algebra propagates taint: (a | b) is a set if either side is.
-        return _is_setish(node.left, tainted) or _is_setish(node.right, tainted)
+        return _is_setish(node.left, tainted, is_set_call) or _is_setish(
+            node.right, tainted, is_set_call
+        )
     return False
 
 
@@ -315,6 +389,36 @@ def _is_set_annotation(node: Optional[ast.expr]) -> bool:
         return False
     name = _terminal_name(node if not isinstance(node, ast.Subscript) else node.value)
     return name in ("set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet")
+
+
+class _SetCallPredicate:
+    """Resolve a call node to "returns a set" via the project call graph.
+
+    Covers bare names (``neighbours(...)``) and single-dotted module
+    attributes (``topo.neighbours(...)``); deeper chains and method calls
+    stay unresolved -- conservative silence, not a false positive.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self._project = ctx.project
+        self._module = ctx.module
+        self._returning: frozenset = frozenset()
+        if self._project is not None:
+            from repro.lint.taint import compute_taint
+
+            self._returning = frozenset(compute_taint(self._project).set_returning)
+
+    def __call__(self, node: ast.Call) -> bool:
+        if not self._returning or self._project is None:
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            target = self._project.resolve_module_name(self._module, func.id)
+            return target in self._returning
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            head = self._project.resolve_module_name(self._module, func.value.id)
+            return head is not None and f"{head}.{func.attr}" in self._returning
+        return False
 
 
 class SetIterRule(Rule):
@@ -341,10 +445,11 @@ class SetIterRule(Rule):
         # set-annotated targets and parameters).  File-global taint is the
         # "lite" in taint-lite: a rare same-name collision across functions
         # over-flags, and the escape hatch is an annotated suppression.
+        is_set_call = _SetCallPredicate(ctx)
         tainted: Set[str] = set()
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Assign):
-                if _is_setish(node.value, tainted):
+                if _is_setish(node.value, tainted, is_set_call):
                     for target in node.targets:
                         if isinstance(target, ast.Name):
                             tainted.add(target.id)
@@ -352,7 +457,8 @@ class SetIterRule(Rule):
                 node.target, ast.Name
             ):
                 if _is_set_annotation(node.annotation) or (
-                    node.value is not None and _is_setish(node.value, tainted)
+                    node.value is not None
+                    and _is_setish(node.value, tainted, is_set_call)
                 ):
                     tainted.add(node.target.id)
             elif isinstance(node, ast.arg) and _is_set_annotation(node.annotation):
@@ -373,14 +479,11 @@ class SetIterRule(Rule):
                 if (name in self._ORDER_SINKS or attr == "join") and node.args:
                     iters.append(node.args[0])
             for it in iters:
-                # sorted(...) / sorted(..., key=...) launders the taint.
-                if (
-                    isinstance(it, ast.Call)
-                    and isinstance(it.func, ast.Name)
-                    and it.func.id == "sorted"
-                ):
+                # sorted(...) / sorted(..., key=...) launders the taint --
+                # including sorted(<set-returning call>).
+                if _is_sorted_call(it):
                     continue
-                if _is_setish(it, tainted):
+                if _is_setish(it, tainted, is_set_call):
                     yield self.finding(
                         ctx,
                         it,
@@ -556,6 +659,11 @@ class EnvRule(Rule):
                     " host introspection makes runs machine-dependent; pass"
                     " the value as explicit config",
                 )
+        yield from self._taint_findings(
+            ctx,
+            "env",
+            "read the environment in repro.exp.cli and pass explicit config",
+        )
 
 
 # -- SL006: magic timing literals --------------------------------------------
@@ -656,6 +764,108 @@ class MagicTimingRule(Rule):
         return None
 
 
+# -- SL007: time-unit inference ----------------------------------------------
+
+
+class UnitMixRule(Rule):
+    """SL007: unit-suffixed time values must not mix across units or APIs.
+
+    The lattice lives in :mod:`repro.lint.units`: names type from their
+    ``_ns``/``_us``/``_ms``/``_s`` suffixes, ``repro.sim.units`` constants
+    and converters move between points, and the rule fires only when *both*
+    sides of an arithmetic, assignment, return, or call-argument binding
+    are known and disagree.  ``150 * USEC`` (conversion) and ``t_ns / SEC``
+    (ratio) are typed correctly, not flagged.
+    """
+
+    code = "SL007"
+    alias = "unit-mix"
+    summary = "no cross-unit time arithmetic or suffix-violating bindings"
+    allowed_modules = frozenset({"repro.sim.units"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from repro.lint.units import infer_module_units
+
+        for mix, fn_name in infer_module_units(ctx.tree, ctx.module, ctx.project):
+            where = f" [in {fn_name}()]" if fn_name else ""
+            yield self.finding_at(ctx, mix.line, mix.col, mix.message + where)
+
+
+# -- SL008: instrumentation guards -------------------------------------------
+
+
+class InstrumentationGuardRule(Rule):
+    """SL008: hot-path hub calls must sit behind their ``.enabled`` check.
+
+    The disabled-overhead budget (<2%, enforced dynamically by
+    ``--ab-check``) only holds if every ``METRICS``/``TRACE``/``SPANS``
+    touch on the kernel/BLE/L2CAP/IP dispatch path is skipped by a branch
+    when the subsystem is off.  :mod:`repro.lint.purity` proves this
+    statically, accepting direct guards, hoisted ``x = HUB.enabled``
+    locals, compound tests, and caller-side guards (a greatest fixpoint
+    over the call graph handles helpers documented as "caller checks").
+    """
+
+    code = "SL008"
+    alias = "instr-guard"
+    summary = "hot-path METRICS/TRACE/SPANS calls must be behind .enabled"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        from repro.lint.purity import compute_guards
+
+        analysis = compute_guards(ctx.project)
+        for fn, touch, detail in analysis.unguarded_touches(ctx.module):
+            what = "store to" if touch.kind == "store" else "call on"
+            yield self.finding_at(
+                ctx,
+                touch.line,
+                touch.col,
+                f"hot-path {what} {touch.hub} in {fn.name}() is not dominated"
+                f" by '{touch.hub}.enabled' {detail} -- guard it (or hoist"
+                f" 'if {touch.hub}.enabled:' around the block)",
+            )
+
+
+# -- SL009: shared mutable state ---------------------------------------------
+
+
+class SharedStateRule(Rule):
+    """SL009: dispatch-reachable mutable globals must be sanctioned.
+
+    A lookahead-parallel kernel dispatches independent connection clusters
+    concurrently; any module-level mutable object referenced from the
+    dispatch closure is a data race in waiting.  Every such global must
+    carry ``# simlint: allow-shared-state -- <reason>``: the suppression
+    inventory *is* the work list for the parallel-kernel PR, and the full
+    machine-readable report comes from ``--shared-state-report``.
+    """
+
+    code = "SL009"
+    alias = "shared-state"
+    summary = "dispatch-reachable mutable globals need allow-shared-state"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.project is None:
+            return
+        from repro.lint.purity import compute_shared_state
+
+        analysis = compute_shared_state(ctx.project)
+        for entry in analysis.violations(ctx.module):
+            name = entry.qualname.rsplit(".", 1)[-1]
+            yield self.finding_at(
+                ctx,
+                entry.line,
+                0,
+                f"module-level mutable '{name}' ({entry.value_type}) is"
+                " reachable from Simulator dispatch and would be shared"
+                " across parallel connection clusters -- make it immutable,"
+                " move it into per-run state, or sanction it with"
+                " '# simlint: allow-shared-state -- <reason>'",
+            )
+
+
 # -- registry ----------------------------------------------------------------
 
 
@@ -668,6 +878,9 @@ def default_rules() -> List[Rule]:
         FloatTimeRule(),
         EnvRule(),
         MagicTimingRule(),
+        UnitMixRule(),
+        InstrumentationGuardRule(),
+        SharedStateRule(),
     ]
 
 

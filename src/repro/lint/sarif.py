@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 output for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+format code hosts ingest natively; emitting it makes simlint findings
+uploadable as CI artifacts and viewable inline on pull requests.  The
+document is deliberately minimal but valid: one run, one driver, the
+full rule table (so every ``ruleId`` resolves), and one result per
+finding with a physical location and the same stable fingerprint the
+baseline machinery uses (``partialFingerprints`` lets ingesters track a
+finding across line-number churn exactly like ``--baseline`` does).
+
+Everything is emitted in deterministic order: rules sorted by code,
+results in the engine's (path, line, col, code) order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.core import SEVERITY_ERROR, Finding
+from repro.lint.rules import default_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: simlint severity -> SARIF result level.
+_LEVELS: Dict[str, str] = {SEVERITY_ERROR: "error", "warning": "warning"}
+
+
+def _rules_metadata() -> List[dict]:
+    out = []
+    for rule in sorted(default_rules(), key=lambda r: r.code):
+        out.append(
+            {
+                "id": rule.code,
+                "name": rule.alias,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(rule.severity, "warning")
+                },
+            }
+        )
+    return out
+
+
+def sarif_document(findings: Sequence[Finding]) -> dict:
+    """Build the SARIF 2.1.0 document for ``findings``."""
+    results = []
+    for f in findings:
+        results.append(
+            {
+                "ruleId": f.code,
+                "level": _LEVELS.get(f.severity, "warning"),
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"simlint/v1": f.fingerprint()},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "https://example.invalid/simlint",
+                        "rules": _rules_metadata(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The SARIF document as pretty-printed JSON text."""
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=False) + "\n"

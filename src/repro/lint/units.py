@@ -1,0 +1,449 @@
+"""Time-unit inference: the lattice behind rule SL007.
+
+Every simulator timestamp is integer nanoseconds, but the codebase also
+carries microsecond spec fields (``conn_interval`` units), millisecond
+config knobs, and float seconds in reports.  The convention is the name
+suffix: ``*_ns``, ``*_us``, ``*_ms``, ``*_s``.  This module types
+expressions against that convention and flags the mixes the convention
+exists to prevent:
+
+* ``a_ns + b_ms`` (cross-unit arithmetic; also ``-``, ``%``, comparisons),
+* ``x_ms = <ns-typed expression>`` (suffix lies about the content),
+* ``return <ms-typed>`` from ``def ..._ns()`` (API suffix lies),
+* ``f(x_us)`` binding to a parameter named ``y_ms`` (cross-API mix), and
+* a unit-typed value crossing a *public* project API into a parameter
+  with no unit suffix at all (the unit is erased at the boundary).
+
+The lattice: ``UNITLESS`` (plain numbers, ratios) is bottom; ``ns``,
+``us``, ``ms``, ``s`` are incomparable points; ``UNKNOWN`` is top (no
+opinion -- never flagged).  Inference is a single forward pass per
+function: parameter and local names type from their suffixes and
+assignments; ``repro.sim.units`` constants (``USEC`` et al.) are
+ns-valued scale factors, so ``150 * USEC`` is ``ns`` -- exactly the
+conversion idiom; ``t_ns / SEC`` divides ns by ns and yields a unitless
+ratio -- exactly the reporting idiom; the ``ns_to_s`` family maps between
+points.  Anything the pass cannot prove stays ``UNKNOWN`` and silent:
+SL007 is tuned to only speak when both sides are known.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.graph import FunctionInfo, Project, dotted, terminal_name
+
+#: Lattice points.
+UNITLESS = "unitless"
+NS = "ns"
+US = "us"
+MS = "ms"
+S = "s"
+UNKNOWN = "unknown"
+
+UNIT_POINTS = (NS, US, MS, S)
+
+#: name suffix -> unit point.
+SUFFIXES: Dict[str, str] = {"_ns": NS, "_us": US, "_ms": MS, "_s": S}
+
+#: bare names the integer-time convention types as ns (mirrors SL004).
+BARE_NS_NAMES = frozenset({"now", "when", "deadline", "anchor_point"})
+
+#: repro.sim.units scale constants: ns-valued multipliers.
+SCALE_CONSTANTS = frozenset({"NSEC", "USEC", "MSEC", "SEC"})
+
+#: scale constant -> the unit it converts *from*: a count in that unit
+#: times the constant yields ns (``window_s * SEC``, ``len_ms * MSEC``).
+_SCALE_SOURCE: Dict[str, str] = {"NSEC": NS, "USEC": US, "MSEC": MS, "SEC": S}
+
+#: repro.sim.units converters: function name -> result unit.
+CONVERTERS: Dict[str, str] = {
+    "ns_to_s": S,
+    "ns_to_ms": MS,
+    "ns_to_us": US,
+    "s_to_ns": NS,
+    "ms_to_ns": NS,
+    "us_to_ns": NS,
+}
+
+#: builtins transparent to units (unit of the join of their arguments).
+TRANSPARENT_CALLS = frozenset({"min", "max", "abs", "round", "int", "sum", "float"})
+
+
+def suffix_unit(name: str) -> str:
+    """Unit implied by an identifier's suffix (or bare-name convention)."""
+    for suffix, unit in SUFFIXES.items():
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return unit
+    if name.lstrip("_") in BARE_NS_NAMES:
+        return NS
+    return UNKNOWN
+
+
+@dataclass(frozen=True)
+class UnitMix:
+    """One detected cross-unit defect."""
+
+    line: int
+    col: int
+    message: str
+
+
+class FunctionUnits:
+    """Forward unit-inference over one function (or module) body."""
+
+    def __init__(
+        self,
+        body: List[ast.stmt],
+        fn_name: Optional[str],
+        param_names: List[str],
+        project: Optional[Project],
+        module: str,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.fn_name = fn_name
+        self.env: Dict[str, str] = {}
+        self.mixes: List[UnitMix] = []
+        for param in param_names:
+            unit = suffix_unit(param)
+            if unit is not UNKNOWN:
+                self.env[param] = unit
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    # -- statements ----------------------------------------------------
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_unit = self.unit_of(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, value_unit, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            value_unit = self.unit_of(stmt.value) if stmt.value else UNKNOWN
+            self._bind_target(stmt.target, value_unit, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            target_unit = self.unit_of(stmt.target)
+            value_unit = self.unit_of(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mod)):
+                self._check_mix(target_unit, value_unit, stmt, "augmented assignment")
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._visit_expr(stmt.value)
+            if self.fn_name is not None:
+                declared = suffix_unit(self.fn_name)
+                actual = self.unit_of(stmt.value)
+                if (
+                    declared in UNIT_POINTS
+                    and actual in UNIT_POINTS
+                    and declared != actual
+                ):
+                    self.mixes.append(
+                        UnitMix(
+                            stmt.lineno,
+                            stmt.col_offset,
+                            f"function '{self.fn_name}' is suffixed"
+                            f" '{declared}' but returns a value inferred as"
+                            f" '{actual}' -- convert (repro.sim.units) or fix"
+                            " the name",
+                        )
+                    )
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._visit_stmt(child)
+                elif isinstance(child, ast.expr):
+                    self._visit_expr(child)
+
+    def _bind_target(self, target: ast.expr, value_unit: str, stmt: ast.stmt) -> None:
+        name = target.id if isinstance(target, ast.Name) else None
+        if name is None:
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            else:
+                return
+        declared = suffix_unit(name)
+        if declared in UNIT_POINTS and value_unit in UNIT_POINTS and declared != value_unit:
+            self.mixes.append(
+                UnitMix(
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"'{name}' is suffixed '{declared}' but is assigned a value"
+                    f" inferred as '{value_unit}' -- convert via repro.sim.units"
+                    " or rename",
+                )
+            )
+        if isinstance(target, ast.Name):
+            if value_unit is not UNKNOWN:
+                self.env[name] = value_unit
+            elif declared is not UNKNOWN:
+                self.env[name] = declared
+
+    # -- expressions ---------------------------------------------------
+
+    def _visit_expr(self, expr: ast.expr) -> None:
+        """Walk for defects without needing the resulting unit."""
+        self.unit_of(expr)
+
+    def _check_mix(
+        self, left: str, right: str, node: ast.AST, what: str
+    ) -> None:
+        if left in UNIT_POINTS and right in UNIT_POINTS and left != right:
+            self.mixes.append(
+                UnitMix(
+                    getattr(node, "lineno", 1),
+                    getattr(node, "col_offset", 0),
+                    f"cross-unit {what}: '{left}' vs '{right}' -- convert one"
+                    " side via repro.sim.units before combining",
+                )
+            )
+
+    def unit_of(self, expr: Optional[ast.expr]) -> str:
+        if expr is None:
+            return UNKNOWN
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool) or not isinstance(expr.value, (int, float)):
+                return UNKNOWN
+            return UNITLESS
+        if isinstance(expr, ast.Name):
+            if expr.id in SCALE_CONSTANTS and self._is_units_name(expr.id):
+                return NS
+            if expr.id in self.env:
+                return self.env[expr.id]
+            return suffix_unit(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in SCALE_CONSTANTS:
+                return NS
+            return suffix_unit(expr.attr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit_of(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._binop_unit(expr)
+        if isinstance(expr, ast.Compare):
+            self._compare_units(expr)
+            return UNKNOWN
+        if isinstance(expr, ast.Call):
+            return self._call_unit(expr)
+        if isinstance(expr, ast.IfExp):
+            self._visit_expr(expr.test)
+            a = self.unit_of(expr.body)
+            b = self.unit_of(expr.orelse)
+            return a if a == b else UNKNOWN
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for item in expr.elts:
+                self._visit_expr(item)
+            return UNKNOWN
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+        return UNKNOWN
+
+    def _scale_const_name(self, expr: ast.expr) -> Optional[str]:
+        name = terminal_name(expr)
+        if name in SCALE_CONSTANTS and (
+            isinstance(expr, ast.Attribute) or self._is_units_name(name)
+        ):
+            return name
+        return None
+
+    def _is_units_name(self, name: str) -> bool:
+        """Is a bare ``SEC``-style name plausibly the repro.sim.units one?
+
+        Without a project we assume yes (the constants are idiomatic); with
+        one we check the import actually resolves to ``repro.sim.units``.
+        """
+        if self.project is None:
+            return True
+        resolved = self.project.resolve_module_name(self.module, name)
+        return resolved is None or resolved.startswith("repro.sim.units")
+
+    def _binop_unit(self, expr: ast.BinOp) -> str:
+        left = self.unit_of(expr.left)
+        right = self.unit_of(expr.right)
+        op = expr.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            self._check_mix(left, right, expr, "arithmetic")
+            if left in UNIT_POINTS:
+                return left
+            if right in UNIT_POINTS:
+                return right
+            if left is UNITLESS and right is UNITLESS:
+                return UNITLESS
+            return UNKNOWN
+        if isinstance(op, ast.Mod):
+            self._check_mix(left, right, expr, "arithmetic")
+            if left in UNIT_POINTS and right in (left, UNITLESS, UNKNOWN):
+                return left
+            if left is UNITLESS and right is UNITLESS:
+                return UNITLESS
+            return UNKNOWN
+        if isinstance(op, ast.Mult):
+            # conversion idiom: a count in unit U times the ns-per-U scale
+            # constant is ns (`window_s * SEC`, `max_event_len_ms * MSEC`).
+            for value, scale in ((expr.left, expr.right), (expr.right, expr.left)):
+                sname = self._scale_const_name(scale)
+                if sname is not None and self.unit_of(value) == _SCALE_SOURCE[sname]:
+                    return NS
+            if left in UNIT_POINTS and right in UNIT_POINTS and left != right:
+                self._check_mix(left, right, expr, "product")
+                return UNKNOWN
+            if left in UNIT_POINTS and right is UNITLESS:
+                return left
+            if right in UNIT_POINTS and left is UNITLESS:
+                return right
+            if left is UNITLESS and right is UNITLESS:
+                return UNITLESS
+            return UNKNOWN
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left in UNIT_POINTS and right == left:
+                return UNITLESS  # ratio: the reporting idiom t_ns / SEC
+            if left in UNIT_POINTS and right in UNIT_POINTS and left != right:
+                self._check_mix(left, right, expr, "division")
+                return UNKNOWN
+            if left in UNIT_POINTS and right is UNITLESS:
+                return left
+            if left is UNITLESS and right is UNITLESS:
+                return UNITLESS
+            return UNKNOWN
+        if isinstance(op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)):
+            return UNKNOWN  # slot indexes, masks: deliberately untyped
+        return UNKNOWN
+
+    def _compare_units(self, expr: ast.Compare) -> None:
+        operands = [expr.left, *expr.comparators]
+        units = [self.unit_of(op) for op in operands]
+        for op, (a, b) in zip(expr.ops, zip(units, units[1:])):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                self._check_mix(a, b, expr, "comparison")
+
+    def _call_unit(self, expr: ast.Call) -> str:
+        for arg in expr.args:
+            self._visit_expr(arg)
+        for kw in expr.keywords:
+            self._visit_expr(kw.value)
+        fname = terminal_name(expr.func)
+        if fname in CONVERTERS:
+            return CONVERTERS[fname]
+        if fname in TRANSPARENT_CALLS and expr.args:
+            units = [self.unit_of(a) for a in expr.args]
+            known = [u for u in units if u in UNIT_POINTS]
+            if known and all(u == known[0] for u in known):
+                return known[0]
+            return UNKNOWN
+        self._check_call_params(expr)
+        # a call to an unknown function with a unit-suffixed name types
+        # its result by that suffix (conn_interval_ns(), elapsed_ms()).
+        if fname is not None:
+            return suffix_unit(fname)
+        return UNKNOWN
+
+    def _check_call_params(self, expr: ast.Call) -> None:
+        """Cross-API checks: argument units vs project parameter names."""
+        if self.project is None:
+            return
+        target = self._resolve_call_target(expr)
+        if target is None:
+            return
+        fn = self.project.functions.get(target)
+        if fn is None:
+            return
+        for index, arg in enumerate(expr.args):
+            if isinstance(arg, ast.Starred) or index >= len(fn.params):
+                break
+            self._check_one_binding(fn, fn.params[index], arg, expr)
+        for kw in expr.keywords:
+            if kw.arg is not None and kw.arg in fn.params:
+                self._check_one_binding(fn, kw.arg, kw.value, expr)
+
+    def _check_one_binding(
+        self, fn: FunctionInfo, param: str, arg: ast.expr, call: ast.Call
+    ) -> None:
+        arg_unit = self.unit_of(arg)
+        if arg_unit not in UNIT_POINTS:
+            return
+        param_unit = suffix_unit(param)
+        name = fn.name
+        if param_unit in UNIT_POINTS:
+            if param_unit != arg_unit:
+                self.mixes.append(
+                    UnitMix(
+                        call.lineno,
+                        call.col_offset,
+                        f"argument inferred as '{arg_unit}' is passed to"
+                        f" parameter '{param}' of {name}() which is suffixed"
+                        f" '{param_unit}' -- convert via repro.sim.units",
+                    )
+                )
+        elif param in fn.seq_params:
+            # collection-annotated parameter: a unit-polymorphic
+            # aggregation boundary (mean, percentile, cdf), not erasure.
+            return
+        elif fn.is_public and isinstance(arg, ast.Name):
+            # high-confidence only: a *named*, suffixed value crossing a
+            # public API into an unsuffixed parameter erases its unit.
+            self.mixes.append(
+                UnitMix(
+                    call.lineno,
+                    call.col_offset,
+                    f"'{arg.id}' carries unit '{arg_unit}' but parameter"
+                    f" '{param}' of public {name}() has no unit suffix --"
+                    f" rename the parameter (e.g. '{param}_{arg_unit}') so"
+                    " the unit survives the API boundary",
+                )
+            )
+
+    def _resolve_call_target(self, expr: ast.Call) -> Optional[str]:
+        assert self.project is not None
+        func = expr.func
+        if isinstance(func, ast.Name):
+            resolved = self.project.resolve_module_name(self.module, func.id)
+            return resolved if resolved in self.project.functions else None
+        if isinstance(func, ast.Attribute):
+            chain = dotted(func)
+            head, _, rest = chain.partition(".")
+            if not rest or "." in rest:
+                return None
+            resolved = self.project.resolve_module_name(self.module, head)
+            if resolved is None:
+                return None
+            candidate = f"{resolved}.{rest}"
+            return candidate if candidate in self.project.functions else None
+        return None
+
+
+def infer_module_units(
+    tree: ast.Module, module: str, project: Optional[Project]
+) -> Iterator[Tuple[UnitMix, Optional[str]]]:
+    """Yield ``(mix, enclosing_function_name)`` for a whole module.
+
+    Module level and each function body are inferred independently; class
+    bodies contribute their methods.  Deduplication happens in the engine.
+    """
+    module_level = [
+        stmt
+        for stmt in tree.body
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    top = FunctionUnits(module_level, None, [], project, module)
+    for mix in top.mixes:
+        yield mix, None
+
+    def walk_functions(
+        body: List[ast.stmt],
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt
+                yield from walk_functions(stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk_functions(stmt.body)
+
+    for fn_node in walk_functions(tree.body):
+        params = [
+            a.arg
+            for a in fn_node.args.posonlyargs + fn_node.args.args + fn_node.args.kwonlyargs
+            if a.arg not in ("self", "cls")
+        ]
+        inference = FunctionUnits(fn_node.body, fn_node.name, params, project, module)
+        for mix in inference.mixes:
+            yield mix, fn_node.name

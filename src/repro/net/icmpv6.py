@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.net.ip import Ipv6Stack
+from repro.sim.kernel import Simulator
 from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet
 
 #: IANA next-header number for ICMPv6.
@@ -85,7 +86,7 @@ class Icmpv6Stack:
     :param sim: the simulation kernel (for ping RTT measurement).
     """
 
-    def __init__(self, ip: Ipv6Stack, sim) -> None:
+    def __init__(self, ip: Ipv6Stack, sim: Simulator) -> None:
         self.ip = ip
         self.sim = sim
         self._handlers: Dict[int, IcmpHandler] = {}

@@ -8,7 +8,7 @@ analysis can attribute them the way the paper does.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import TYPE_CHECKING, Callable, List, Union
 
 from repro.net.fib import ForwardingTable
 from repro.net.nib import NeighborCache
@@ -17,8 +17,11 @@ from repro.sixlowpan.ipv6 import Ipv6Address, Ipv6Packet
 from repro.spans.hub import SPANS
 from repro.trace.tracer import TRACE
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.netif import BleNetif
 
-def _addr_ref(addr: Ipv6Address):
+
+def _addr_ref(addr: Ipv6Address) -> Union[int, str]:
     """Compact, deterministic address form for trace fields.
 
     Derived addresses reduce to the node id; anything else is the hex of
@@ -36,14 +39,14 @@ class Ipv6Stack:
     :param nib_entries: neighbour cache size (paper configuration: 32).
     """
 
-    def __init__(self, node_id: int, nib_entries: int = 32):
+    def __init__(self, node_id: int, nib_entries: int = 32) -> None:
         self.node_id = node_id
         self.link_local = Ipv6Address.link_local(node_id)
         self.mesh_local = Ipv6Address.mesh_local(node_id)
         self.addresses = {self.link_local, self.mesh_local}
         self.nib = NeighborCache(nib_entries)
         self.fib = ForwardingTable()
-        self.netifs: List[object] = []
+        self.netifs: List[BleNetif] = []
         #: Upper-layer demux: protocol number -> handler(packet).
         self._proto_handlers: dict[int, Callable[[Ipv6Packet], None]] = {}
         # Statistics.
@@ -58,7 +61,7 @@ class Ipv6Stack:
 
     # -- wiring --------------------------------------------------------------
 
-    def add_netif(self, netif) -> None:
+    def add_netif(self, netif: BleNetif) -> None:
         """Attach an interface (it reports received packets back here)."""
         netif.ip = self
         self.netifs.append(netif)
@@ -69,7 +72,7 @@ class Ipv6Stack:
         """Install an upper-layer handler for IPv6 next-header ``proto``."""
         self._proto_handlers[proto] = handler
 
-    def neighbor_up(self, ll_addr: int, netif) -> None:
+    def neighbor_up(self, ll_addr: int, netif: BleNetif) -> None:
         """A link to ``ll_addr`` came up: install its derived addresses."""
         self.nib.add(Ipv6Address.link_local(ll_addr), ll_addr, netif)
         self.nib.add(Ipv6Address.mesh_local(ll_addr), ll_addr, netif)
@@ -104,7 +107,7 @@ class Ipv6Stack:
             return sent > 0
         return self._route(packet)
 
-    def receive(self, packet: Ipv6Packet, netif) -> None:
+    def receive(self, packet: Ipv6Packet, netif: BleNetif) -> None:
         """Handle a packet arriving on ``netif``."""
         if packet.dst in self.addresses or packet.dst.is_multicast:
             self._deliver(packet)

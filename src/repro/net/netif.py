@@ -163,7 +163,7 @@ class BleNetif:
                 sent += 1
         return sent
 
-    def _on_sdu_sent(self, tag) -> None:
+    def _on_sdu_sent(self, tag: object) -> None:
         """The link layer acknowledged a full SDU: release its buffer bytes."""
         if not isinstance(tag, tuple):
             return

@@ -10,9 +10,12 @@ close.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.sixlowpan.ipv6 import Ipv6Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.netif import BleNetif
 
 
 class NeighborCache:
@@ -21,13 +24,13 @@ class NeighborCache:
     :param max_entries: table capacity (paper configuration: 32).
     """
 
-    def __init__(self, max_entries: int = 32):
+    def __init__(self, max_entries: int = 32) -> None:
         self.max_entries = max_entries
-        self._entries: Dict[Ipv6Address, Tuple[int, object]] = {}
+        self._entries: Dict[Ipv6Address, Tuple[int, "BleNetif"]] = {}
         #: Insertions rejected because the table was full.
         self.full_rejections = 0
 
-    def add(self, addr: Ipv6Address, ll_addr: int, netif: object) -> bool:
+    def add(self, addr: Ipv6Address, ll_addr: int, netif: "BleNetif") -> bool:
         """Install or refresh a neighbour entry.
 
         :returns: False when the table is full and ``addr`` is new.
@@ -48,7 +51,7 @@ class NeighborCache:
         for addr in stale:
             del self._entries[addr]
 
-    def resolve(self, addr: Ipv6Address) -> Optional[Tuple[int, object]]:
+    def resolve(self, addr: Ipv6Address) -> Optional[Tuple[int, "BleNetif"]]:
         """(link-layer address, interface) for ``addr``, or ``None``."""
         return self._entries.get(addr)
 

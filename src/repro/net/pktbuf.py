@@ -18,5 +18,5 @@ GNRC_PKTBUF_DEFAULT = 6144
 class PacketBuffer(BufferPool):
     """A byte-budgeted packet buffer with the GNRC default capacity."""
 
-    def __init__(self, capacity: int = GNRC_PKTBUF_DEFAULT, name: str = "pktbuf"):
+    def __init__(self, capacity: int = GNRC_PKTBUF_DEFAULT, name: str = "pktbuf") -> None:
         super().__init__(capacity, name)

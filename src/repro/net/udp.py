@@ -25,7 +25,7 @@ UdpHandler = Callable[[bytes, Ipv6Address, int], None]
 class UdpStack:
     """UDP sockets for one node, layered on an :class:`Ipv6Stack`."""
 
-    def __init__(self, ip: Ipv6Stack):
+    def __init__(self, ip: Ipv6Stack) -> None:
         self.ip = ip
         self._ports: Dict[int, UdpHandler] = {}
         # Statistics.

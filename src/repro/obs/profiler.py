@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.instr import INSTR
+from repro.sim.units import ns_to_s
 
 
 class Profiler:
@@ -167,10 +168,11 @@ class Profiler:
         if sim_time_ns is not None:
             doc["sim_time_ns"] = int(sim_time_ns)
             doc["sim_s_per_wall_s"] = (
-                (sim_time_ns / 1e9) / wall_s if wall_s > 0 else 0.0
+                ns_to_s(int(sim_time_ns)) / wall_s if wall_s > 0 else 0.0
             )
         return doc
 
 
 #: The singleton the kernel imports.  Never rebind it.
+# simlint: allow-shared-state -- host-side timing sink; parallel kernel must shard per worker
 PROFILER = Profiler()

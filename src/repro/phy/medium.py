@@ -20,13 +20,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.registry import METRICS
 from repro.phy.frames import ble_air_time_ns
 from repro.phy.spatial import Geometry
 from repro.sim.kernel import Simulator
 from repro.trace.tracer import TRACE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ble.adv import Scanner
 
 
 class MediumRegistrationError(RuntimeError):
@@ -159,10 +162,10 @@ class BleMedium:
         self.nodes: Dict[int, object] = {}
         #: Active scanners (see :mod:`repro.ble.adv`) in registration order;
         #: advertising events probe this registry to find listeners in range.
-        self.scanners: list = []
+        self.scanners: List[Scanner] = []
         #: The same scanners keyed by controller address (the spatial
         #: delivery path looks listeners up per neighbor address).
-        self._scanners_by_addr: Dict[int, list] = {}
+        self._scanners_by_addr: Dict[int, List[Scanner]] = {}
         # usable_channels memo: (query, interference stamp) -> result.
         self._usable_key: Optional[Tuple[Tuple[int, ...], Tuple[int, int]]] = None
         self._usable: List[int] = []
@@ -217,7 +220,7 @@ class BleMedium:
 
     # -- scanner registry -------------------------------------------------
 
-    def register_scanner(self, scanner) -> None:
+    def register_scanner(self, scanner: Scanner) -> None:
         """Add a scanner to the advertising delivery registry.
 
         Registering the same scanner object twice, or a second scanner for
@@ -242,7 +245,7 @@ class BleMedium:
         per_addr.append(scanner)
         self.scanners.append(scanner)
 
-    def unregister_scanner(self, scanner) -> None:
+    def unregister_scanner(self, scanner: Scanner) -> None:
         """Remove a scanner from the registry (idempotent)."""
         if scanner in self.scanners:
             self.scanners.remove(scanner)
@@ -250,7 +253,7 @@ class BleMedium:
             if per_addr and scanner in per_addr:
                 per_addr.remove(scanner)
 
-    def scanners_hearing(self, adv_addr: int) -> list:
+    def scanners_hearing(self, adv_addr: int) -> List[Scanner]:
         """The scanners a transmission from ``adv_addr`` can reach.
 
         * No geometry: every registered scanner, in registration order
@@ -265,7 +268,7 @@ class BleMedium:
         if geometry is None:
             return list(self.scanners)
         by_addr = self._scanners_by_addr
-        heard: list = []
+        heard: List[Scanner] = []
         if geometry.index == "grid":
             for addr in geometry.neighbors_of(adv_addr):
                 scanners = by_addr.get(addr)

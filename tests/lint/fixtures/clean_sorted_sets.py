@@ -1,0 +1,21 @@
+"""SL003 regression guard: sorted() launders set-typed calls and genexps.
+
+This file must lint clean.  It pins the two false-positive shapes the
+interprocedural upgrade could have introduced: iterating
+``sorted(<set-returning call>)`` and generator expressions wrapping an
+immediate ``sorted(...)``.
+"""
+
+
+def neighbours():
+    return {2, 3, 5}
+
+
+def ordered():
+    out = []
+    for n in sorted(neighbours()):
+        out.append(n)
+    joined = ",".join(str(x) for x in sorted(neighbours()))
+    peers = sorted(neighbours())
+    total = sum(x for x in peers)
+    return out, joined, total

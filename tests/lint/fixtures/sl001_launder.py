@@ -1,0 +1,20 @@
+"""Laundered wall-clock: time.time() wrapped twice, plus a partial."""
+import functools
+import time
+
+
+def _now():
+    return time.time()
+
+
+def _stamp():
+    return _now()
+
+
+def jitter():
+    return _stamp()
+
+
+def deferred():
+    cb = functools.partial(_stamp)
+    return cb()

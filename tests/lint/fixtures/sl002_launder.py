@@ -1,0 +1,20 @@
+"""Laundered global RNG: random.random() wrapped twice, plus a partial."""
+import functools
+import random
+
+
+def _draw():
+    return random.random()
+
+
+def _sample():
+    return _draw()
+
+
+def backoff():
+    return _sample()
+
+
+def deferred():
+    cb = functools.partial(_sample)
+    return cb()

@@ -1,0 +1,16 @@
+"""Set-returning project functions iterated without sorting."""
+
+
+def neighbours():
+    return {2, 3, 5}
+
+
+def wrapped():
+    return neighbours()
+
+
+def schedule():
+    out = []
+    for n in wrapped():
+        out.append(n)
+    return list(x for x in neighbours())

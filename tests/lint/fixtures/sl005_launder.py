@@ -1,0 +1,20 @@
+"""Laundered environment read: os.environ wrapped twice, plus a partial."""
+import functools
+import os
+
+
+def _flag():
+    return os.environ.get("REPRO_DEBUG")
+
+
+def _debug():
+    return _flag()
+
+
+def configure():
+    return _debug()
+
+
+def deferred():
+    cb = functools.partial(_debug)
+    return cb()

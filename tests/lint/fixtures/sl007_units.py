@@ -1,0 +1,10 @@
+"""Cross-unit time arithmetic and suffix-violating bindings."""
+
+
+def drift(t_ns, skew_ms):
+    return t_ns + skew_ms
+
+
+def rebase(anchor_ns):
+    offset_ms = anchor_ns
+    return offset_ms

@@ -1,0 +1,7 @@
+"""Dispatch-reachable module-level mutable state without a sanction."""
+
+_ROUTE_CACHE = {}
+
+
+def lookup(dst):
+    return _ROUTE_CACHE.get(dst)

@@ -53,7 +53,7 @@ class TestFormats:
         doc = json.loads(proc.stdout)
         assert doc["schema"] == "repro.lint.report/1"
         found = {f["code"] for f in doc["findings"]}
-        assert found == {"SL001", "SL002", "SL003", "SL004", "SL005", "SL006"}
+        assert found == {f"SL00{i}" for i in range(1, 10)}
         for finding in doc["findings"]:
             assert finding["fingerprint"]
             assert finding["line"] >= 1
@@ -66,8 +66,89 @@ class TestFormats:
     def test_list_rules(self):
         proc = run_lint("--list-rules")
         assert proc.returncode == 0
-        for code in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+        for i in range(1, 10):
+            assert f"SL00{i}" in proc.stdout
+
+    def test_sarif_format_is_valid(self):
+        proc = run_lint(str(FIXTURES / "sl001_wallclock.py"), "--format=sarif")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == {f"SL00{i}" for i in range(1, 10)}
+        result = run["results"][0]
+        assert result["ruleId"] == "SL001"
+        assert result["partialFingerprints"]["simlint/v1"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] >= 1
+
+    def test_sarif_on_clean_tree_has_empty_results(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        proc = run_lint(str(clean), "--format=sarif")
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout)["runs"][0]["results"] == []
+
+
+class TestExplain:
+    def test_every_rule_has_an_explain_page(self):
+        for i in range(1, 10):
+            code = f"SL00{i}"
+            proc = run_lint("--explain", code)
+            assert proc.returncode == 0, proc.stderr
             assert code in proc.stdout
+            for section in ("Why", "Example", "Fix"):
+                assert section in proc.stdout, f"{code} page missing {section}"
+
+    def test_explain_accepts_aliases_case_insensitively(self):
+        by_code = run_lint("--explain", "sl003")
+        by_alias = run_lint("--explain", "set-order")
+        assert by_code.returncode == by_alias.returncode == 0
+        assert by_code.stdout == by_alias.stdout
+
+    def test_unknown_rule_exits_two(self):
+        proc = run_lint("--explain", "SL099")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+
+class TestSharedStateReport:
+    def test_stdout_report_is_pure_json(self):
+        proc = run_lint(str(FIXTURES / "sl009_shared.py"), "--shared-state-report", "-")
+        assert proc.returncode == 0
+        doc = json.loads(proc.stdout)
+        assert doc["schema"] == "repro.lint.shared-state/1"
+        assert any(e["qualname"].endswith("_ROUTE_CACHE") for e in doc["globals"])
+
+    def test_file_report_coexists_with_findings(self, tmp_path):
+        report = tmp_path / "shared.json"
+        proc = run_lint(
+            str(FIXTURES / "sl009_shared.py"), "--shared-state-report", str(report)
+        )
+        assert proc.returncode == 1  # the fixture still fails the lint
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.lint.shared-state/1"
+
+
+class TestCache:
+    def test_warm_run_is_identical(self, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        cold = run_lint(str(FIXTURES / "sl001_wallclock.py"), "--cache", str(cache))
+        assert cache.exists()
+        warm = run_lint(str(FIXTURES / "sl001_wallclock.py"), "--cache", str(cache))
+        assert (cold.returncode, cold.stdout) == (warm.returncode, warm.stdout)
+
+    def test_source_change_invalidates_cache(self, tmp_path):
+        target = tmp_path / "t.py"
+        target.write_text("X = 1\n")
+        cache = tmp_path / "lint-cache.json"
+        clean = run_lint(str(target), "--cache", str(cache))
+        assert clean.returncode == 0
+        target.write_text("import time\n\nT = time.time()\n")
+        dirty = run_lint(str(target), "--cache", str(cache))
+        assert dirty.returncode == 1
+        assert "SL001" in dirty.stdout
 
 
 class TestBaselineFlags:

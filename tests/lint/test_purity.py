@@ -1,0 +1,413 @@
+"""SL008 guard proofs, SL009 shared-state inventory, and mutation tests.
+
+The mutation tests are the teeth of the new rules: they lint *real repo
+source* with one safety property surgically broken and assert the rule
+catches it, alongside the unmutated precondition staying clean.
+"""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_source
+from repro.lint.core import FileContext
+from repro.lint.graph import Project
+from repro.lint.purity import compute_guards, compute_shared_state, is_hot_module
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def ctx_for(module, source):
+    source = textwrap.dedent(source)
+    return FileContext(
+        path=Path(f"{module.replace('.', '/')}.py"),
+        module=module,
+        source=source,
+        lines=source.splitlines(),
+        tree=ast.parse(source),
+    )
+
+
+def project_of(**modules):
+    return Project.from_contexts([ctx_for(m, s) for m, s in modules.items()])
+
+
+def unguarded(project, module):
+    return list(compute_guards(project).unguarded_touches(module))
+
+
+# ---------------------------------------------------------------------------
+# SL008: guard idioms
+# ---------------------------------------------------------------------------
+
+
+class TestGuardIdioms:
+    def test_unguarded_call_fires(self):
+        p = project_of(m="def f(t):\n    TRACE.emit(t, 'x', 'y')\n")
+        assert len(unguarded(p, "m")) == 1
+
+    def test_direct_guard_is_clean(self):
+        p = project_of(
+            m="""
+            def f(t):
+                if TRACE.enabled:
+                    TRACE.emit(t, 'x', 'y')
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_hoisted_alias_guard_is_clean(self):
+        p = project_of(
+            m="""
+            def f(t):
+                trace_on = TRACE.enabled
+                if trace_on:
+                    TRACE.emit(t, 'x', 'y')
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_compound_and_guard_is_clean(self):
+        p = project_of(
+            m="""
+            def f(t, pdu):
+                if pdu and METRICS.enabled:
+                    METRICS.inc('n', 'k')
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_boolop_expression_guard_is_clean(self):
+        p = project_of(m="def f(t):\n    TRACE.enabled and TRACE.emit(t, 'x', 'y')\n")
+        assert unguarded(p, "m") == []
+
+    def test_ifexp_guard_is_clean(self):
+        p = project_of(
+            m="""
+            def f(t):
+                return TRACE.emit(t, 'x', 'y') if TRACE.enabled else None
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_early_return_guard_is_clean(self):
+        p = project_of(
+            m="""
+            def f(t):
+                if not TRACE.enabled:
+                    return
+                TRACE.emit(t, 'x', 'y')
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_wrong_hub_guard_still_fires(self):
+        p = project_of(
+            m="""
+            def f(t):
+                if METRICS.enabled:
+                    TRACE.emit(t, 'x', 'y')
+            """
+        )
+        assert len(unguarded(p, "m")) == 1
+
+    def test_unguarded_store_fires(self):
+        p = project_of(m="def f(t):\n    METRICS.now_hint = t\n")
+        touches = unguarded(p, "m")
+        assert len(touches) == 1
+        assert touches[0][1].kind == "store"
+
+    def test_cold_module_is_out_of_scope(self):
+        assert not is_hot_module("repro.topo.builder")
+        p = project_of(**{"repro.topo.builder": "def f(t):\n    TRACE.emit(t, 'x', 'y')\n"})
+        assert unguarded(p, "repro.topo.builder") == []
+
+    def test_hot_prefixes_are_in_scope(self):
+        for module in ("repro.sim.kernel", "repro.ble.conn", "repro.net.rpl", "m"):
+            assert is_hot_module(module)
+
+
+class TestDelegatedGuards:
+    def test_caller_guarded_helper_is_clean(self):
+        p = project_of(
+            m="""
+            def emit(t):
+                TRACE.emit(t, 'x', 'y')
+
+            def f(t):
+                if TRACE.enabled:
+                    emit(t)
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_one_unguarded_call_site_breaks_the_proof(self):
+        p = project_of(
+            m="""
+            def emit(t):
+                TRACE.emit(t, 'x', 'y')
+
+            def f(t):
+                if TRACE.enabled:
+                    emit(t)
+
+            def g(t):
+                emit(t)
+            """
+        )
+        touches = unguarded(p, "m")
+        assert len(touches) == 1
+        assert "called unguarded from g()" in touches[0][2]
+
+    def test_guard_delegation_composes_through_chains(self):
+        p = project_of(
+            m="""
+            def emit(t):
+                TRACE.emit(t, 'x', 'y')
+
+            def mid(t):
+                emit(t)
+
+            def f(t):
+                if TRACE.enabled:
+                    mid(t)
+            """
+        )
+        assert unguarded(p, "m") == []
+
+    def test_ref_edge_forces_unguarded(self):
+        # registering the helper as a callback means it later runs in the
+        # dispatcher's context -- the registration-site guard proves nothing.
+        p = project_of(
+            m="""
+            def emit(t):
+                TRACE.emit(t, 'x', 'y')
+
+            def f(sim):
+                if TRACE.enabled:
+                    sim.at(5, emit)
+            """
+        )
+        touches = unguarded(p, "m")
+        assert len(touches) == 1
+
+    def test_cold_call_sites_do_not_count(self):
+        # the only unguarded call site is in a cold module; the helper's
+        # hot-path story stays proven.
+        p = project_of(
+            m="""
+            def emit(t):
+                TRACE.emit(t, 'x', 'y')
+
+            def f(t):
+                if TRACE.enabled:
+                    emit(t)
+            """,
+            **{
+                "repro.topo.builder": """
+                from m import emit
+
+                def cold(t):
+                    emit(t)
+                """
+            },
+        )
+        assert unguarded(p, "m") == []
+
+
+# ---------------------------------------------------------------------------
+# SL009: shared mutable state
+# ---------------------------------------------------------------------------
+
+
+def violations(project, module):
+    return list(compute_shared_state(project).violations(module))
+
+
+class TestSharedState:
+    def test_referenced_mutable_global_fires(self):
+        p = project_of(
+            m="""
+            _ROUTE_CACHE = {}
+
+            def lookup(dest):
+                return _ROUTE_CACHE.get(dest)
+            """
+        )
+        found = violations(p, "m")
+        assert len(found) == 1
+        assert found[0].qualname == "m._ROUTE_CACHE"
+        assert found[0].value_type == "dict literal"
+
+    def test_sanctioned_global_is_recorded_not_flagged(self):
+        p = project_of(
+            m="""
+            # simlint: allow-shared-state -- test sanction reason
+            _ROUTE_CACHE = {}
+
+            def lookup(dest):
+                return _ROUTE_CACHE.get(dest)
+            """
+        )
+        assert violations(p, "m") == []
+        entries = [
+            e for e in compute_shared_state(p).globals if e.qualname == "m._ROUTE_CACHE"
+        ]
+        assert entries[0].sanctioned
+        assert entries[0].reason == "test sanction reason"
+
+    def test_unreferenced_global_is_inventory_only(self):
+        p = project_of(m="_TABLE = []\n\ndef f():\n    return 1\n")
+        assert violations(p, "m") == []
+        entries = compute_shared_state(p).globals
+        assert [e.qualname for e in entries] == ["m._TABLE"]
+        assert not entries[0].dispatch_reachable
+
+    def test_immutable_globals_are_ignored(self):
+        p = project_of(
+            m="""
+            LIMIT = 10
+            NAMES = ("a", "b")
+            FROZEN = frozenset({1})
+
+            def f():
+                return LIMIT, NAMES, FROZEN
+            """
+        )
+        assert compute_shared_state(p).globals == []
+
+    def test_kernel_rooted_reachability(self):
+        p = project_of(
+            **{
+                "repro.sim.kernel": """
+                from a import hot_fn
+
+                def dispatch():
+                    hot_fn()
+                """,
+                "a": """
+                _HOT = {}
+
+                def hot_fn():
+                    _HOT[1] = 2
+                """,
+                "b": """
+                _COLD = {}
+
+                def cold_fn():
+                    _COLD[1] = 2
+                """,
+            }
+        )
+        assert [e.qualname for e in violations(p, "a")] == ["a._HOT"]
+        assert violations(p, "b") == []
+
+    def test_partial_repro_slice_without_kernel_stays_silent(self):
+        # a pre-commit run on changed files cannot see the dispatch path;
+        # it must not fall back to treating every function as reachable.
+        p = project_of(
+            **{
+                "repro.lint.units": """
+                SUFFIXES = {"_ns": "ns"}
+
+                def suffix_unit(name):
+                    return SUFFIXES.get(name[-3:])
+                """
+            }
+        )
+        assert violations(p, "repro.lint.units") == []
+
+    def test_instance_state_inventoried_in_scope(self):
+        p = project_of(
+            **{
+                "repro.ble.thing": """
+                class Link:
+                    def __init__(self):
+                        self.pending = []
+                """,
+                "repro.exp.other": """
+                class Out:
+                    def __init__(self):
+                        self.rows = []
+                """,
+            }
+        )
+        attrs = [e.qualname for e in compute_shared_state(p).instance_attrs]
+        assert attrs == ["repro.ble.thing.Link.pending"]
+
+    def test_report_is_deterministic(self):
+        src = {
+            "m": "_C = {}\n\ndef f():\n    return _C\n",
+            "repro.ble.x": "class K:\n    def __init__(self):\n        self.q = []\n",
+        }
+        first = json.dumps(compute_shared_state(project_of(**src)).report())
+        second = json.dumps(compute_shared_state(project_of(**src)).report())
+        assert first == second
+        assert json.loads(first)["schema"] == "repro.lint.shared-state/1"
+
+
+# ---------------------------------------------------------------------------
+# Mutation tests: real repo source with one safety property broken
+# ---------------------------------------------------------------------------
+
+
+def repo_source(rel):
+    return (SRC / rel).read_text(encoding="utf-8")
+
+
+def lint_repo_source(rel, source):
+    module = "repro." + rel[:-3].replace("/", ".")
+    return lint_source(source, str(SRC / rel), module=module)
+
+
+class TestMutations:
+    def test_sl008_fires_when_trace_tx_guard_removed(self):
+        original = repo_source("ble/conn.py")
+        guard = "        if not TRACE.enabled:\n            return\n"
+        assert guard in original, "mutation anchor moved -- update the test"
+        assert lint_repo_source("ble/conn.py", original) == []
+        mutated = original.replace(guard, "", 1)
+        codes = {f.code for f in lint_repo_source("ble/conn.py", mutated)}
+        assert codes == {"SL008"}
+
+    def test_sl007_fires_when_ms_conversion_uses_wrong_scale(self):
+        original = repo_source("exp/runner.py")
+        anchor = "cfg.max_event_len_ms * MSEC"
+        assert anchor in original, "mutation anchor moved -- update the test"
+        assert lint_repo_source("exp/runner.py", original) == []
+        mutated = original.replace(anchor, "cfg.max_event_len_ms * SEC", 1)
+        codes = {f.code for f in lint_repo_source("exp/runner.py", mutated)}
+        assert "SL007" in codes
+
+    def test_sl009_fires_when_metrics_sanction_removed(self):
+        original = repo_source("obs/registry.py")
+        sanction = "# simlint: allow-shared-state"
+        assert sanction in original, "mutation anchor moved -- update the test"
+        kernel = ctx_for(
+            "repro.sim.kernel",
+            """
+            from repro.obs.registry import METRICS
+
+            def dispatch():
+                if METRICS.enabled:
+                    METRICS.inc("n", "k")
+            """,
+        )
+
+        def registry_ctx(source):
+            return FileContext(
+                path=SRC / "obs/registry.py",
+                module="repro.obs.registry",
+                source=source,
+                lines=source.splitlines(),
+                tree=ast.parse(source),
+            )
+
+        clean = Project.from_contexts([registry_ctx(original), kernel])
+        assert violations(clean, "repro.obs.registry") == []
+
+        mutated = original.replace(sanction, "# note: shared state", 1)
+        broken = Project.from_contexts([registry_ctx(mutated), kernel])
+        found = violations(broken, "repro.obs.registry")
+        assert [e.qualname for e in found] == ["repro.obs.registry.METRICS"]

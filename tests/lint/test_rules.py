@@ -16,12 +16,23 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 FIXTURE_CASES = [
     ("sl001_wallclock.py", "SL001"),
+    ("sl001_launder.py", "SL001"),
     ("sl002_rng.py", "SL002"),
+    ("sl002_launder.py", "SL002"),
     ("sl003_setiter.py", "SL003"),
+    ("sl003_setcall.py", "SL003"),
     ("sl004_floattime.py", "SL004"),
     ("sl005_env.py", "SL005"),
+    ("sl005_launder.py", "SL005"),
     ("sl006_magic.py", "SL006"),
+    ("sl007_units.py", "SL007"),
+    ("sl008_unguarded.py", "SL008"),
+    ("sl009_shared.py", "SL009"),
 ]
+
+#: fixtures that must lint CLEAN: regression guards for false positives
+#: the interprocedural upgrade could have introduced.
+CLEAN_FIXTURES = ["clean_sorted_sets.py"]
 
 
 def codes(findings):
@@ -40,6 +51,11 @@ class TestFixtures:
             assert finding.line >= 1
             assert finding.text, "finding should quote the offending line"
             assert finding.severity == "error"
+
+    @pytest.mark.parametrize("filename", CLEAN_FIXTURES)
+    def test_clean_fixtures_stay_clean(self, filename):
+        findings = lint_path(FIXTURES / filename)
+        assert findings == [], [f.render() for f in findings]
 
 
 class TestWallclockRule:

@@ -1,0 +1,253 @@
+"""Interprocedural taint: chains, barriers, partials, and termination."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_source
+from repro.lint.core import FileContext
+from repro.lint.graph import Project
+from repro.lint.taint import ENV, RNG, WALLCLOCK, TaintAnalysis
+
+
+def ctx_for(module, source):
+    source = textwrap.dedent(source)
+    return FileContext(
+        path=Path(f"{module.replace('.', '/')}.py"),
+        module=module,
+        source=source,
+        lines=source.splitlines(),
+        tree=ast.parse(source),
+    )
+
+
+def analysis_of(**modules):
+    return TaintAnalysis(Project.from_contexts([ctx_for(m, s) for m, s in modules.items()]))
+
+
+THREE_DEEP = {
+    WALLCLOCK: """
+        import time
+
+        def a():
+            return time.time()
+
+        def b():
+            return a()
+
+        def c():
+            return b()
+        """,
+    RNG: """
+        import random
+
+        def a():
+            return random.random()
+
+        def b():
+            return a()
+
+        def c():
+            return b()
+        """,
+    ENV: """
+        import os
+
+        def a():
+            return os.environ.get("X")
+
+        def b():
+            return a()
+
+        def c():
+            return b()
+        """,
+}
+
+
+class TestChains:
+    def test_three_deep_chain_every_kind(self):
+        for kind, src in THREE_DEEP.items():
+            analysis = analysis_of(m=src)
+            fact = analysis.taint_of(kind, "m.c")
+            assert fact is not None, kind
+            assert fact.chain[:3] == ("m.c", "m.b", "m.a"), kind
+
+    def test_chain_findings_surface_at_call_sites(self):
+        for kind, src in THREE_DEEP.items():
+            analysis = analysis_of(m=src)
+            sites = [s for k, _, s in analysis.call_site_findings("m") if k == kind]
+            # b's call of a, c's call of b -- both project-internal.
+            assert len(sites) == 2, kind
+            assert all("->" in s.render_chain() for s in sites)
+
+    def test_partial_wrapping_propagates(self):
+        analysis = analysis_of(
+            m="""
+            import functools
+            import time
+
+            def src():
+                return time.time()
+
+            def outer():
+                cb = functools.partial(src)
+                return cb()
+            """
+        )
+        assert analysis.taint_of(WALLCLOCK, "m.outer") is not None
+
+    def test_cross_module_chain(self):
+        analysis = analysis_of(
+            low="""
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            high="""
+            from low import draw
+
+            def use():
+                return draw()
+            """,
+        )
+        fact = analysis.taint_of(RNG, "high.use")
+        assert fact is not None
+        assert fact.chain[1] == "low.draw"
+
+
+class TestBarriersAndSuppressions:
+    def test_barrier_module_absorbs_taint(self):
+        analysis = analysis_of(
+            **{
+                "repro.obs.wallclock": """
+                import time
+
+                def monotonic():
+                    return time.time()
+                """,
+                "repro.sim.other": """
+                from repro.obs.wallclock import monotonic
+
+                def use():
+                    return monotonic()
+                """,
+            }
+        )
+        assert analysis.taint_of(WALLCLOCK, "repro.sim.other.use") is None
+
+    def test_suppressed_source_does_not_seed(self):
+        analysis = analysis_of(
+            m="""
+            import time
+
+            def src():
+                return time.time()  # simlint: allow-wallclock -- test sanction
+
+            def use():
+                return src()
+            """
+        )
+        assert analysis.taint_of(WALLCLOCK, "m.src") is None
+        assert analysis.taint_of(WALLCLOCK, "m.use") is None
+
+    def test_ref_edges_do_not_propagate_taint(self):
+        analysis = analysis_of(
+            m="""
+            import time
+
+            def cb():
+                return time.time()
+
+            def register(sim):
+                sim.at(5, cb)
+            """
+        )
+        assert analysis.taint_of(WALLCLOCK, "m.register") is None
+
+
+class TestTermination:
+    def test_direct_recursion_terminates(self):
+        analysis = analysis_of(
+            m="""
+            import time
+
+            def f(n):
+                if n:
+                    return f(n - 1)
+                return time.time()
+            """
+        )
+        fact = analysis.taint_of(WALLCLOCK, "m.f")
+        assert fact is not None
+        assert fact.chain == ("m.f", "time.time")
+
+    def test_mutual_recursion_terminates_with_stable_chains(self):
+        src = """
+            import time
+
+            def a(n):
+                if n:
+                    return b(n - 1)
+                return time.time()
+
+            def b(n):
+                return a(n)
+            """
+        first = analysis_of(m=src)
+        second = analysis_of(m=src)
+        for q in ("m.a", "m.b"):
+            f1 = first.taint_of(WALLCLOCK, q)
+            f2 = second.taint_of(WALLCLOCK, q)
+            assert f1 is not None and f2 is not None
+            assert f1.chain == f2.chain  # deterministic fixpoint
+
+    def test_tainted_cycle_with_no_source_stays_clean(self):
+        analysis = analysis_of(
+            m="""
+            def a(n):
+                return b(n)
+
+            def b(n):
+                return a(n)
+            """
+        )
+        assert analysis.taint_of(WALLCLOCK, "m.a") is None
+
+
+class TestSetReturningClosure:
+    def test_wrapper_of_set_returner_closes(self):
+        analysis = analysis_of(
+            m="""
+            def base():
+                return {1, 2}
+
+            def wrap():
+                return base()
+
+            def wrap2():
+                return wrap()
+            """
+        )
+        assert {"m.base", "m.wrap", "m.wrap2"} <= analysis.set_returning
+
+
+class TestEndToEndFindings:
+    def test_direct_and_laundered_both_fire(self):
+        src = textwrap.dedent(
+            """
+            import time
+
+            def helper():
+                return time.time()
+
+            def use():
+                return helper()
+            """
+        )
+        findings = [f for f in lint_source(src, "m.py", module="m") if f.code == "SL001"]
+        lines = sorted(f.line for f in findings)
+        assert len(findings) == 2  # the direct read and the laundering call
+        assert any("chain" in f.message for f in findings)
+        assert lines[0] < lines[1]

@@ -1,0 +1,173 @@
+"""The SL007 unit lattice: inference, idioms, and API crossings."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.rules import UnitMixRule
+
+
+def sl007(src, module="m"):
+    findings = lint_source(
+        textwrap.dedent(src), "m.py", module=module, rules=[UnitMixRule()]
+    )
+    return [f for f in findings if f.code == "SL007"]
+
+
+class TestArithmeticMixes:
+    def test_cross_unit_add_fires(self):
+        assert sl007("def f(t_ns, d_ms):\n    return t_ns + d_ms\n")
+
+    def test_cross_unit_compare_fires(self):
+        assert sl007("def f(t_ns, d_s):\n    return t_ns > d_s\n")
+
+    def test_same_unit_add_is_clean(self):
+        assert not sl007("def f(a_ns, b_ns):\n    return a_ns + b_ns\n")
+
+    def test_unitless_plus_unit_is_clean(self):
+        assert not sl007("def f(t_ns):\n    return t_ns + 5\n")
+
+    def test_cross_unit_augmented_assignment_fires(self):
+        assert sl007("def f(t_ns, d_us):\n    t_ns += d_us\n    return t_ns\n")
+
+
+class TestConversionIdioms:
+    def test_scale_product_from_literal_is_ns(self):
+        # 150 * USEC is the conversion idiom; assigning it to _ns is clean.
+        assert not sl007(
+            """
+            from repro.sim.units import USEC
+
+            def f():
+                t_ns = 150 * USEC
+                return t_ns
+            """
+        )
+
+    def test_count_times_matching_scale_is_ns(self):
+        # window_s * SEC converts a second count to ns.
+        assert not sl007(
+            """
+            from repro.sim.units import SEC
+
+            def f(window_s, start_ns):
+                return start_ns + round(window_s * SEC)
+            """
+        )
+
+    def test_count_times_wrong_scale_fires(self):
+        assert sl007(
+            """
+            from repro.sim.units import MSEC
+
+            def f(window_s):
+                t_ns = window_s * MSEC
+                return t_ns
+            """
+        )
+
+    def test_ratio_division_is_unitless(self):
+        assert not sl007("def f(t_ns, span_ns):\n    frac = t_ns / span_ns\n    return frac\n")
+
+    def test_converter_functions_change_unit(self):
+        assert not sl007(
+            """
+            from repro.sim.units import ns_to_s
+
+            def f(t_ns, wall_s):
+                return ns_to_s(t_ns) / wall_s
+            """
+        )
+
+    def test_shadowed_scale_name_is_not_a_conversion(self):
+        # a local SEC that doesn't resolve to repro.sim.units is untyped.
+        assert not sl007(
+            """
+            SEC = "label"
+
+            def f(window_s):
+                return window_s, SEC
+            """
+        )
+
+
+class TestBindings:
+    def test_suffix_violating_assignment_fires(self):
+        assert sl007("def f(anchor_ns):\n    t_ms = anchor_ns\n    return t_ms\n")
+
+    def test_return_suffix_mismatch_fires(self):
+        assert sl007("def elapsed_ms(t_ns):\n    return t_ns\n")
+
+    def test_return_matching_suffix_clean(self):
+        assert not sl007("def elapsed_ns(t_ns):\n    return t_ns\n")
+
+
+class TestApiCrossings:
+    def test_cross_suffix_argument_fires(self):
+        assert sl007(
+            """
+            def sink(delay_ms):
+                return delay_ms
+
+            def f(x_us):
+                return sink(x_us)
+            """
+        )
+
+    def test_keyword_argument_checked(self):
+        assert sl007(
+            """
+            def sink(delay_ms=0):
+                return delay_ms
+
+            def f(x_us):
+                return sink(delay_ms=x_us)
+            """
+        )
+
+    def test_public_api_unit_erasure_fires(self):
+        assert sl007(
+            """
+            def api(delay):
+                return delay
+
+            def f(x_us):
+                return api(x_us)
+            """
+        )
+
+    def test_private_helper_erasure_silent(self):
+        assert not sl007(
+            """
+            def _api(delay):
+                return delay
+
+            def f(x_us):
+                return _api(x_us)
+            """
+        )
+
+    def test_sequence_parameter_is_aggregation_boundary(self):
+        # mean(rtts_s) must not flag: Sequence params are unit-polymorphic.
+        assert not sl007(
+            """
+            from typing import Sequence
+
+            def mean(samples: Sequence[float]) -> float:
+                return sum(samples) / len(samples)
+
+            def f(rtts_s):
+                return mean(rtts_s)
+            """
+        )
+
+
+class TestScoping:
+    def test_units_module_is_allowlisted(self):
+        src = "def f(t_ns, d_ms):\n    return t_ns + d_ms\n"
+        assert not sl007(src, module="repro.sim.units")
+
+    def test_suppression_silences(self):
+        assert not sl007(
+            "def f(t_ns, d_ms):\n"
+            "    return t_ns + d_ms  # simlint: allow-unit-mix -- test sanction\n"
+        )
