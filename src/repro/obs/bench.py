@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import subprocess
+from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -128,10 +129,21 @@ def bench_configs(tier: str = "default") -> Dict[str, ExperimentConfig]:
     }
 
 
-def run_bench(tier: str = "default") -> dict:
-    """Profile every scenario of ``tier``; return the baseline document."""
+def run_bench(
+    tier: str = "default", dispatch: str = "serial", workers: int = 1
+) -> dict:
+    """Profile every scenario of ``tier``; return the baseline document.
+
+    ``dispatch`` selects the kernel mode (``serial`` | ``lookahead``, see
+    :mod:`repro.sim.parallel`) for every scenario; the mode is recorded in
+    the document so a ``--compare`` across modes reads as a speedup table.
+    """
     scenarios = {}
     for label, config in bench_configs(tier).items():
+        if dispatch != "serial" or workers != 1:
+            config = replace(
+                config, kernel={"dispatch": dispatch, "workers": workers}
+            )
         PROFILER.configure()
         try:
             run_experiment(config)
@@ -149,7 +161,32 @@ def run_bench(tier: str = "default") -> dict:
             "events_per_wall_s": round(profile["events_per_wall_s"], 1),
             "sim_s_per_wall_s": round(profile["sim_s_per_wall_s"], 1),
         }
-    return {"schema": BENCH_SCHEMA, "scenarios": scenarios}
+    return {"schema": BENCH_SCHEMA, "dispatch": dispatch, "scenarios": scenarios}
+
+
+def scenario_mismatches(current: dict, baseline: dict) -> List[str]:
+    """Scenario-set differences between two bench documents, both ways.
+
+    A label present in one document but not the other is a comparison
+    *setup* error (typically documents produced by different ``--tier``
+    values), not a perf regression: each difference yields one clear
+    diagnostic line and the CLI exits 2 instead of raising a KeyError or
+    mislabeling it a regression.
+    """
+    cur = set(current.get("scenarios", {}))
+    base = set(baseline.get("scenarios", {}))
+    problems: List[str] = []
+    for label in sorted(base - cur):
+        problems.append(
+            f"{label}: present in baseline but missing from current run "
+            f"(different --tier values?)"
+        )
+    for label in sorted(cur - base):
+        problems.append(
+            f"{label}: present in current run but missing from baseline "
+            f"(different --tier values?)"
+        )
+    return problems
 
 
 def compare_documents(
@@ -159,9 +196,9 @@ def compare_documents(
 
     A scenario regresses when its ``events_per_wall_s`` drops by more than
     ``threshold`` (a fraction: 0.25 = 25 %) relative to the baseline.
-    Scenarios present in the baseline but missing from the current document
-    are reported as regressions; scenarios new in the current document are
-    ignored (the baseline simply predates them).
+    Only scenarios present in *both* documents are compared; scenario-set
+    differences are the province of :func:`scenario_mismatches` (the CLI
+    runs both and exits 2 on a mismatch).
     """
     problems: List[str] = []
     base_scenarios = baseline.get("scenarios", {})
@@ -169,7 +206,6 @@ def compare_documents(
     for label, base_row in sorted(base_scenarios.items()):
         cur_row = cur_scenarios.get(label)
         if cur_row is None:
-            problems.append(f"{label}: scenario missing from current run")
             continue
         base_eps = float(base_row["events_per_wall_s"])
         cur_eps = float(cur_row["events_per_wall_s"])
@@ -236,6 +272,7 @@ def history_lines(
             "ts": stamp,
             "rev": rev,
             "tier": tier,
+            "dispatch": doc.get("dispatch", "serial"),
             "scenario": label,
             "n_nodes": row["n_nodes"],
             "events": row["events"],
@@ -285,6 +322,15 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="also append one line per scenario (timestamp, git rev, "
              "events/sec) to this JSONL perf log (e.g. BENCH_history.jsonl)",
     )
+    parser.add_argument(
+        "--dispatch", choices=("serial", "lookahead"), default="serial",
+        help="kernel dispatch mode for every scenario (lookahead = the "
+             "cluster-parallel conservative-lookahead dispatcher)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="lookahead dispatch lane workers (>= 1; default 1)",
+    )
 
 
 def run_bench_cli(args: argparse.Namespace) -> int:
@@ -293,7 +339,14 @@ def run_bench_cli(args: argparse.Namespace) -> int:
     if args.compare is not None:
         # Read the baseline *before* writing --out: they may be the same file.
         baseline = json.loads(Path(args.compare).read_text())
-    doc = run_bench(getattr(args, "tier", "default"))
+    dispatch = getattr(args, "dispatch", "serial")
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        print("--workers must be >= 1")
+        return 2
+    doc = run_bench(
+        getattr(args, "tier", "default"), dispatch=dispatch, workers=workers
+    )
     out = Path(args.out)
     out.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
     for label, row in doc["scenarios"].items():
@@ -302,6 +355,7 @@ def run_bench_cli(args: argparse.Namespace) -> int:
             f"{row['events']:8d} events {row['wall_s']:8.3f}s wall "
             f"{row['events_per_wall_s']:10.1f} events/sec "
             f"x{row['sim_s_per_wall_s']:.0f} real time"
+            + (f" [{dispatch}]" if dispatch != "serial" else "")
         )
     print(f"baseline written to {out}")
     history = getattr(args, "append_history", None)
@@ -311,15 +365,18 @@ def run_bench_cli(args: argparse.Namespace) -> int:
     if baseline is None:
         return 0
     print(render_comparison(doc, baseline))
+    mismatches = scenario_mismatches(doc, baseline)
+    for problem in mismatches:
+        print(f"MISMATCH: {problem}")
     problems = compare_documents(doc, baseline, args.threshold)
-    if not problems:
-        return 0
     for problem in problems:
         print(f"REGRESSION: {problem}")
+    if not mismatches and not problems:
+        return 0
     if args.warn_only:
         print("(warn-only: exit 0 despite regressions)")
         return 0
-    return 1
+    return 2 if mismatches else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

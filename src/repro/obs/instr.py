@@ -32,5 +32,4 @@ class InstrumentationVersion:
 
 
 #: The singleton every hub bumps and the kernel's loops watch.
-# simlint: allow-shared-state -- write-once version bump; parallel kernel reads at loop selection
 INSTR = InstrumentationVersion()

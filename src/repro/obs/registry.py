@@ -446,5 +446,4 @@ def merge_scope_snapshots(snapshots: Iterable[dict]) -> dict:
 
 
 #: The singleton every instrumented module imports.  Never rebind it.
-# simlint: allow-shared-state -- hub singleton; counters become per-cluster shards pre-parallel
 METRICS = MetricsHub()

@@ -1,0 +1,188 @@
+"""Connection-cluster partition for the lookahead-parallel kernel.
+
+The conservative-lookahead dispatcher (:mod:`repro.sim.parallel`) may only
+reorder or overlap work between *clusters* that provably cannot interact
+inside one dispatch window.  This module owns that partition:
+
+* a :class:`ClusterMap` is a **monotone union-find** over node addresses:
+  clusters only ever merge, never split.  Splitting would be unsound --
+  two nodes that once shared a cluster may share derived state (most
+  importantly a medium loss stream, see
+  :meth:`repro.phy.medium.BleMedium.attach_clusters`), and executing them
+  from different dispatch lanes after a split would consume that shared
+  state in a mode-dependent order.  Merging is always safe: it can only
+  make the dispatcher *more* conservative.
+* the initial partition comes from the spatial medium's neighbor sets
+  (:func:`components_of`): nodes in the same radio-range component can
+  exchange advertising packets and must share a cluster from t=0.  A
+  geometry-less medium (the paper's single-room testbed) is one world
+  cluster.
+* topology changes merge clusters live: connection establishment
+  (:meth:`note_edge`), mobility (:meth:`note_mobility`) and MAC rotation
+  (:meth:`note_alias`) all funnel into :meth:`merge`.  Every merge bumps
+  :attr:`version` so the dispatcher invalidates its per-window partition
+  caches.
+
+Timer ownership is resolved through the ``cluster_addr`` protocol: any
+object that schedules kernel timers may expose a ``cluster_addr``
+attribute (or property) naming the node address that owns its work.  The
+dispatcher walks a callback's ``functools.partial`` chain and bound
+``__self__`` to find it; callbacks without an owner belong to the *global
+lane* and act as window barriers (see DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def components_of(adjacency: Dict[int, Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    """Connected components of a neighbor-set adjacency, sorted.
+
+    Components are returned sorted by their smallest member, each component
+    tuple ascending -- the canonical order every consumer (cluster seeding,
+    loss-stream derivation, tests) relies on.
+    """
+    seen: set = set()
+    components: List[Tuple[int, ...]] = []
+    for root in sorted(adjacency):
+        if root in seen:
+            continue
+        stack = [root]
+        seen.add(root)
+        members = []
+        while stack:
+            addr = stack.pop()
+            members.append(addr)
+            for peer in adjacency.get(addr, ()):
+                if peer not in seen:
+                    seen.add(peer)
+                    stack.append(peer)
+        members.sort()
+        components.append(tuple(members))
+    return components
+
+
+class ClusterMap:
+    """Monotone (merge-only) partition of node addresses into clusters.
+
+    The representative (*root*) of a cluster is its smallest member
+    address, which keeps cluster identity stable and deterministic across
+    merge orders: ``merge(a, b)`` and ``merge(b, a)`` yield the same root.
+    """
+
+    __slots__ = ("_parent", "version")
+
+    def __init__(self, clusters: Iterable[Iterable[int]] = ()) -> None:
+        #: addr -> parent addr (self-parent marks a root).
+        self._parent: Dict[int, int] = {}
+        #: Bumped on every structural change (add/merge); dispatcher caches
+        #: key their validity on it.
+        self.version = 0
+        for members in clusters:
+            first: Optional[int] = None
+            for addr in members:
+                self.add(addr)
+                if first is None:
+                    first = addr
+                else:
+                    self.merge(first, addr)
+
+    def add(self, addr: int) -> None:
+        """Register an address as its own (singleton) cluster, idempotent."""
+        if addr not in self._parent:
+            self._parent[addr] = addr
+            self.version += 1
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def root(self, addr: int) -> int:
+        """The cluster representative (smallest member) of ``addr``.
+
+        Unknown addresses are auto-registered as singletons: a node the
+        builder never placed (e.g. a late churn arrival) must still have a
+        well-defined lane instead of a KeyError mid-dispatch.
+        """
+        parent = self._parent
+        if addr not in parent:
+            self.add(addr)
+            return addr
+        node = addr
+        while parent[node] != node:
+            node = parent[node]
+        # Path compression (does not change the partition -> no version bump).
+        while parent[addr] != node:
+            parent[addr], addr = node, parent[addr]
+        return node
+
+    def merge(self, a: int, b: int) -> int:
+        """Union the clusters of ``a`` and ``b``; returns the merged root.
+
+        The smaller root wins so cluster identity is order-independent.
+        """
+        ra, rb = self.root(a), self.root(b)
+        if ra == rb:
+            return ra
+        if rb < ra:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self.version += 1
+        return ra
+
+    # -- topology-change hooks -------------------------------------------
+
+    def note_edge(self, a: int, b: int) -> None:
+        """A link-layer interaction path appeared between two nodes."""
+        self.merge(a, b)
+
+    def note_mobility(self, addr: int, neighbors: Iterable[int]) -> None:
+        """A node moved; it may now hear a new set of neighbors."""
+        for peer in neighbors:
+            self.merge(addr, peer)
+
+    def note_alias(self, old_addr: int, new_addr: int) -> None:
+        """An address was re-keyed (RPA rotation): both name one node."""
+        self.add(new_addr)
+        self.merge(old_addr, new_addr)
+
+    # -- queries -----------------------------------------------------------
+
+    def roots(self) -> List[int]:
+        """All cluster representatives, ascending."""
+        return sorted({self.root(addr) for addr in self._parent})
+
+    def clusters(self) -> Dict[int, Tuple[int, ...]]:
+        """root -> sorted members (diagnostics and tests)."""
+        out: Dict[int, List[int]] = {}
+        for addr in sorted(self._parent):
+            out.setdefault(self.root(addr), []).append(addr)
+        return {root: tuple(members) for root, members in out.items()}
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        """Whether two addresses currently share a cluster."""
+        return self.root(a) == self.root(b)
+
+
+def owner_addr(callback: Callable[..., Any]) -> Optional[int]:
+    """Resolve the owning node address of a timer callback, or ``None``.
+
+    Walks ``functools.partial`` wrappers to the underlying callable, then
+    asks the bound instance (``__self__``) for its ``cluster_addr``.  Plain
+    functions, lambdas, and objects without the protocol own no cluster --
+    their timers ride the global lane and barrier the dispatch window.
+    """
+    inner: Any = callback
+    while isinstance(inner, partial):
+        inner = inner.func
+    owner = getattr(inner, "__self__", None)
+    if owner is None:
+        return None
+    addr = getattr(owner, "cluster_addr", None)
+    if addr is None:
+        return None
+    return int(addr)

@@ -1,0 +1,529 @@
+"""Conservative-lookahead windowed dispatch for :class:`~repro.sim.kernel.Simulator`.
+
+The serial kernel dispatches one timer at a time in global ``(when, seq)``
+order.  This module executes the same timer stream in *windows*: the
+dispatcher picks a conservative horizon ``end = now + horizon_ns``, drains
+every due timer (``when < end``) from the kernel structures in serial
+order, partitions the batch by owning cluster (see
+:mod:`repro.sim.cluster`), runs each cluster's sub-window as an
+independent *lane* behind a worker seam, and merges at the barrier.
+
+Correctness model (proof sketch in DESIGN.md §10):
+
+* **Clusters cannot interact within a window.**  Clusters are radio
+  components under a monotone merge-only map, and the horizon is chosen at
+  or below the minimum cross-cluster interaction latency; any event that
+  *creates* an interaction path (mobility step, churn arrival, rotation)
+  is driven by a global-lane timer, and the window is cut at the first
+  global-lane timer in the stream -- cluster membership is therefore
+  constant across the lanes of one window.
+* **Within a lane, order is serial order.**  A lane's seed batch arrives
+  in drained ``(when, seq)`` order and newly scheduled in-window timers
+  are routed into the active lane's heap by :meth:`Simulator.at`, so each
+  cluster observes exactly the sub-sequence of serial dispatch order that
+  concerns it.
+* **Observable byte-identity.**  Whenever TRACE or METRICS is enabled the
+  window executes as one merged lane in exact global ``(when, seq)``
+  order, so the golden JSONL trace and ``metrics.json`` are byte-identical
+  to the serial kernel *by construction*, not by luck.  Uninstrumented
+  multi-cluster windows may reorder across lanes; cross-cluster
+  independence (disjoint node state, per-cluster medium loss streams --
+  :meth:`repro.phy.medium.BleMedium.attach_clusters`) makes that
+  reordering unobservable in the end state.
+
+The worker seam is deliberately narrow: lanes are self-contained thunks.
+On CPython with the GIL (and on the single-core CI runners) thread workers
+cannot overlap lane execution in wall time, so :class:`ThreadSeam` hands
+lanes to its pool strictly one at a time, in cluster order -- scheduling
+isolation and a stable migration point for a free-threaded or
+multiprocess pool, not a speedup claim.  See README "Parallel dispatch"
+for measured numbers.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+# simlint: allow-wallclock -- barrier-stall attribution only; the measured
+# wall seconds land in profile.json (see repro.obs.profiler).
+from repro.obs.wallclock import perf_counter
+from repro.sim.cluster import ClusterMap, owner_addr
+from repro.trace.record import callback_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator, Timer
+
+#: Fallback lookahead horizon: 2**23 ns (~8.4 ms).  Four timer-wheel slots:
+#: long enough to amortize the per-window barrier, short enough that lane
+#: heaps stay small.  The runner overrides this with the configured
+#: minimum cross-cluster interaction latency (the connection interval).
+DEFAULT_HORIZON_NS: int = 1 << 23
+
+#: One ordered kernel entry: ``(when, seq, timer)``.
+_Entry = Tuple[int, int, "Timer"]
+
+#: Lane label for the merged / single-cluster lane.
+WORLD_LANE = "world"
+#: Lane label for ownerless (global) timers executed at window cuts.
+GLOBAL_LANE = "global"
+
+
+class InlineSeam:
+    """Run lane thunks sequentially on the dispatching thread."""
+
+    workers = 1
+
+    def run(self, thunks: List[Callable[[], None]]) -> None:
+        for thunk in thunks:
+            thunk()
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadSeam:
+    """Run lane thunks on a worker-thread pool, one lane at a time.
+
+    Lanes are handed to the pool in cluster order and each is awaited
+    before the next starts.  That is deliberate: under CPython's GIL a
+    concurrent hand-off could not overlap lane wall time anyway, but it
+    *could* reorder ``seq`` allocation between runs of the same config and
+    cost the determinism the kernel promises.  The seam therefore provides
+    worker isolation (lanes never share a stack with the barrier logic)
+    with byte-stable scheduling; a free-threaded or multiprocess pool
+    replaces only this class.
+    """
+
+    def __init__(self, workers: int) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.workers = max(2, int(workers))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-lane"
+        )
+
+    def run(self, thunks: List[Callable[[], None]]) -> None:
+        for thunk in thunks:
+            self._pool.submit(thunk).result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class LookaheadExecutor:
+    """Windowed cluster-parallel dispatcher over a live :class:`Simulator`.
+
+    The executor is a friend of the kernel: it manipulates the timer
+    structures directly and reuses the kernel's lazy-cancel and recycle
+    protocol, so ``pending()`` / ``queue_depth()`` stay exact mid-window.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        clusters: Optional[ClusterMap] = None,
+        horizon_ns: Optional[int] = None,
+        workers: int = 1,
+    ) -> None:
+        self._sim = sim
+        self._clusters = clusters
+        self.horizon_ns = int(horizon_ns) if horizon_ns else DEFAULT_HORIZON_NS
+        if self.horizon_ns <= 0:
+            raise ValueError(f"horizon_ns must be positive, got {horizon_ns}")
+        self.workers = max(1, int(workers))
+        self._seam = ThreadSeam(self.workers) if self.workers > 1 else InlineSeam()
+        #: Cached "more than one cluster" flag, keyed by ClusterMap.version.
+        self._multi_cache = False
+        self._multi_version = -1
+
+    def close(self) -> None:
+        """Release seam resources (worker threads)."""
+        self._seam.close()
+
+    # -- cluster helpers -------------------------------------------------
+
+    def _multi_root(self) -> bool:
+        clusters = self._clusters
+        if clusters is None:
+            return False
+        if clusters.version != self._multi_version:
+            self._multi_version = clusters.version
+            self._multi_cache = len(clusters.roots()) > 1
+        return self._multi_cache
+
+    def _owner_root(self, callback: Callable[..., Any]) -> Optional[int]:
+        addr = owner_addr(callback)
+        if addr is None:
+            return None
+        clusters = self._clusters
+        assert clusters is not None  # only called when classifying
+        return clusters.root(addr)
+
+    # -- window loop -----------------------------------------------------
+
+    def run(self, until: Optional[int]) -> int:
+        """Dispatch windows until done/stopped/horizon; returns event count."""
+        sim = self._sim
+        instr = sim._instr
+        profiler = sim._profiler
+        horizon = self.horizon_ns
+        executed = 0
+        try:
+            while not sim._stopped:
+                nxt = sim.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt >= until:
+                    break
+                end = nxt + horizon
+                if until is not None and end > until:
+                    end = until
+                version = instr.version
+                profiler_on = profiler.enabled
+                # simlint: allow-wallclock -- barrier attribution only.
+                window_t0 = perf_counter() if profiler_on else 0.0
+                # TRACE/METRICS demand exact global (when, seq) order: the
+                # window collapses to one merged lane (byte-identity by
+                # construction).  The profiler only times callbacks, which
+                # commutes across lanes, so it does not force merging.
+                merged = sim._trace.enabled or sim._metrics.enabled
+                multi = self._multi_root()
+                classify = multi and (profiler_on or not merged)
+                cut_on_global = classify and not merged
+                sim._defer_compact = True
+                batch, roots, cut = self._drain(sim, end, classify, cut_on_global)
+                lane_end = cut[0] if cut is not None else end
+                n_exec, cb_wall, lanes_run, lane_events, aborted = self._dispatch(
+                    sim, batch, roots, lane_end, version,
+                    merged or not cut_on_global, profiler_on,
+                )
+                executed += n_exec
+                if cut is not None:
+                    if aborted:
+                        heappush(sim._cur, cut)
+                    else:
+                        n, dt = self._run_global(sim, cut, profiler_on)
+                        executed += n
+                        cb_wall += dt
+                        if n and profiler_on:
+                            lane_events[GLOBAL_LANE] = (
+                                lane_events.get(GLOBAL_LANE, 0) + n
+                            )
+                sim._defer_compact = False
+                sim._compact_if_due()
+                if profiler_on:
+                    # simlint: allow-wallclock -- barrier attribution only.
+                    window_wall = perf_counter() - window_t0
+                    stall = window_wall - cb_wall
+                    if stall < 0.0:
+                        stall = 0.0
+                    profiler.record_barrier(stall)
+                    profiler.record_window(max(1, lanes_run), lane_events)
+        finally:
+            sim._defer_compact = False
+            sim._lane_heap = None
+        return executed
+
+    def _drain(
+        self,
+        sim: "Simulator",
+        end: int,
+        classify: bool,
+        cut_on_global: bool,
+    ) -> Tuple[List[_Entry], List[Optional[int]], Optional[_Entry]]:
+        """Pop every due timer (``when < end``) in serial ``(when, seq)`` order.
+
+        Drained timers keep ``queued=True`` and stay counted in
+        ``_n_items`` until a lane executes them, so cancellation and the
+        O(1) ``pending()`` bookkeeping keep working mid-window.  When
+        ``cut_on_global`` is set, draining stops at the first ownerless
+        timer -- it is returned as ``cut`` and acts as the window barrier.
+        """
+        batch: List[_Entry] = []
+        roots: List[Optional[int]] = []
+        cut: Optional[_Entry] = None
+        cur = sim._cur
+        owner = self._owner_root
+        while True:
+            if not cur:
+                if not sim._advance():
+                    break
+                cur = sim._cur
+                continue
+            entry = cur[0]
+            timer = entry[2]
+            if timer.cancelled:
+                heappop(cur)
+                sim._n_items -= 1
+                sim._n_cancelled -= 1
+                sim._recycle(timer)
+                continue
+            if entry[0] >= end:
+                break
+            heappop(cur)
+            if classify:
+                root = owner(timer.callback)
+                if root is None and cut_on_global:
+                    cut = entry
+                    break
+                roots.append(root)
+            batch.append(entry)
+        return batch, roots, cut
+
+    def _dispatch(
+        self,
+        sim: "Simulator",
+        batch: List[_Entry],
+        roots: List[Optional[int]],
+        lane_end: int,
+        version: int,
+        merged: bool,
+        profiler_on: bool,
+    ) -> Tuple[int, float, int, Dict[str, int], bool]:
+        """Execute the window batch; returns (executed, callback wall seconds,
+        lanes run, per-lane event counts, aborted)."""
+        lane_events: Dict[str, int] = {}
+        if not batch:
+            return 0, 0.0, 0, lane_events, False
+        if merged:
+            lanes: List[List[_Entry]] = [batch]
+            labels: List[str] = [WORLD_LANE]
+            if roots:
+                # attribution only: count batch events per owning cluster
+                for root in roots:
+                    label = GLOBAL_LANE if root is None else f"cluster{root}"
+                    lane_events[label] = lane_events.get(label, 0) + 1
+        else:
+            by_root: Dict[int, List[_Entry]] = {}
+            for entry, root in zip(batch, roots):
+                lst = by_root.get(root)  # type: ignore[arg-type]
+                if lst is None:
+                    lst = by_root[root] = []  # type: ignore[index]
+                lst.append(entry)
+            ordered = sorted(by_root)
+            lanes = [by_root[r] for r in ordered]
+            labels = [f"cluster{r}" for r in ordered]
+        trace_on = sim._trace.enabled
+        metrics_on = sim._metrics.enabled
+        results: List[Tuple[int, float, List[_Entry]]] = []
+        thunks: List[Callable[[], None]] = []
+        for lane in lanes:
+            if trace_on or metrics_on:
+                runner = self._run_lane_instr
+            elif profiler_on:
+                runner = self._run_lane_profiled
+            else:
+                runner = self._run_lane_plain
+
+            def thunk(lane: List[_Entry] = lane, runner: Any = runner) -> None:
+                results.append(runner(sim, lane, lane_end, version))
+
+            thunks.append(thunk)
+        self._seam.run(thunks)
+        executed = 0
+        cb_wall = 0.0
+        aborted = False
+        for i, (n, dt, leftover) in enumerate(results):
+            executed += n
+            cb_wall += dt
+            if not merged and n:
+                lane_events[labels[i]] = lane_events.get(labels[i], 0) + n
+            if leftover:
+                aborted = True
+                for entry in leftover:
+                    heappush(sim._cur, entry)
+        if aborted and len(results) < len(lanes):  # pragma: no cover - defensive
+            for lane in lanes[len(results):]:
+                for entry in lane:
+                    heappush(sim._cur, entry)
+        return executed, cb_wall, len(lanes), lane_events, aborted
+
+    # -- lane loops ------------------------------------------------------
+    #
+    # Three variants of one loop, mirroring the kernel's specialized
+    # dispatch loops: the per-event shape (lazy-cancel pop, bookkeeping,
+    # `_now` stamp, callback) is identical to the serial loops so a merged
+    # single lane replays serial dispatch exactly.
+
+    def _run_lane_plain(
+        self,
+        sim: "Simulator",
+        heap: List[_Entry],
+        lane_end: int,
+        version: int,
+    ) -> Tuple[int, float, List[_Entry]]:
+        """Uninstrumented lane (the fast path)."""
+        instr = sim._instr
+        executed = 0
+        leftover: List[_Entry] = []
+        sim._lane_heap = heap
+        sim._lane_end = lane_end
+        try:
+            while heap:
+                if sim._stopped or instr.version != version:
+                    leftover = list(heap)
+                    break
+                when, _seq, timer = heappop(heap)
+                if timer.cancelled:
+                    sim._n_items -= 1
+                    sim._n_cancelled -= 1
+                    sim._recycle(timer)
+                    continue
+                sim._n_items -= 1
+                timer.queued = False
+                sim._now = when
+                timer.callback(*timer.args)
+                executed += 1
+        finally:
+            sim._lane_heap = None
+        return executed, 0.0, leftover
+
+    def _run_lane_profiled(
+        self,
+        sim: "Simulator",
+        heap: List[_Entry],
+        lane_end: int,
+        version: int,
+    ) -> Tuple[int, float, List[_Entry]]:
+        """Lane with only the wall-clock profiler enabled.
+
+        Attribution is batched in lane-local dicts and flushed via
+        :meth:`Profiler.record_bulk` at the lane barrier, matching the
+        serial ``_loop_profiled`` so profiled throughput is comparable
+        across dispatch modes.
+        """
+        instr = sim._instr
+        profiler = sim._profiler
+        executed = 0
+        cb_wall = 0.0
+        leftover: List[_Entry] = []
+        rec_counts: Dict[Any, int] = {}
+        rec_times: Dict[Any, float] = {}
+        sim._lane_heap = heap
+        sim._lane_end = lane_end
+        try:
+            while heap:
+                if sim._stopped or instr.version != version:
+                    leftover = list(heap)
+                    break
+                when, _seq, timer = heappop(heap)
+                if timer.cancelled:
+                    sim._n_items -= 1
+                    sim._n_cancelled -= 1
+                    sim._recycle(timer)
+                    continue
+                sim._n_items -= 1
+                timer.queued = False
+                sim._now = when
+                callback = timer.callback
+                # simlint: allow-wallclock -- profiler attribution only; the
+                # measured wall seconds stay in profile.json.
+                t0 = perf_counter()
+                callback(*timer.args)
+                dt = perf_counter() - t0  # simlint: allow-wallclock -- profiler hook
+                cb_wall += dt
+                try:
+                    if callback in rec_times:
+                        rec_times[callback] += dt
+                        rec_counts[callback] += 1
+                    else:
+                        rec_times[callback] = dt
+                        rec_counts[callback] = 1
+                except TypeError:  # unhashable callable
+                    profiler.record(callback, dt)
+                executed += 1
+        finally:
+            sim._lane_heap = None
+            for callback, total in rec_times.items():
+                profiler.record_bulk(callback, rec_counts[callback], total)
+        return executed, cb_wall, leftover
+
+    def _run_lane_instr(
+        self,
+        sim: "Simulator",
+        heap: List[_Entry],
+        lane_end: int,
+        version: int,
+    ) -> Tuple[int, float, List[_Entry]]:
+        """Merged lane with tracing/metrics (and maybe the profiler).
+
+        Only ever runs as the single merged lane of a window, in exact
+        global ``(when, seq)`` order: emitted trace records and metric
+        increments are byte-identical to the serial instrumented loop.
+        """
+        instr = sim._instr
+        trace = sim._trace
+        metrics = sim._metrics
+        profiler = sim._profiler
+        trace_on = trace.enabled
+        metrics_on = metrics.enabled
+        profiler_on = profiler.enabled
+        executed = 0
+        cb_wall = 0.0
+        leftover: List[_Entry] = []
+        sim._lane_heap = heap
+        sim._lane_end = lane_end
+        try:
+            while heap:
+                if sim._stopped or instr.version != version:
+                    leftover = list(heap)
+                    break
+                when, seq, timer = heappop(heap)
+                if timer.cancelled:
+                    sim._n_items -= 1
+                    sim._n_cancelled -= 1
+                    sim._recycle(timer)
+                    continue
+                sim._n_items -= 1
+                timer.queued = False
+                sim._now = when
+                if trace_on:
+                    trace.emit(
+                        when,
+                        "kernel",
+                        "dispatch",
+                        timer_seq=seq,
+                        callback=callback_name(timer.callback),
+                    )
+                if profiler_on:
+                    # simlint: allow-wallclock -- profiler attribution only;
+                    # the measured wall seconds stay in profile.json.
+                    t0 = perf_counter()
+                    timer.callback(*timer.args)
+                    dt = perf_counter() - t0  # simlint: allow-wallclock -- profiler hook
+                    cb_wall += dt
+                    profiler.record(timer.callback, dt)
+                else:
+                    timer.callback(*timer.args)
+                executed += 1
+                if metrics_on:
+                    metrics.inc("sim", "kernel.events_dispatched")
+        finally:
+            sim._lane_heap = None
+        return executed, cb_wall, leftover
+
+    def _run_global(
+        self, sim: "Simulator", cut: _Entry, profiler_on: bool
+    ) -> Tuple[int, float]:
+        """Execute the window-cutting global-lane timer serially."""
+        when, _seq, timer = cut
+        if timer.cancelled:
+            sim._n_items -= 1
+            sim._n_cancelled -= 1
+            sim._recycle(timer)
+            return 0, 0.0
+        sim._n_items -= 1
+        timer.queued = False
+        sim._now = when
+        if profiler_on:
+            profiler = sim._profiler
+            # simlint: allow-wallclock -- profiler attribution only; the
+            # measured wall seconds stay in profile.json.
+            t0 = perf_counter()
+            timer.callback(*timer.args)
+            dt = perf_counter() - t0  # simlint: allow-wallclock -- profiler hook
+            profiler.record(timer.callback, dt)
+            return 1, dt
+        timer.callback(*timer.args)
+        return 1, 0.0

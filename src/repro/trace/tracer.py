@@ -124,5 +124,4 @@ class Tracer:
 
 
 #: The singleton every instrumented module imports.  Never rebind it.
-# simlint: allow-shared-state -- hub singleton; records must merge deterministically post-parallel
 TRACE = Tracer()

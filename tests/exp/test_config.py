@@ -99,7 +99,7 @@ class TestCanonicalSerialization:
     #: serialization regressed (fix it): every on-disk cache is invalidated
     #: either way, which must be a deliberate decision.
     GOLDEN_DEFAULT_HASH = (
-        "da3473e5b5482c30af5ff65cb93ef59b8fda23cb959422acbeefb9bd5498175f"
+        "f4f01f1dbc6f47e6d78dd7afea6a8a8982a53e1123e969cec9d6d9ba5a88031c"
     )
 
     def test_default_config_hash_is_golden_constant(self):

@@ -1,0 +1,149 @@
+"""Serial vs lookahead dispatch through the full stack: byte-identical.
+
+The kernel-level lockstep suite (``tests/sim/test_lookahead.py``) proves
+the windowed dispatcher replays serial order on synthetic workloads; this
+suite proves it on the *real* stack, end-to-end through the experiment
+runner: the pinned golden scenarios (3-hop line, 100-node spatial
+statconn, churn/mobility/rotation mesh) plus tree and mesh fleets must
+produce byte-identical JSONL traces under ``kernel.dispatch=lookahead``.
+
+Traced runs execute merged (exact global ``(when, seq)`` order), so
+identity here is by construction -- what the differential actually hunts
+is everything around the merge seam: window drains, lane routing of
+in-window schedules, cut handling for global-lane timers (samplers,
+churn/mobility drivers), cluster derivation from the spatial medium, and
+per-cluster loss-stream attachment, any of which would desynchronize the
+trace within a few records if wrong.
+
+Where a committed golden file exists it stands in for the serial arm
+(``tests/trace/test_golden.py`` pins serial == golden), so each scenario
+costs one lookahead run, not two.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.exp.config import ExperimentConfig
+from repro.exp.runner import run_experiment
+from repro.trace.sinks import records_to_jsonl
+from tests.trace.test_golden import (
+    CHURN_25,
+    GOLDEN_DIR,
+    SCALE_100,
+    SCENARIOS,
+    THREE_HOP,
+)
+
+LOOKAHEAD = {"dispatch": "lookahead", "workers": 2}
+
+#: Tree / mesh fleets (no committed golden: both arms run fresh).
+TREE = ExperimentConfig(
+    name="diff-tree",
+    topology="tree",
+    n_nodes=15,  # the paper tree is defined for exactly 15 nodes
+    duration_s=2.0,
+    warmup_s=1.0,
+    drain_s=0.5,
+    producer_interval_s=0.5,
+    seed=23,
+    trace=True,
+    trace_layers="ble,ip,coap",
+)
+
+MESH = ExperimentConfig(
+    name="diff-mesh",
+    topology="dynamic",  # self-forming mesh (the bench "mesh" scenario)
+    n_nodes=6,
+    duration_s=3.0,
+    warmup_s=12.0,
+    drain_s=1.0,
+    producer_interval_s=0.5,
+    seed=29,
+    trace=True,
+    trace_layers="ble,ip,coap",
+)
+
+
+def _jsonl(config: ExperimentConfig, kernel=None) -> str:
+    if kernel is not None:
+        config = replace(config, kernel=kernel)
+    result = run_experiment(config)
+    assert result.trace_records, "trace-enabled run produced no records"
+    return records_to_jsonl(result.trace_records)
+
+
+def _serial_jsonl(config: ExperimentConfig) -> str:
+    """The serial arm: the committed golden when pinned, else a fresh run."""
+    for filename, pinned in SCENARIOS.items():
+        if pinned is config and (GOLDEN_DIR / filename).exists():
+            return (GOLDEN_DIR / filename).read_text()
+    return _jsonl(config)
+
+
+GOLDEN_CASES = {
+    "3hop": THREE_HOP,
+    "scale100": SCALE_100,
+    "churn": CHURN_25,
+}
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_CASES))
+def test_golden_scenarios_byte_identical_under_lookahead(label):
+    config = GOLDEN_CASES[label]
+    assert _jsonl(config, LOOKAHEAD) == _serial_jsonl(config)
+
+
+@pytest.mark.parametrize("config", (TREE, MESH), ids=("tree", "mesh"))
+def test_tree_and_mesh_byte_identical_under_lookahead(config):
+    assert _jsonl(config, LOOKAHEAD) == _jsonl(config)
+
+
+def test_inline_seam_matches_thread_seam():
+    """workers=1 (inline lanes) and workers=2 (thread seam) are the same
+    schedule by construction; the seam must not leak into the trace."""
+    one = _jsonl(THREE_HOP, {"dispatch": "lookahead", "workers": 1})
+    two = _jsonl(THREE_HOP, {"dispatch": "lookahead", "workers": 2})
+    assert one == two
+
+
+def test_uninstrumented_run_same_observables():
+    """With tracing off the windows run unmerged; end-of-run observables
+    must still match serial exactly (single radio component => every
+    window is still serial-ordered, and the medium keeps its legacy loss
+    stream)."""
+    base = replace(THREE_HOP, trace=False, trace_layers="")
+    serial = run_experiment(base)
+    look = run_experiment(replace(base, kernel=LOOKAHEAD))
+    assert look.network.sim.events_executed == serial.network.sim.events_executed
+    assert look.coap_pdr() == serial.coap_pdr()
+    assert look.rtts_s() == serial.rtts_s()
+    assert look.link_pdr_overall() == serial.link_pdr_overall()
+    assert look.num_connection_losses() == serial.num_connection_losses()
+
+
+def test_metrics_snapshot_identical_under_lookahead():
+    """METRICS forces merged windows exactly like TRACE does: the whole
+    metrics payload (scopes + time series) must be byte-equal."""
+    base = replace(THREE_HOP, trace=False, trace_layers="", metrics=True)
+    serial = run_experiment(base)
+    look = run_experiment(replace(base, kernel=LOOKAHEAD))
+    assert look.metrics == serial.metrics
+
+
+def test_lookahead_requires_ble_link_layer():
+    config = replace(THREE_HOP, link_layer="802154", kernel=LOOKAHEAD)
+    with pytest.raises(ValueError, match="BLE link layer"):
+        run_experiment(config)
+
+
+def test_lookahead_attaches_cluster_partition_to_medium():
+    result = run_experiment(
+        replace(TREE, trace=False, trace_layers="", kernel=LOOKAHEAD)
+    )
+    medium = result.network.medium
+    assert medium.clusters is not None
+    # geometry-less tree fleet: one world cluster holding every node
+    assert medium.clusters.roots() == [min(medium.nodes)]
+    # the executor was torn down after the run (no leaked worker pool)
+    assert result.network.sim.dispatch == "serial"

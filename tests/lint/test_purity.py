@@ -381,9 +381,25 @@ class TestMutations:
         assert "SL007" in codes
 
     def test_sl009_fires_when_metrics_sanction_removed(self):
+        """The real repo source carries *no* SL009 sanction anymore: the
+        instance-hub refactor (``repro.sim.kernel._DEFAULT_HUBS``) took the
+        hub singletons out of every dispatch-reachable function, and the
+        suppressions were deleted with it.  The rule must still have teeth,
+        so rebuild the old world here: a kernel that names ``METRICS`` from
+        its dispatch loop, against a sanctioned copy of the real source --
+        and assert stripping the sanction fires SL009."""
         original = repo_source("obs/registry.py")
-        sanction = "# simlint: allow-shared-state"
-        assert sanction in original, "mutation anchor moved -- update the test"
+        anchor = "METRICS = MetricsHub()"
+        assert anchor in original, "mutation anchor moved -- update the test"
+        assert "allow-shared-state" not in original, (
+            "registry.py regrew an SL009 sanction -- if the hub became "
+            "dispatch-reachable again, update the burn-down story here"
+        )
+        sanctioned = original.replace(
+            anchor,
+            "# simlint: allow-shared-state -- hub singleton (test)\n" + anchor,
+            1,
+        )
         kernel = ctx_for(
             "repro.sim.kernel",
             """
@@ -404,10 +420,44 @@ class TestMutations:
                 tree=ast.parse(source),
             )
 
-        clean = Project.from_contexts([registry_ctx(original), kernel])
+        clean = Project.from_contexts([registry_ctx(sanctioned), kernel])
         assert violations(clean, "repro.obs.registry") == []
 
-        mutated = original.replace(sanction, "# note: shared state", 1)
-        broken = Project.from_contexts([registry_ctx(mutated), kernel])
+        broken = Project.from_contexts([registry_ctx(original), kernel])
         found = violations(broken, "repro.obs.registry")
         assert [e.qualname for e in found] == ["repro.obs.registry.METRICS"]
+
+    def test_sl009_hub_singletons_are_dispatch_unreachable_in_repo(self):
+        """The burn-down's end state, pinned: with the *real* kernel source
+        in the project, none of the four hub singletons is referenced from
+        a dispatch-reachable function, so none needs a sanction."""
+        rels = {
+            "sim/kernel.py": "repro.sim.kernel",
+            "obs/instr.py": "repro.obs.instr",
+            "obs/registry.py": "repro.obs.registry",
+            "obs/profiler.py": "repro.obs.profiler",
+            "trace/tracer.py": "repro.trace.tracer",
+        }
+        contexts = [
+            FileContext(
+                path=SRC / rel,
+                module=module,
+                source=repo_source(rel),
+                lines=repo_source(rel).splitlines(),
+                tree=ast.parse(repo_source(rel)),
+            )
+            for rel, module in rels.items()
+        ]
+        project = Project.from_contexts(contexts)
+        state = compute_shared_state(project)
+        hubs = {
+            "repro.obs.instr.INSTR",
+            "repro.obs.registry.METRICS",
+            "repro.obs.profiler.PROFILER",
+            "repro.trace.tracer.TRACE",
+        }
+        rows = {e.qualname: e for e in state.globals if e.qualname in hubs}
+        assert set(rows) == hubs
+        for qualname, entry in sorted(rows.items()):
+            assert not entry.dispatch_reachable, qualname
+            assert not entry.sanctioned, qualname

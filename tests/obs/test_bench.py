@@ -15,6 +15,7 @@ from repro.obs.bench import (
     compare_documents,
     main,
     render_comparison,
+    scenario_mismatches,
 )
 
 
@@ -55,14 +56,29 @@ class TestCompareDocuments:
         assert compare_documents(current, baseline, 0.25) == []
         assert len(compare_documents(current, baseline, 0.05)) == 1
 
-    def test_missing_scenario_is_a_regression(self):
-        problems = compare_documents(_doc(line=1.0), _doc(line=1.0, tree=1.0), 0.25)
-        assert problems == ["tree: scenario missing from current run"]
-
-    def test_new_scenario_is_ignored(self):
+    def test_scenario_set_difference_is_not_a_regression(self):
+        # set differences are the province of scenario_mismatches; the
+        # regression check compares the intersection only
         current = _doc(line=1000.0, mesh=1.0)
-        baseline = _doc(line=1000.0)
+        baseline = _doc(line=1000.0, tree=1.0)
         assert compare_documents(current, baseline, 0.25) == []
+
+    def test_mismatch_baseline_scenario_missing_from_current(self):
+        problems = scenario_mismatches(_doc(line=1.0), _doc(line=1.0, tree=1.0))
+        assert len(problems) == 1
+        assert problems[0].startswith("tree: present in baseline")
+
+    def test_mismatch_current_scenario_missing_from_baseline(self):
+        problems = scenario_mismatches(_doc(line=1.0, mesh=1.0), _doc(line=1.0))
+        assert len(problems) == 1
+        assert problems[0].startswith("mesh: present in current run")
+
+    def test_mismatch_both_directions_reported(self):
+        problems = scenario_mismatches(_doc(mesh=1.0), _doc(tree=1.0))
+        assert len(problems) == 2
+
+    def test_identical_scenario_sets_are_clean(self):
+        assert scenario_mismatches(_doc(line=1.0), _doc(line=2.0)) == []
 
     def test_render_comparison_shows_ratio(self):
         text = render_comparison(_doc(line=2000.0), _doc(line=1000.0))
@@ -73,7 +89,11 @@ class TestBenchCli:
     @pytest.fixture
     def canned_bench(self, monkeypatch):
         doc = _doc(line=800.0, tree=2000.0, mesh=2000.0)
-        monkeypatch.setattr(bench_mod, "run_bench", lambda tier="default": doc)
+        monkeypatch.setattr(
+            bench_mod,
+            "run_bench",
+            lambda tier="default", dispatch="serial", workers=1: doc,
+        )
         return doc
 
     def test_writes_out_document(self, canned_bench, tmp_path, capsys):
@@ -107,6 +127,26 @@ class TestBenchCli:
         rc = main(["--out", str(path), "--compare", str(path)])
         assert rc == 0  # baseline read before the rewrite
         assert json.loads(path.read_text()) == canned_bench
+
+    def test_baseline_missing_scenario_exits_2(self, canned_bench, tmp_path, capsys):
+        # current (line/tree/mesh) has scenarios the baseline lacks
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_doc(line=800.0, tree=2000.0)))
+        rc = main(["--out", str(tmp_path / "b.json"), "--compare", str(baseline)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "MISMATCH: mesh: present in current run" in out
+
+    def test_current_missing_scenario_exits_2(self, canned_bench, tmp_path, capsys):
+        # baseline has a scenario the current run lacks (tier mixup)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_doc(line=800.0, tree=2000.0, mesh=2000.0, scale500=1.0))
+        )
+        rc = main(["--out", str(tmp_path / "b.json"), "--compare", str(baseline)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "MISMATCH: scale500: present in baseline" in out
 
     def test_custom_threshold(self, canned_bench, tmp_path):
         baseline = tmp_path / "baseline.json"

@@ -1,0 +1,152 @@
+"""The connection-cluster partition (``repro.sim.cluster``).
+
+The lookahead dispatcher's soundness rests on three properties pinned
+here: the partition is *monotone* (merge-only, never splits), cluster
+identity is *deterministic* (smallest member wins regardless of merge
+order), and timer ownership resolves through the ``cluster_addr``
+protocol exactly as documented (partial chain -> bound instance ->
+attribute), with everything else falling to the global lane.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.sim.cluster import ClusterMap, components_of, owner_addr
+
+
+class TestComponentsOf:
+    def test_singletons(self):
+        assert components_of({3: (), 1: (), 2: ()}) == [(1,), (2,), (3,)]
+
+    def test_chain_is_one_component(self):
+        adj = {1: (2,), 2: (1, 3), 3: (2,)}
+        assert components_of(adj) == [(1, 2, 3)]
+
+    def test_two_components_sorted_by_smallest_member(self):
+        adj = {5: (7,), 7: (5,), 2: (4,), 4: (2,)}
+        assert components_of(adj) == [(2, 4), (5, 7)]
+
+    def test_asymmetric_adjacency_still_connects(self):
+        # neighbor sets from a spatial index are symmetric in practice,
+        # but a one-directional entry must still merge the component
+        assert components_of({1: (2,), 2: ()}) == [(1, 2)]
+
+    def test_empty(self):
+        assert components_of({}) == []
+
+
+class TestClusterMap:
+    def test_seeded_from_components(self):
+        cm = ClusterMap([(1, 2), (5,), (3, 4)])
+        assert cm.roots() == [1, 3, 5]
+        assert cm.clusters() == {1: (1, 2), 3: (3, 4), 5: (5,)}
+
+    def test_merge_is_order_independent(self):
+        a = ClusterMap([(1,), (2,), (3,)])
+        b = ClusterMap([(1,), (2,), (3,)])
+        a.merge(1, 3)
+        a.merge(3, 2)
+        b.merge(2, 3)
+        b.merge(3, 1)
+        assert a.clusters() == b.clusters() == {1: (1, 2, 3)}
+
+    def test_smallest_member_is_root(self):
+        cm = ClusterMap([(7, 9), (2, 4)])
+        assert cm.merge(9, 4) == 2
+        assert cm.root(7) == 2
+
+    def test_merge_only_never_splits(self):
+        cm = ClusterMap([(1, 2)])
+        assert cm.same_cluster(1, 2)
+        # there is deliberately no split/remove API
+        assert not hasattr(cm, "split")
+        assert not hasattr(cm, "remove")
+
+    def test_version_bumps_on_structural_change_only(self):
+        cm = ClusterMap([(1,), (2,)])
+        v0 = cm.version
+        cm.merge(1, 2)
+        assert cm.version == v0 + 1
+        cm.merge(1, 2)  # already merged: no structural change
+        assert cm.version == v0 + 1
+        cm.add(1)  # idempotent add: no structural change
+        assert cm.version == v0 + 1
+        cm.root(2)  # path compression must not bump either
+        assert cm.version == v0 + 1
+        cm.add(3)
+        assert cm.version == v0 + 2
+
+    def test_unknown_addr_auto_registers_as_singleton(self):
+        cm = ClusterMap([(1, 2)])
+        assert cm.root(99) == 99  # late churn arrival: no KeyError
+        assert 99 in cm
+        assert cm.roots() == [1, 99]
+
+    def test_note_edge_merges(self):
+        cm = ClusterMap([(1,), (2,)])
+        cm.note_edge(1, 2)
+        assert cm.same_cluster(1, 2)
+
+    def test_note_mobility_merges_all_neighbors(self):
+        cm = ClusterMap([(1,), (2,), (3,), (4,)])
+        cm.note_mobility(4, (1, 3))
+        assert cm.same_cluster(4, 1) and cm.same_cluster(4, 3)
+        assert not cm.same_cluster(4, 2)
+
+    def test_note_alias_registers_and_merges(self):
+        cm = ClusterMap([(1, 2)])
+        cm.note_alias(2, 77)  # RPA rotation: 77 is the same physical node
+        assert cm.same_cluster(1, 77)
+
+    def test_len_and_contains(self):
+        cm = ClusterMap([(1, 2, 3)])
+        assert len(cm) == 3
+        assert 2 in cm and 9 not in cm
+
+
+class _Owned:
+    def __init__(self, addr):
+        self.cluster_addr = addr
+
+    def tick(self):
+        pass
+
+
+class _Unowned:
+    def tick(self):
+        pass
+
+
+class TestOwnerAddr:
+    def test_bound_method_with_cluster_addr(self):
+        assert owner_addr(_Owned(5).tick) == 5
+
+    def test_partial_chain_unwraps_to_bound_method(self):
+        cb = partial(partial(_Owned(9).tick))
+        assert owner_addr(cb) == 9
+
+    def test_object_without_protocol_is_global(self):
+        assert owner_addr(_Unowned().tick) is None
+
+    def test_cluster_addr_none_is_global(self):
+        # objects opt out dynamically by carrying None (e.g. TrickleTimer
+        # before its RPL node binds it)
+        assert owner_addr(_Owned(None).tick) is None
+
+    def test_plain_function_and_lambda_are_global(self):
+        def f():
+            pass
+
+        assert owner_addr(f) is None
+        assert owner_addr(lambda: None) is None
+        assert owner_addr(print) is None
+
+    def test_addr_coerced_to_int(self):
+        assert owner_addr(_Owned(True).tick) == 1
+        assert isinstance(owner_addr(_Owned(7).tick), int)
+
+    @pytest.mark.parametrize("addr", (0, 1, 2**48 - 1))
+    def test_addr_zero_is_a_valid_owner(self, addr):
+        # address 0 must not be confused with "no owner"
+        assert owner_addr(_Owned(addr).tick) == addr

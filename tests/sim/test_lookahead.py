@@ -1,0 +1,433 @@
+"""Lookahead-parallel dispatch vs the serial kernel: lockstep equivalence.
+
+The conservative-lookahead executor (``repro.sim.parallel``) re-implements
+the kernel's dispatch loop as windowed, cluster-partitioned lanes.  Its
+contract, asserted differentially here with the shared lockstep
+scaffolding:
+
+* **single cluster / merged windows**: dispatch is byte-identical to the
+  serial kernel -- same log, same clock, same pending count, and (with
+  TRACE armed) the same JSONL trace byte-for-byte;
+* **multi-cluster uninstrumented windows**: each cluster observes exactly
+  its serial subsequence, and global-lane timers cut windows without ever
+  losing, duplicating, or reordering a timer;
+* the equivalence harness itself has teeth: a deliberately broken window
+  merge (mutation) must be caught by the same assertions.
+
+:class:`tests.support.lockstep.ParallelWorkload` pins its offsets to the
+lookahead horizon boundary (``horizon - 1`` / ``horizon`` /
+``horizon + 1``), the off-by-one territory where a wrong window cut or
+in-window lane routing comparison diverges first.
+"""
+
+import pytest
+
+import repro.sim.parallel as parallel_mod
+from repro.obs.registry import METRICS
+from repro.sim.cluster import ClusterMap
+from repro.sim.kernel import Simulator, SimulationError
+from repro.trace.sinks import RingBufferSink, record_to_jsonl_line
+from repro.trace.tracer import TRACE
+from tests.support.lockstep import (
+    ParallelWorkload,
+    TimerWorkload,
+    assert_logs_identical,
+)
+
+#: Small horizon so runs cross many window boundaries quickly.
+HORIZON = 1 << 16
+#: Three clusters of unequal size; addresses deliberately non-contiguous.
+CLUSTERS = ((1, 2), (10, 11), (20,))
+
+
+def _lookahead_sim(clusters=CLUSTERS, workers=1, horizon_ns=HORIZON):
+    sim = Simulator()
+    cm = ClusterMap(clusters) if clusters is not None else None
+    sim.configure_dispatch(
+        "lookahead", workers=workers, clusters=cm, horizon_ns=horizon_ns
+    )
+    return sim
+
+
+class TestConfigure:
+    def test_dispatch_property_round_trips(self):
+        sim = Simulator()
+        assert sim.dispatch == "serial"
+        sim.configure_dispatch("lookahead", horizon_ns=HORIZON)
+        assert sim.dispatch == "lookahead"
+        assert sim._executor is not None
+        sim.configure_dispatch("serial")
+        assert sim.dispatch == "serial"
+        assert sim._executor is None  # executor closed and dropped
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="unknown dispatch mode"):
+            Simulator().configure_dispatch("speculative")
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon_ns"):
+            Simulator().configure_dispatch("lookahead", horizon_ns=-1)
+
+    def test_reconfigure_while_running_rejected(self):
+        sim = _lookahead_sim(clusters=None)
+        sim.at(10, lambda: sim.configure_dispatch("serial"))
+        with pytest.raises(SimulationError, match="while running"):
+            sim.run()
+
+
+class TestSingleClusterByteIdentity:
+    """With one cluster (or none) every window is one merged lane: the
+    full randomized timer workload must replay serial dispatch exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_clusters_matches_serial(self, seed):
+        serial = TimerWorkload(Simulator(), seed)
+        look = TimerWorkload(_lookahead_sim(clusters=None), seed)
+        assert_logs_identical(serial.play(), look.play(), "serial", "lookahead")
+        assert serial.sim.now == look.sim.now
+        assert serial.sim.pending() == look.sim.pending()
+        assert len(serial.log) > 100
+
+    @pytest.mark.parametrize("seed", range(8, 12))
+    def test_single_cluster_map_matches_serial(self, seed):
+        look = TimerWorkload(_lookahead_sim(clusters=((1, 2, 3),)), seed)
+        serial = TimerWorkload(Simulator(), seed)
+        assert_logs_identical(serial.play(), look.play(), "serial", "lookahead")
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_thread_seam_matches_serial(self, seed):
+        look = TimerWorkload(_lookahead_sim(clusters=None, workers=2), seed)
+        serial = TimerWorkload(Simulator(), seed)
+        try:
+            assert_logs_identical(
+                serial.play(), look.play(), "serial", "lookahead-w2"
+            )
+        finally:
+            look.sim.configure_dispatch("serial")  # join worker threads
+
+
+def _play_pair(seed, *, workers=1, global_every=0, horizon=HORIZON):
+    """The same ParallelWorkload through both dispatch modes."""
+    serial = ParallelWorkload(
+        Simulator(), seed, CLUSTERS, horizon, global_every=global_every
+    )
+    look = ParallelWorkload(
+        _lookahead_sim(workers=workers, horizon_ns=horizon),
+        seed, CLUSTERS, horizon, global_every=global_every,
+    )
+    serial.play()
+    look.play()
+    return serial, look
+
+
+def _assert_pair_equivalent(serial, look):
+    for i, (a, b) in enumerate(zip(serial.cluster_logs(), look.cluster_logs())):
+        assert_logs_identical(a, b, f"serial[c{i}]", f"lookahead[c{i}]")
+        assert len(a) > 30, "cluster produced too little traffic"
+    assert_logs_identical(
+        serial.global_log, look.global_log, "serial[g]", "lookahead[g]"
+    )
+    # cross-lane interleaving may differ, but never the event multiset
+    assert sorted(serial.merged_log) == sorted(look.merged_log)
+    assert serial.sim.now == look.sim.now
+    assert serial.sim.pending() == look.sim.pending() == 0
+
+
+class TestMultiClusterEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_per_cluster_subsequences_match(self, seed):
+        _assert_pair_equivalent(*_play_pair(seed))
+
+    @pytest.mark.parametrize("seed", range(6, 10))
+    def test_global_lane_window_cuts(self, seed):
+        # an ownerless ticker cuts windows mid-stream; its log and every
+        # cluster subsequence must still match serial dispatch
+        serial, look = _play_pair(seed, global_every=HORIZON // 3 + 7)
+        _assert_pair_equivalent(serial, look)
+        assert len(serial.global_log) == 41
+
+    @pytest.mark.parametrize("seed", (2, 5))
+    def test_thread_seam_pair(self, seed):
+        serial, look = _play_pair(seed, workers=3, global_every=HORIZON // 2)
+        try:
+            _assert_pair_equivalent(serial, look)
+        finally:
+            look.sim.configure_dispatch("serial")
+
+    @pytest.mark.parametrize("horizon", (1 << 10, 1 << 20))
+    def test_horizon_extremes(self, horizon):
+        # tiny windows (every event its own window) and windows spanning
+        # the whole workload must both degrade to correct dispatch
+        _assert_pair_equivalent(*_play_pair(4, horizon=horizon))
+
+
+class TestWindowBoundary:
+    def test_boundary_offsets_fire_once_in_order(self):
+        sim = _lookahead_sim(clusters=((1,), (2,)))
+        log = []
+
+        class Node:
+            def __init__(self, addr):
+                self.cluster_addr = addr
+
+            def fire(self, tag):
+                log.append((sim.now, self.cluster_addr, tag))
+
+        offsets = (0, 1, HORIZON - 1, HORIZON, HORIZON + 1, 3 * HORIZON)
+        for node in (Node(1), Node(2)):
+            for off in offsets:
+                sim.at(off, node.fire, off)
+        sim.run()
+        assert len(log) == 12  # every timer exactly once
+        for addr in (1, 2):
+            mine = [t for t, a, _tag in log if a == addr]
+            assert mine == sorted(mine) == list(offsets)
+
+    def test_until_semantics_match_serial(self):
+        sim = _lookahead_sim(clusters=((1,),))
+        fired = []
+
+        class Node:
+            cluster_addr = 1
+
+            def fire(self):
+                fired.append(sim.now)
+
+        node = Node()
+        sim.at(100, node.fire)
+        assert sim.run(until=100) == 0  # event at exactly `until` stays
+        assert sim.now == 100 and fired == []
+        assert sim.run() == 1
+        assert fired == [100]
+
+    def test_in_window_schedule_routes_into_active_lane(self):
+        # a timer scheduled from inside a lane for a time still inside the
+        # window must join the active lane heap and fire in-window
+        sim = _lookahead_sim(clusters=((1,), (2,)))
+        seen = []
+
+        class Node:
+            cluster_addr = 1
+
+            def first(self):
+                assert sim._lane_heap is not None  # executing inside a lane
+                sim.at(sim.now + 1, self.second)
+
+            def second(self):
+                seen.append((sim.now, sim._lane_heap is not None))
+
+        class Other:
+            cluster_addr = 2
+
+            def noop(self):
+                pass
+
+        sim.at(0, Node().first)
+        sim.at(5, Other().noop)  # second cluster so windows classify
+        sim.run()
+        assert seen == [(1, True)]
+
+
+class TestMidRunInstrumentationToggle:
+    """Arming TRACE mid-run bumps the instrumentation version: in-flight
+    lanes abort and their leftovers must be re-pushed and replayed merged,
+    never lost or duplicated."""
+
+    step = HORIZON // 4
+
+    def _run_arm(self, sim, owned_toggle):
+        ring = RingBufferSink()
+        log = []
+
+        class Node:
+            def __init__(self, addr):
+                self.cluster_addr = addr
+
+            def fire(self, k):
+                log.append((sim.now, self.cluster_addr, k))
+
+        nodes = [Node(1), Node(2)]
+
+        def arm_trace():
+            TRACE.configure(sinks=[ring], sim=sim)
+
+        try:
+            for k in range(30):
+                for node in nodes:
+                    sim.at(k * self.step, node.fire, k)
+            if owned_toggle:
+                # bound method of a cluster-1 owner: the bump lands mid-lane
+                sim.at(10 * self.step + 1, _OwnedToggle(1, arm_trace).fire)
+            else:
+                # ownerless: rides the global lane and cuts the window
+                sim.at(10 * self.step + 1, arm_trace)
+            sim.run()
+        finally:
+            TRACE.reset()
+        return log, list(ring.records())
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_owned_toggle_aborts_but_preserves_every_timer(self, workers):
+        serial_log, serial_recs = self._run_arm(Simulator(), owned_toggle=True)
+        sim = _lookahead_sim(clusters=((1,), (2,)), workers=workers)
+        try:
+            look_log, look_recs = self._run_arm(sim, owned_toggle=True)
+        finally:
+            sim.configure_dispatch("serial")
+        assert len(look_log) == len(serial_log) == 60
+        for addr in (1, 2):
+            assert [e for e in serial_log if e[1] == addr] == [
+                e for e in look_log if e[1] == addr
+            ]
+        # An *owned* toggle is a cross-cluster interaction (it mutates the
+        # process-wide hub), so trace coverage may legitimately start
+        # earlier under lookahead: the aborted sibling lane's leftovers
+        # replay traced, where serial had already dispatched them dark.
+        # Every serially-traced dispatch must still be traced here.
+        serial_keys = {(r.time_ns, r.get("timer_seq")) for r in serial_recs}
+        look_keys = {(r.time_ns, r.get("timer_seq")) for r in look_recs}
+        assert serial_keys, "toggle never armed the tracer"
+        assert serial_keys <= look_keys
+
+    def test_global_toggle_cuts_window_and_stays_byte_identical(self):
+        # the sanctioned way to toggle hubs mid-run: an ownerless callback,
+        # which barriers the window -- the post-toggle trace is then
+        # byte-identical between dispatch modes
+        serial_log, serial_recs = self._run_arm(Simulator(), owned_toggle=False)
+        look_log, look_recs = self._run_arm(
+            _lookahead_sim(clusters=((1,), (2,))), owned_toggle=False
+        )
+        assert len(look_log) == len(serial_log) == 60
+        serial_lines = [record_to_jsonl_line(r) for r in serial_recs]
+        look_lines = [record_to_jsonl_line(r) for r in look_recs]
+        assert serial_lines, "toggle never armed the tracer"
+        assert_logs_identical(serial_lines, look_lines, "serial", "lookahead")
+
+
+class _OwnedToggle:
+    """Cluster-owned object whose timer callback flips a global hub."""
+
+    def __init__(self, addr, arm):
+        self.cluster_addr = addr
+        self.arm = arm
+
+    def fire(self):
+        self.arm()
+
+
+class TestMergedInstrumentedByteIdentity:
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_traced_run_is_byte_identical(self, seed):
+        def run_arm(sim):
+            ring = RingBufferSink()
+            TRACE.configure(sinks=[ring], sim=sim)
+            try:
+                wl = ParallelWorkload(sim, seed, CLUSTERS, HORIZON,
+                                      global_every=HORIZON)
+                wl.play()
+            finally:
+                TRACE.reset()
+            return wl, [record_to_jsonl_line(r) for r in ring.records()]
+
+        serial_wl, serial_lines = run_arm(Simulator())
+        look_wl, look_lines = run_arm(_lookahead_sim())
+        assert len(serial_lines) > 300
+        assert_logs_identical(serial_lines, look_lines, "serial", "lookahead")
+        # merged windows execute in exact global order: even the
+        # interleaved workload log matches entry-for-entry
+        assert_logs_identical(
+            serial_wl.merged_log, look_wl.merged_log, "serial", "lookahead"
+        )
+
+    def test_metrics_run_counts_every_dispatch(self):
+        def run_arm(sim):
+            METRICS.configure()
+            try:
+                wl = ParallelWorkload(sim, 7, CLUSTERS, HORIZON)
+                wl.play()
+                snap = METRICS.snapshot()
+            finally:
+                METRICS.reset()
+            return wl, snap
+
+        serial_wl, serial_snap = run_arm(Simulator())
+        look_wl, look_snap = run_arm(_lookahead_sim())
+        assert serial_snap == look_snap
+        dispatched = serial_snap["sim"]["counters"]["kernel.events_dispatched"]
+        assert dispatched == len(serial_wl.merged_log)
+        assert_logs_identical(
+            serial_wl.merged_log, look_wl.merged_log, "serial", "lookahead"
+        )
+
+
+class TestProfilerDispatchAttribution:
+    def test_lookahead_run_populates_dispatch_section(self):
+        """Barrier stalls land in ``kernel.barrier``; lane attribution
+        covers every executed event (satellite of the profiler suite)."""
+        from repro.obs.profiler import BARRIER_BUCKET, PROFILER
+
+        sim = _lookahead_sim()
+        PROFILER.configure()
+        try:
+            wl = ParallelWorkload(sim, 1, CLUSTERS, HORIZON,
+                                  global_every=HORIZON)
+            wl.play()
+            report = PROFILER.report()
+        finally:
+            PROFILER.reset()
+        dispatch = report["dispatch"]
+        assert dispatch["windows"] > 0
+        assert dispatch["parallelism"]["max"] >= 2  # multi-lane windows ran
+        # one barrier record per window, in the dedicated bucket -- never
+        # smeared into the last callback's subsystem
+        barrier = report["subsystems"][BARRIER_BUCKET]
+        assert barrier["events"] == dispatch["windows"]
+        assert dispatch["barrier_stall"]["count"] == dispatch["windows"]
+        # per-lane attribution covers every executed event exactly once
+        assert sum(dispatch["lane_events"].values()) == (
+            len(wl.merged_log) + len(wl.global_log)
+        )
+        assert any(k.startswith("cluster") for k in dispatch["lane_events"])
+        assert "global" in dispatch["lane_events"]
+
+    def test_serial_run_has_no_dispatch_section(self):
+        from repro.obs.profiler import PROFILER
+
+        sim = Simulator()
+        PROFILER.configure()
+        try:
+            TimerWorkload(sim, 0).play()
+            report = PROFILER.report()
+        finally:
+            PROFILER.reset()
+        assert "dispatch" not in report
+
+
+class TestMutation:
+    def test_broken_window_merge_is_caught(self, monkeypatch):
+        """The differential harness has teeth: reversing the drained batch
+        (a deliberately broken (when, seq) merge) must diverge loudly."""
+        serial = ParallelWorkload(Simulator(), 3, CLUSTERS, HORIZON)
+        serial.play()
+
+        true_drain = parallel_mod.LookaheadExecutor._drain
+
+        def broken_drain(self, sim, end, classify, cut_on_global):
+            batch, roots, cut = true_drain(self, sim, end, classify, cut_on_global)
+            if len(batch) > 1:
+                batch = list(reversed(batch))
+                roots = list(reversed(roots))
+            return batch, roots, cut
+
+        monkeypatch.setattr(
+            parallel_mod.LookaheadExecutor, "_drain", broken_drain
+        )
+        look = ParallelWorkload(_lookahead_sim(), 3, CLUSTERS, HORIZON)
+        diverged = False
+        try:
+            look.play()
+            for a, b in zip(serial.cluster_logs(), look.cluster_logs()):
+                assert_logs_identical(a, b)
+        except (AssertionError, SimulationError):
+            diverged = True
+        assert diverged, "differential failed to catch a broken window merge"
